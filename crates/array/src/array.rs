@@ -1,0 +1,222 @@
+//! The m×n elementary 1T-1R tile (paper Fig 2a).
+
+use oxterm_spice::circuit::{Circuit, NodeId};
+use rand::Rng;
+
+use crate::cell::{Cell1T1R, CellConfig};
+use crate::parasitics::LineParasitics;
+
+/// Configuration of a tile build.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayConfig {
+    /// Number of word lines (rows).
+    pub rows: usize,
+    /// Number of bit/source lines (columns).
+    pub cols: usize,
+    /// Per-cell configuration.
+    pub cell: CellConfig,
+    /// Bit-line parasitics (applied per column).
+    pub bl_line: LineParasitics,
+    /// Access-transistor V_TH mismatch σ (V).
+    pub sigma_vth: f64,
+    /// Access-transistor current-factor mismatch σ (relative).
+    pub sigma_beta: f64,
+}
+
+impl ArrayConfig {
+    /// The paper's 8×8 measurement tile.
+    pub fn tile_8x8() -> Self {
+        ArrayConfig {
+            rows: 8,
+            cols: 8,
+            cell: CellConfig::paper(),
+            bl_line: LineParasitics::tile_8x8(),
+            sigma_vth: 8e-3,
+            sigma_beta: 0.02,
+        }
+    }
+}
+
+/// A built tile: driver-side line nodes plus per-cell handles.
+///
+/// Word lines select rows; bit lines connect the RRAM top electrodes of a
+/// column; source lines connect the access-transistor sources of a column
+/// (the paper's Fig 2a orientation: SLs reset a whole word or one cell).
+#[derive(Debug)]
+pub struct TileArray {
+    /// Driver-end word-line nodes, one per row.
+    pub wl: Vec<NodeId>,
+    /// Driver-end bit-line nodes, one per column.
+    pub bl: Vec<NodeId>,
+    /// Driver-end source-line nodes, one per column.
+    pub sl: Vec<NodeId>,
+    /// Cell handles, indexed `[row][col]`.
+    pub cells: Vec<Vec<Cell1T1R>>,
+    /// The build configuration.
+    pub config: ArrayConfig,
+}
+
+impl TileArray {
+    /// Builds the tile into `circuit`, sampling device-to-device
+    /// variability for every cell from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn build<R: Rng + ?Sized>(
+        circuit: &mut Circuit,
+        config: &ArrayConfig,
+        rng: &mut R,
+    ) -> TileArray {
+        assert!(config.rows > 0 && config.cols > 0, "array must be non-empty");
+        let wl: Vec<NodeId> = (0..config.rows)
+            .map(|r| circuit.node(&format!("wl{r}")))
+            .collect();
+        let bl: Vec<NodeId> = (0..config.cols)
+            .map(|c| circuit.node(&format!("bl{c}")))
+            .collect();
+        let sl: Vec<NodeId> = (0..config.cols)
+            .map(|c| circuit.node(&format!("sl{c}")))
+            .collect();
+
+        // Per-column BL far ends carry the line parasitics; cells attach at
+        // the far end (worst case for the termination accuracy).
+        let bl_far: Vec<NodeId> = (0..config.cols)
+            .map(|c| {
+                let far = circuit.node(&format!("bl{c}_far"));
+                config
+                    .bl_line
+                    .build(circuit, &format!("blpar{c}"), bl[c], far);
+                far
+            })
+            .collect();
+
+        let mut cells = Vec::with_capacity(config.rows);
+        for r in 0..config.rows {
+            let mut row = Vec::with_capacity(config.cols);
+            for c in 0..config.cols {
+                let cell = Cell1T1R::build(
+                    circuit,
+                    &format!("c{r}_{c}"),
+                    bl_far[c],
+                    wl[r],
+                    sl[c],
+                    &config.cell,
+                );
+                cell.apply_d2d(circuit, rng, config.sigma_vth, config.sigma_beta)
+                    .expect("freshly built handles are valid");
+                row.push(cell);
+            }
+            cells.push(row);
+        }
+        TileArray {
+            wl,
+            bl,
+            sl,
+            cells,
+            config: *config,
+        }
+    }
+
+    /// Total number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.config.rows * self.config.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxterm_devices::sources::{SourceWave, VoltageSource};
+    use oxterm_spice::analysis::op::{solve_op, OpOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::bias::{BiasSet, Operation};
+
+    #[test]
+    fn tile_builds_with_expected_size() {
+        let mut c = Circuit::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tile = TileArray::build(&mut c, &ArrayConfig::tile_8x8(), &mut rng);
+        assert_eq!(tile.n_cells(), 64);
+        assert_eq!(tile.wl.len(), 8);
+        // 64 cells × (RRAM + MOS) + 8 BLs × (2 R + 2 C) = 160 devices.
+        assert_eq!(c.n_elements(), 64 * 2 + 8 * 4);
+    }
+
+    #[test]
+    fn selected_cell_reads_selected_row_only() {
+        // Precondition one LRS cell in a 2×2 tile; read row 0 and check the
+        // unselected row contributes no current.
+        let mut c = Circuit::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = ArrayConfig {
+            rows: 2,
+            cols: 2,
+            ..ArrayConfig::tile_8x8()
+        };
+        let tile = TileArray::build(&mut c, &cfg, &mut rng);
+        // All cells HRS except (0,0).
+        for r in 0..2 {
+            for col in 0..2 {
+                let target = if r == 0 && col == 0 { 10e3 } else { 300e3 };
+                tile.cells[r][col].precondition(&mut c, target, 0.3).unwrap();
+            }
+        }
+        let read = BiasSet::standard(Operation::Read);
+        let vbl0 = c.add(VoltageSource::new(
+            "vbl0",
+            tile.bl[0],
+            Circuit::gnd(),
+            SourceWave::dc(read.bl),
+        ));
+        c.add(VoltageSource::new(
+            "vbl1",
+            tile.bl[1],
+            Circuit::gnd(),
+            SourceWave::dc(read.bl),
+        ));
+        // WL0 on, WL1 off.
+        c.add(VoltageSource::new(
+            "vwl0",
+            tile.wl[0],
+            Circuit::gnd(),
+            SourceWave::dc(read.wl),
+        ));
+        c.add(VoltageSource::new(
+            "vwl1",
+            tile.wl[1],
+            Circuit::gnd(),
+            SourceWave::dc(0.0),
+        ));
+        for (k, &sl) in tile.sl.iter().enumerate() {
+            c.add(VoltageSource::new(
+                format!("vsl{k}"),
+                sl,
+                Circuit::gnd(),
+                SourceWave::dc(read.sl),
+            ));
+        }
+        let sol = solve_op(&c, &OpOptions::default()).unwrap();
+        let i0 = -sol.branch_current(&c, vbl0, 0).unwrap();
+        // LRS on column 0 row 0: µA-scale read current.
+        assert!(i0 > 3e-6, "i0 = {i0}");
+        // Column 1 (HRS on the selected row): much smaller.
+        let vbl1 = c.find_device("vbl1").unwrap();
+        let i1 = -sol.branch_current(&c, vbl1, 0).unwrap();
+        assert!(i1 < i0 / 3.0, "i1 = {i1} vs i0 = {i0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_rejected() {
+        let mut c = Circuit::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = ArrayConfig {
+            rows: 0,
+            ..ArrayConfig::tile_8x8()
+        };
+        TileArray::build(&mut c, &cfg, &mut rng);
+    }
+}

@@ -1,0 +1,188 @@
+//! The 1T-1R bit cell (paper Fig 1b).
+
+use oxterm_devices::mosfet::{MosParams, Mosfet};
+use oxterm_rram::cell::OxramCell;
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+use oxterm_spice::circuit::{Circuit, ElementId, NodeId};
+use rand::Rng;
+
+/// Configuration of a 1T-1R cell instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellConfig {
+    /// OxRAM model card.
+    pub oxram: OxramParams,
+    /// Access-transistor model card.
+    pub mos: MosParams,
+    /// Access-transistor width (m).
+    pub w: f64,
+    /// Access-transistor length (m).
+    pub l: f64,
+}
+
+impl CellConfig {
+    /// The paper's cell: calibrated OxRAM + 0.8 µm / 0.5 µm NMOS access
+    /// transistor in the 0.13 µm 3.3 V process.
+    pub fn paper() -> Self {
+        CellConfig {
+            oxram: OxramParams::calibrated(),
+            mos: MosParams::nmos_130nm_hv(),
+            w: 0.8e-6,
+            l: 0.5e-6,
+        }
+    }
+}
+
+/// Handles to the devices of one built 1T-1R cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell1T1R {
+    /// The OxRAM element.
+    pub rram: ElementId,
+    /// The access transistor element.
+    pub transistor: ElementId,
+    /// Internal node between the RRAM bottom electrode and the transistor
+    /// drain.
+    pub mid: NodeId,
+}
+
+impl Cell1T1R {
+    /// Builds a 1T-1R cell: `bl → RRAM(TE..BE) → NMOS(d..s) → sl`, gate on
+    /// `wl`, bulk grounded.
+    pub fn build(
+        circuit: &mut Circuit,
+        name: &str,
+        bl: NodeId,
+        wl: NodeId,
+        sl: NodeId,
+        config: &CellConfig,
+    ) -> Self {
+        let mid = circuit.internal_node(&format!("{name}_mid"));
+        let rram = circuit.add(OxramCell::new(
+            format!("{name}_r"),
+            bl,
+            mid,
+            config.oxram,
+        ));
+        let transistor = circuit.add(Mosfet::new(
+            format!("{name}_m"),
+            mid,
+            wl,
+            sl,
+            Circuit::gnd(),
+            config.mos,
+            config.w,
+            config.l,
+        ));
+        Cell1T1R {
+            rram,
+            transistor,
+            mid,
+        }
+    }
+
+    /// Applies device-to-device variability to both the RRAM and the access
+    /// transistor (the paper's MC setup: transistor mismatch dominates the
+    /// CMOS side, ±5 % σ on the OxRAM `α`/`Lx`).
+    ///
+    /// `sigma_vth` and `sigma_beta` are the access transistor's mismatch
+    /// sigmas (V and relative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`oxterm_spice::SpiceError::NotFound`] if the handles are
+    /// stale.
+    pub fn apply_d2d<R: Rng + ?Sized>(
+        &self,
+        circuit: &mut Circuit,
+        rng: &mut R,
+        sigma_vth: f64,
+        sigma_beta: f64,
+    ) -> Result<(), oxterm_spice::SpiceError> {
+        use oxterm_rram::params::standard_normal;
+        let dvth = standard_normal(rng) * sigma_vth;
+        let beta = (standard_normal(rng) * sigma_beta).exp();
+        {
+            let m: &mut Mosfet = circuit.device_mut(self.transistor)?;
+            m.set_delta_vth(dvth);
+            m.set_beta_factor(beta);
+        }
+        let params;
+        {
+            let r: &mut OxramCell = circuit.device_mut(self.rram)?;
+            params = *r.params();
+            let d2d = InstanceVariation::sample_d2d(&params, rng);
+            r.set_d2d(d2d);
+        }
+        Ok(())
+    }
+
+    /// Preconditions the RRAM to read as `r_ohms` at `v_read`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`oxterm_spice::SpiceError::NotFound`] for stale handles.
+    pub fn precondition(
+        &self,
+        circuit: &mut Circuit,
+        r_ohms: f64,
+        v_read: f64,
+    ) -> Result<(), oxterm_spice::SpiceError> {
+        let r: &mut OxramCell = circuit.device_mut(self.rram)?;
+        r.precondition_resistance(r_ohms, v_read);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxterm_devices::sources::{SourceWave, VoltageSource};
+    use oxterm_spice::analysis::op::{solve_op, OpOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::bias::{BiasSet, Operation};
+
+    fn read_current(r_precondition: f64, wl_v: f64) -> f64 {
+        let mut c = Circuit::new();
+        let bl = c.node("bl");
+        let wl = c.node("wl");
+        let sl = c.node("sl");
+        let cell = Cell1T1R::build(&mut c, "c0", bl, wl, sl, &CellConfig::paper());
+        cell.precondition(&mut c, r_precondition, 0.3).unwrap();
+        let read = BiasSet::standard(Operation::Read);
+        let vbl = c.add(VoltageSource::new("vbl", bl, Circuit::gnd(), SourceWave::dc(read.bl)));
+        c.add(VoltageSource::new("vwl", wl, Circuit::gnd(), SourceWave::dc(wl_v)));
+        c.add(VoltageSource::new("vsl", sl, Circuit::gnd(), SourceWave::dc(read.sl)));
+        let sol = solve_op(&c, &OpOptions::default()).unwrap();
+        -sol.branch_current(&c, vbl, 0).unwrap()
+    }
+
+    #[test]
+    fn read_current_tracks_cell_resistance() {
+        let i_lrs = read_current(10e3, 2.5);
+        let i_hrs = read_current(200e3, 2.5);
+        assert!(i_lrs > 5.0 * i_hrs, "{i_lrs} vs {i_hrs}");
+        // LRS read current: 0.2 V across ~10 kΩ + transistor ≈ 15 µA.
+        assert!((5e-6..30e-6).contains(&i_lrs), "i_lrs = {i_lrs}");
+    }
+
+    #[test]
+    fn word_line_gates_the_cell() {
+        let on = read_current(10e3, 2.5);
+        let off = read_current(10e3, 0.0);
+        assert!(off < on / 1e3, "off = {off}, on = {on}");
+    }
+
+    #[test]
+    fn d2d_application_changes_devices() {
+        let mut c = Circuit::new();
+        let bl = c.node("bl");
+        let wl = c.node("wl");
+        let sl = c.node("sl");
+        let cell = Cell1T1R::build(&mut c, "c0", bl, wl, sl, &CellConfig::paper());
+        let mut rng = StdRng::seed_from_u64(11);
+        cell.apply_d2d(&mut c, &mut rng, 0.01, 0.02).unwrap();
+        let r: &mut OxramCell = c.device_mut(cell.rram).unwrap();
+        assert_ne!(r.effective_variation(), InstanceVariation::nominal());
+    }
+}

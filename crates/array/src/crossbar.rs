@@ -1,0 +1,199 @@
+//! Selector-less crossbar sneak-path analysis — the paper's §1 motivation.
+//!
+//! The introduction ranks the three density paths: crossbar arrays suffer
+//! "a large amount of leakage current (known as sneak-path current) flowing
+//! through unselected cells …, leading to the limitation of crossbar array
+//! sizes"; MLC raises density "without much change to current
+//! technologies". This module makes that argument quantitative with the
+//! classic worst-case analysis: an `n × n` selector-less crossbar, one
+//! selected cell in HRS, every other cell in LRS (the worst sneak pattern),
+//! read with the floating-line scheme.
+//!
+//! Under the standard lumped treatment the sneak network seen in parallel
+//! with the selected cell is three resistor stages in series:
+//! `(n−1)` parallel LRS cells on the selected word line, `(n−1)²` in the
+//! middle mesh, and `(n−1)` on the selected bit line, giving
+//! `R_sneak ≈ R_LRS·(2/(n−1) + 1/(n−1)²)` — collapsing as the array grows.
+
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+
+/// Result of the worst-case sneak-path analysis for one array size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SneakAnalysis {
+    /// Array dimension `n` (n × n cells).
+    pub n: usize,
+    /// The selected cell's resistance (HRS, worst case for reading) (Ω).
+    pub r_cell: f64,
+    /// Equivalent sneak-path resistance in parallel with it (Ω).
+    pub r_sneak: f64,
+    /// Measured-to-ideal read-resistance ratio `R_eff / R_cell` ∈ (0, 1];
+    /// low values mean the HRS cell reads like an LRS one.
+    pub margin_ratio: f64,
+}
+
+impl SneakAnalysis {
+    /// Whether an HRS cell can still be distinguished from LRS given the
+    /// required read window (e.g. 2.0 = effective resistance must stay
+    /// above `window × R_LRS`).
+    pub fn readable(&self, r_lrs: f64, window: f64) -> bool {
+        let r_eff = 1.0 / (1.0 / self.r_cell + 1.0 / self.r_sneak);
+        r_eff > window * r_lrs
+    }
+}
+
+/// Runs the worst-case analysis for an `n × n` selector-less crossbar with
+/// the calibrated cell's LRS/HRS values.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn worst_case_sneak(params: &OxramParams, n: usize, v_read: f64) -> SneakAnalysis {
+    assert!(n >= 2, "crossbar analysis needs n >= 2");
+    let inst = InstanceVariation::nominal();
+    let r_lrs = oxterm_rram::model::read_resistance(params, &inst, 1.0, v_read);
+    // Worst case: reading the deepest MLC level.
+    let r_cell = oxterm_rram::model::read_resistance(params, &inst, 0.165, v_read);
+    let m = (n - 1) as f64;
+    let r_sneak = r_lrs * (2.0 / m + 1.0 / (m * m));
+    let r_eff = 1.0 / (1.0 / r_cell + 1.0 / r_sneak);
+    SneakAnalysis {
+        n,
+        r_cell,
+        r_sneak,
+        margin_ratio: r_eff / r_cell,
+    }
+}
+
+/// Like [`worst_case_sneak`] but modelling selected-line leakage under
+/// half-bias operation with an explicit cell-nonlinearity factor.
+///
+/// Once line biasing suppresses the mesh term, what remains is the
+/// `2(n−1)` half-selected cells sharing the selected word/bit lines, each
+/// conducting at roughly half the read voltage. `kappa` is
+/// the half-bias conduction ratio `I(V/2) / (I(V)/2)`: 1.0 for a linear
+/// cell, → 0 for a selector-grade nonlinear one. The paper's §1 notes
+/// crossbars "leverage the non-linear relationship between voltage and
+/// resistance of **some** RRAM technologies" — the calibrated HfO2 cell is
+/// nearly linear at read voltages ([`half_bias_kappa`] ≈ 1), which is why
+/// this technology pairs MLC with a 1T-1R array instead.
+pub fn worst_case_sneak_v2(
+    params: &OxramParams,
+    n: usize,
+    v_read: f64,
+    kappa: f64,
+) -> SneakAnalysis {
+    assert!(n >= 2, "crossbar analysis needs n >= 2");
+    assert!(kappa > 0.0, "nonlinearity factor must be positive");
+    let inst = InstanceVariation::nominal();
+    let r_lrs = oxterm_rram::model::read_resistance(params, &inst, 1.0, v_read);
+    let r_cell = oxterm_rram::model::read_resistance(params, &inst, 0.165, v_read);
+    let m = (n - 1) as f64;
+    // 2(n−1) half-selected LRS cells, each conducting κ·I_lin(V/2).
+    let r_sneak = r_lrs / (m * kappa);
+    let r_eff = 1.0 / (1.0 / r_cell + 1.0 / r_sneak);
+    SneakAnalysis {
+        n,
+        r_cell,
+        r_sneak,
+        margin_ratio: r_eff / r_cell,
+    }
+}
+
+/// The calibrated cell's half-bias conduction ratio `I(V/2)/(I(V)/2)` at
+/// the read voltage — ≈1 means linear (no self-selecting behaviour).
+pub fn half_bias_kappa(params: &OxramParams, v_read: f64) -> f64 {
+    let inst = InstanceVariation::nominal();
+    let i_full = oxterm_rram::model::cell_current(params, &inst, v_read, 1.0);
+    let i_half = oxterm_rram::model::cell_current(params, &inst, v_read / 2.0, 1.0);
+    i_half / (i_full / 2.0)
+}
+
+/// The largest `n × n` selector-less crossbar (V/2 scheme, nonlinearity
+/// `kappa`) for which the deepest MLC level still reads above
+/// `window × R_LRS` — the array-size limit the paper's introduction refers
+/// to.
+pub fn max_readable_size(params: &OxramParams, v_read: f64, window: f64, kappa: f64) -> usize {
+    let inst = InstanceVariation::nominal();
+    let r_lrs = oxterm_rram::model::read_resistance(params, &inst, 1.0, v_read);
+    let mut n = 2usize;
+    while n < 1 << 20 {
+        let a = worst_case_sneak_v2(params, n * 2, v_read, kappa);
+        if !a.readable(r_lrs, window) {
+            break;
+        }
+        n *= 2;
+    }
+    // Bisect between n and 2n.
+    let mut lo = n;
+    let mut hi = n * 2;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if worst_case_sneak_v2(params, mid, v_read, kappa).readable(r_lrs, window) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sneak_resistance_collapses_with_size() {
+        let params = OxramParams::calibrated();
+        let small = worst_case_sneak(&params, 8, 0.3);
+        let large = worst_case_sneak(&params, 512, 0.3);
+        assert!(small.r_sneak > 50.0 * large.r_sneak);
+        assert!(large.margin_ratio < small.margin_ratio);
+    }
+
+    #[test]
+    fn this_technology_is_nearly_linear_at_read() {
+        // κ ≈ 1: the calibrated HfO2 cell offers no self-selection — the
+        // §1 rationale for pairing MLC with a 1T-1R array.
+        let kappa = half_bias_kappa(&OxramParams::calibrated(), 0.3);
+        assert!((0.9..=1.05).contains(&kappa), "kappa = {kappa}");
+    }
+
+    #[test]
+    fn nonlinearity_buys_array_size() {
+        let params = OxramParams::calibrated();
+        let linear = max_readable_size(&params, 0.3, 2.0, 1.0);
+        let ten_x = max_readable_size(&params, 0.3, 2.0, 0.1);
+        let selector_grade = max_readable_size(&params, 0.3, 2.0, 0.01);
+        // Monotone growth with nonlinearity, an order of magnitude per
+        // decade of κ once off the n = 2 floor.
+        assert!(linear <= ten_x && ten_x < selector_grade);
+        assert!(
+            selector_grade >= 8 * ten_x,
+            "κ decade must buy ~10×: {ten_x} vs {selector_grade}"
+        );
+        // A linear cell supports essentially no selector-less array — the
+        // §1 statement about this technology class.
+        assert!(linear < 8, "linear-cell crossbars are tiny: {linear}");
+        // Even selector-grade stays far below the paper's 1024-line 1T-1R.
+        assert!(selector_grade < 1024);
+    }
+
+    #[test]
+    fn sneak_models_agree_on_the_verdict() {
+        // Floating-line and selected-line-leakage approximations differ in
+        // detail but must agree that a 64×64 linear-cell array is
+        // unreadable.
+        let params = OxramParams::calibrated();
+        let inst = InstanceVariation::nominal();
+        let r_lrs = oxterm_rram::model::read_resistance(&params, &inst, 1.0, 0.3);
+        let kappa = half_bias_kappa(&params, 0.3);
+        assert!(!worst_case_sneak(&params, 64, 0.3).readable(r_lrs, 2.0));
+        assert!(!worst_case_sneak_v2(&params, 64, 0.3, kappa).readable(r_lrs, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn degenerate_size_rejected() {
+        worst_case_sneak(&OxramParams::calibrated(), 1, 0.3);
+    }
+}

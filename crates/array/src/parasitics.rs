@@ -1,0 +1,162 @@
+//! Bit-line / word-line parasitic models.
+//!
+//! The paper evaluates its scheme "on large memory arrays" by modelling BL
+//! and WL lengths to mimic a 1 KByte array (1024 WLs × 1024 BLs): a 1 pF
+//! bit-line capacitance plus distributed line resistance following the
+//! 10 Ω/µm (50 nm copper wire) figure it cites.
+
+use oxterm_devices::passive::{Capacitor, Resistor};
+use oxterm_spice::circuit::{Circuit, NodeId};
+
+/// Lumped-equivalent parasitics of one array line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineParasitics {
+    /// Total line resistance (Ω).
+    pub r_total: f64,
+    /// Total line capacitance (F).
+    pub c_bl_total: f64,
+    /// Number of RC π-segments used when instantiating.
+    pub segments: usize,
+}
+
+impl LineParasitics {
+    /// The paper's 1 KByte-array equivalent: 1 pF bit line, 10 Ω/µm wire,
+    /// 1024 cells at a ~0.3 µm pitch ⇒ ≈3 kΩ end-to-end, modelled with a
+    /// handful of π-segments.
+    pub fn kilobyte_array() -> Self {
+        LineParasitics {
+            r_total: 3.0e3,
+            c_bl_total: 1.0e-12,
+            segments: 4,
+        }
+    }
+
+    /// A short line for the 8×8 elementary tile (negligible but nonzero).
+    pub fn tile_8x8() -> Self {
+        LineParasitics {
+            r_total: 25.0,
+            c_bl_total: 10e-15,
+            segments: 2,
+        }
+    }
+
+    /// Scales the resistance (parasitic sweep ablation).
+    #[must_use]
+    pub fn with_r_total(self, r_total: f64) -> Self {
+        LineParasitics { r_total, ..self }
+    }
+
+    /// Scales the capacitance (parasitic sweep ablation).
+    #[must_use]
+    pub fn with_c_total(self, c_bl_total: f64) -> Self {
+        LineParasitics {
+            c_bl_total,
+            ..self
+        }
+    }
+
+    /// Instantiates the line between `driver_end` and `far_end` as a chain
+    /// of RC π-segments; returns the intermediate nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0`.
+    pub fn build(
+        &self,
+        circuit: &mut Circuit,
+        name: &str,
+        driver_end: NodeId,
+        far_end: NodeId,
+    ) -> Vec<NodeId> {
+        assert!(self.segments > 0, "line needs at least one segment");
+        let n = self.segments;
+        let r_seg = self.r_total / n as f64;
+        let c_seg = self.c_bl_total / n as f64;
+        let mut nodes = Vec::with_capacity(n - 1);
+        let mut prev = driver_end;
+        for k in 0..n {
+            let next = if k == n - 1 {
+                far_end
+            } else {
+                let node = circuit.internal_node(&format!("{name}_seg{k}"));
+                nodes.push(node);
+                node
+            };
+            circuit.add(Resistor::new(format!("{name}_r{k}"), prev, next, r_seg));
+            circuit.add(Capacitor::new(
+                format!("{name}_c{k}"),
+                next,
+                Circuit::gnd(),
+                c_seg,
+            ));
+            prev = next;
+        }
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxterm_devices::sources::{SourceWave, VoltageSource};
+    use oxterm_spice::analysis::op::{solve_op, OpOptions};
+    use oxterm_spice::analysis::tran::{run_transient, TranOptions};
+
+    #[test]
+    fn dc_resistance_adds_up() {
+        let mut c = Circuit::new();
+        let near = c.node("near");
+        let far = c.node("far");
+        LineParasitics::kilobyte_array().build(&mut c, "bl", near, far);
+        let vs = c.add(VoltageSource::new(
+            "v1",
+            near,
+            Circuit::gnd(),
+            SourceWave::dc(1.0),
+        ));
+        c.add(Resistor::new("load", far, Circuit::gnd(), 7e3));
+        let sol = solve_op(&c, &OpOptions::default()).unwrap();
+        // Divider: 7k / (3k + 7k).
+        assert!((sol.v(far) - 0.7).abs() < 1e-6);
+        let i = -sol.branch_current(&c, vs, 0).unwrap();
+        assert!((i - 1e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_delay_is_rc_scale() {
+        let mut c = Circuit::new();
+        let near = c.node("near");
+        let far = c.node("far");
+        let line = LineParasitics::kilobyte_array();
+        line.build(&mut c, "bl", near, far);
+        c.add(VoltageSource::new(
+            "v1",
+            near,
+            Circuit::gnd(),
+            SourceWave::step(1.0, 1e-10),
+        ));
+        let opts = TranOptions {
+            dt_max: Some(0.1e-9),
+            ..TranOptions::for_duration(60e-9)
+        };
+        let res = run_transient(&mut c, &opts, &mut []).unwrap();
+        let w = res.node_trace(far);
+        let t50 = w
+            .first_crossing(0.5, oxterm_spice::waveform::CrossDir::Rising)
+            .expect("line settles");
+        // Elmore-ish delay for the distributed line ≈ 0.5·R·C = 1.5 ns.
+        assert!(
+            (0.3e-9..6e-9).contains(&t50),
+            "t50 = {t50:.3e} (expected ~1.5 ns)"
+        );
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        let base = LineParasitics::kilobyte_array();
+        let heavy = base.with_c_total(2e-12).with_r_total(6e3);
+        assert_eq!(heavy.c_bl_total, 2e-12);
+        assert_eq!(heavy.r_total, 6e3);
+        assert_eq!(heavy.segments, base.segments);
+    }
+}

@@ -1,0 +1,131 @@
+//! Circuit-level read path: bias a tile row and measure per-column read
+//! currents through the real access transistors and line parasitics.
+//!
+//! The paper's READ (Fig 9) compares the cell current at `VRead` against
+//! reference currents. This module produces that cell current the honest
+//! way — from a DC operating point of the full tile — so sense-amplifier
+//! design questions (how much current is really available after the access
+//! device and wiring?) can be answered.
+
+use oxterm_devices::sources::{SourceWave, VoltageSource};
+use oxterm_spice::analysis::op::{solve_op, OpOptions};
+use oxterm_spice::circuit::Circuit;
+use oxterm_spice::SpiceError;
+
+use crate::array::TileArray;
+use crate::bias::{BiasSet, Operation};
+
+/// Result of reading one row of a tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowRead {
+    /// The row that was selected.
+    pub row: usize,
+    /// Measured bit-line current per column (A), positive into the array.
+    pub i_bl: Vec<f64>,
+    /// The read bias used.
+    pub bias: BiasSet,
+}
+
+/// Biases the tile for a READ of `row` and measures every column's
+/// bit-line current at the DC operating point.
+///
+/// Adds the bias sources to the circuit (callers typically build a fresh
+/// circuit per read; source names are `read_vbl{k}` / `read_vwl{k}` /
+/// `read_vsl{k}`).
+///
+/// # Errors
+///
+/// * [`SpiceError::NotFound`] if `row` is out of range,
+/// * solver errors if the operating point fails.
+pub fn read_row(
+    circuit: &mut Circuit,
+    tile: &TileArray,
+    row: usize,
+    v_read: f64,
+) -> Result<RowRead, SpiceError> {
+    if row >= tile.wl.len() {
+        return Err(SpiceError::NotFound {
+            what: format!("row {row} of a {}-row tile", tile.wl.len()),
+        });
+    }
+    let bias = BiasSet {
+        bl: v_read,
+        ..BiasSet::standard(Operation::Read)
+    };
+    let mut bl_sources = Vec::with_capacity(tile.bl.len());
+    for (k, &bl) in tile.bl.iter().enumerate() {
+        bl_sources.push(circuit.add(VoltageSource::new(
+            format!("read_vbl{k}"),
+            bl,
+            Circuit::gnd(),
+            SourceWave::dc(bias.bl),
+        )));
+    }
+    for (k, &wl) in tile.wl.iter().enumerate() {
+        let level = if k == row { bias.wl } else { 0.0 };
+        circuit.add(VoltageSource::new(
+            format!("read_vwl{k}"),
+            wl,
+            Circuit::gnd(),
+            SourceWave::dc(level),
+        ));
+    }
+    for (k, &sl) in tile.sl.iter().enumerate() {
+        circuit.add(VoltageSource::new(
+            format!("read_vsl{k}"),
+            sl,
+            Circuit::gnd(),
+            SourceWave::dc(bias.sl),
+        ));
+    }
+    let sol = solve_op(circuit, &OpOptions::default())?;
+    let i_bl = bl_sources
+        .iter()
+        .map(|&id| sol.branch_current(circuit, id, 0).map(|i| -i))
+        .collect::<Result<Vec<f64>, _>>()?;
+    Ok(RowRead { row, i_bl, bias })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{ArrayConfig, TileArray};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_by_two() -> (Circuit, TileArray) {
+        let mut c = Circuit::new();
+        let mut rng = StdRng::seed_from_u64(0x8EAD);
+        let mut config = ArrayConfig {
+            rows: 2,
+            cols: 2,
+            ..ArrayConfig::tile_8x8()
+        };
+        config.sigma_vth = 1e-4;
+        config.sigma_beta = 1e-3;
+        let tile = TileArray::build(&mut c, &config, &mut rng);
+        (c, tile)
+    }
+
+    #[test]
+    fn row_read_separates_lrs_from_hrs() {
+        let (mut c, tile) = two_by_two();
+        tile.cells[0][0].precondition(&mut c, 12e3, 0.3).expect("fresh");
+        tile.cells[0][1].precondition(&mut c, 250e3, 0.3).expect("fresh");
+        tile.cells[1][0].precondition(&mut c, 12e3, 0.3).expect("fresh");
+        tile.cells[1][1].precondition(&mut c, 12e3, 0.3).expect("fresh");
+        let read = read_row(&mut c, &tile, 0, 0.3).expect("converges");
+        assert!(read.i_bl[0] > 4.0 * read.i_bl[1], "{:?}", read.i_bl);
+        // Column 0's LRS current is µA-scale through the access device.
+        assert!((3e-6..40e-6).contains(&read.i_bl[0]));
+    }
+
+    #[test]
+    fn out_of_range_row_rejected() {
+        let (mut c, tile) = two_by_two();
+        assert!(matches!(
+            read_row(&mut c, &tile, 5, 0.3),
+            Err(SpiceError::NotFound { .. })
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion benches for the Monte Carlo engine: serial vs parallel
+//! throughput on the real per-run workload (one terminated RESET).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use oxterm_mc::engine::MonteCarlo;
+use oxterm_rram::calib::{simulate_reset_termination, ResetConditions};
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+
+fn bench_mc_scaling(c: &mut Criterion) {
+    let params = OxramParams::calibrated();
+    let mut group = c.benchmark_group("mc_scaling_64_runs");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    let mc = MonteCarlo::new(64, 1).with_threads(threads);
+                    let out = mc.run(|_, rng| {
+                        let inst = InstanceVariation::sample_c2c(&params, rng);
+                        simulate_reset_termination(
+                            &params,
+                            &inst,
+                            &ResetConditions::paper_defaults(20e-6),
+                        )
+                        .expect("terminates")
+                        .r_read_ohms
+                    });
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc_scaling);
+criterion_main!(benches);

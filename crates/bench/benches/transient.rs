@@ -1,0 +1,50 @@
+//! Criterion benches for the circuit-level transient engine: an RC ladder
+//! (linear) and the full terminated 1T-1R program (nonlinear, the Fig 10
+//! workload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use oxterm_devices::passive::{Capacitor, Resistor};
+use oxterm_devices::sources::{SourceWave, VoltageSource};
+use oxterm_mlc::program::{program_cell_circuit, CircuitProgramOptions};
+use oxterm_spice::analysis::tran::{run_transient, TranOptions};
+use oxterm_spice::circuit::Circuit;
+
+fn bench_rc_ladder(c: &mut Criterion) {
+    c.bench_function("tran_rc_ladder_20", |bench| {
+        bench.iter(|| {
+            let mut ckt = Circuit::new();
+            let src = ckt.node("src");
+            ckt.add(VoltageSource::new(
+                "v1",
+                src,
+                Circuit::gnd(),
+                SourceWave::step(1.0, 1e-9),
+            ));
+            let mut prev = src;
+            for k in 0..20 {
+                let node = ckt.node(&format!("n{k}"));
+                ckt.add(Resistor::new(format!("r{k}"), prev, node, 100.0));
+                ckt.add(Capacitor::new(format!("c{k}"), node, Circuit::gnd(), 1e-12));
+                prev = node;
+            }
+            let opts = TranOptions::for_duration(100e-9);
+            black_box(run_transient(&mut ckt, &opts, &mut []).expect("linear circuit"))
+        })
+    });
+}
+
+fn bench_terminated_program(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_program");
+    group.sample_size(10);
+    group.bench_function("fig10_terminated_10ua", |bench| {
+        bench.iter(|| {
+            let opts = CircuitProgramOptions::paper_fig10();
+            black_box(program_cell_circuit(&opts, Some(10e-6)).expect("converges"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rc_ladder, bench_terminated_program);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation — compact-model sensitivity: the calibrated exponential/Joule
+//! model vs a deliberately different threshold-switching model, both run
+//! through the identical termination loop.
+//!
+//! Separates the reproduction's claims into model-robust (the Table 2
+//! allocation — pinned by conduction at the termination point) and
+//! model-dependent (latency/energy profiles — set by the dynamics law the
+//! paper calibrated on silicon).
+
+use oxterm_bench::table::{eng, Table};
+use oxterm_rram::calib::{simulate_reset_termination, ResetConditions};
+use oxterm_rram::model_threshold::{simulate_reset_termination_threshold, ThresholdParams};
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+
+fn main() {
+    println!("== Ablation: calibrated model vs threshold-switching model ==\n");
+    let ox = OxramParams::calibrated();
+    let th = ThresholdParams::comparable_defaults();
+    let inst = InstanceVariation::nominal();
+
+    let mut t = Table::new(&[
+        "IrefR (µA)",
+        "R exp-model",
+        "R threshold",
+        "ΔR (%)",
+        "lat exp",
+        "lat threshold",
+    ]);
+    let mut worst_dr: f64 = 0.0;
+    let mut lat_ratios = Vec::new();
+    for k in 0..16 {
+        let i_ua = 6.0 + 2.0 * k as f64;
+        let cond = ResetConditions::paper_defaults(i_ua * 1e-6);
+        let a = simulate_reset_termination(&ox, &inst, &cond).expect("terminates");
+        match simulate_reset_termination_threshold(
+            &ox,
+            &th,
+            &inst,
+            cond.v_drive,
+            cond.r_series,
+            i_ua * 1e-6,
+            2e-9,
+            200e-6,
+        ) {
+            Ok(b) => {
+                let dr = (b.r_read_ohms / a.r_read_ohms - 1.0) * 100.0;
+                worst_dr = worst_dr.max(dr.abs());
+                lat_ratios.push(b.latency_s / a.latency_s);
+                t.row_strings(vec![
+                    format!("{i_ua:.0}"),
+                    eng(a.r_read_ohms, "Ω"),
+                    eng(b.r_read_ohms, "Ω"),
+                    format!("{dr:+.1}"),
+                    eng(a.latency_s, "s"),
+                    eng(b.latency_s, "s"),
+                ]);
+            }
+            Err(e) => t.row_strings(vec![
+                format!("{i_ua:.0}"),
+                eng(a.r_read_ohms, "Ω"),
+                format!("{e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    println!("{}", t.render());
+    println!("worst programmed-resistance disagreement: {worst_dr:.1} %");
+    if !lat_ratios.is_empty() {
+        let lo = lat_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = lat_ratios.iter().cloned().fold(0.0f64, f64::max);
+        println!("latency ratio (threshold/exp) ranges {lo:.2}×–{hi:.2}×");
+    }
+    println!("\nreading: the allocation (Table 2) is a property of the *termination*");
+    println!("mechanism, robust to the dynamics law; latency and energy shapes belong");
+    println!("to the device physics and require the silicon-calibrated model.");
+}

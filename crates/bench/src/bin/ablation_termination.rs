@@ -1,0 +1,146 @@
+//! Ablation — behavioral vs transistor-level write termination.
+//!
+//! The behavioral monitor is an ideal comparator; the transistor-level
+//! stage (Fig 7a mirrors + inverter) adds mirror inaccuracy, a finite trip
+//! threshold, and comparator delay. This ablation programs the same levels
+//! through both and reports the placement difference — quantifying how much
+//! of the paper's accuracy budget the real circuit consumes.
+
+use oxterm_array::cell::{Cell1T1R, CellConfig};
+use oxterm_bench::table::{eng, Table};
+use oxterm_devices::sources::{SourceWave, VoltageSource};
+use oxterm_mlc::program::{program_cell_circuit, CircuitProgramOptions};
+use oxterm_mlc::termination::{TerminationCircuit, TerminationSizing};
+use oxterm_rram::cell::OxramCell;
+use oxterm_rram::params::InstanceVariation;
+use oxterm_spice::analysis::tran::{run_transient, MonitorAction, TranOptions};
+use oxterm_spice::circuit::Circuit;
+
+/// Programs one cell through the transistor-level termination stage.
+fn transistor_level(i_ref: f64) -> Result<(f64, Option<f64>, f64), Box<dyn std::error::Error>> {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let sl = c.node("sl");
+    let wl = c.node("wl");
+    let bl = c.node("bl");
+    let config = CellConfig::paper();
+    let cell = Cell1T1R::build(&mut c, "c0", bl, wl, sl, &config);
+    {
+        let r: &mut OxramCell = c.device_mut(cell.rram)?;
+        r.set_rho_init(1.0);
+    }
+    let term = TerminationCircuit::build(&mut c, "t0", bl, vdd, i_ref, &TerminationSizing::default());
+    c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+    // WL boosted to the rail: the SL headroom for the termination stage
+    // (M1 diode drop) would otherwise pinch the access transistor off —
+    // the paper's 2.5 V WL pairs with its 1.2 V SL.
+    c.add(VoltageSource::new("vwl", wl, Circuit::gnd(), SourceWave::dc(3.3)));
+    // The SL driver needs headroom for the M1 gate-source drop (~0.75 V at
+    // these currents) so the cell sees the same bias as the behavioral
+    // path.
+    let vsl = c.add(VoltageSource::new(
+        "vsl",
+        sl,
+        Circuit::gnd(),
+        SourceWave::pulse(1.95, 20e-9, 10e-9, 8.0e-6, 10e-9),
+    ));
+
+    let out_node = term.out;
+    let mut armed = false;
+    let mut chopped: Option<f64> = None;
+    let mut trip_current = 0.0f64;
+    let sense_cell = cell.rram;
+    let mut monitor = |sample: &oxterm_spice::analysis::tran::TranSample<'_>,
+                       circuit: &mut Circuit|
+     -> MonitorAction {
+        let v_out = sample.solution.v(out_node);
+        if let Some(tc) = chopped {
+            return if sample.time > tc + 100e-9 {
+                MonitorAction::Stop
+            } else {
+                MonitorAction::Continue
+            };
+        }
+        if !armed {
+            if v_out > 2.6 {
+                armed = true;
+            }
+            return MonitorAction::Continue;
+        }
+        if v_out < 1.65 {
+            chopped = Some(sample.time);
+            // Record the cell current at the trip for accuracy reporting.
+            if let Ok(u) = circuit.branch_unknown(
+                circuit.find_device("vsl").expect("exists"),
+                0,
+            ) {
+                trip_current = sample.solution.as_slice()[u].abs();
+            }
+            if let Ok(vs) = circuit.device_mut::<VoltageSource>(vsl) {
+                vs.force_end_at(sample.time, 0.0, 5e-9);
+            }
+        }
+        let _ = sense_cell;
+        MonitorAction::Continue
+    };
+
+    let opts = TranOptions {
+        dt_max: Some(10e-9),
+        ..TranOptions::for_duration(8.2e-6)
+    };
+    let result = run_transient(&mut c, &opts, &mut [&mut monitor])?;
+    let rho = result.state_trace(&c, cell.rram, 0)?.last();
+    let r = oxterm_rram::model::read_resistance(
+        &config.oxram,
+        &InstanceVariation::nominal(),
+        rho,
+        0.3,
+    );
+    let latency = chopped.map(|t| t - 20e-9);
+    Ok((r, latency, trip_current))
+}
+
+fn main() {
+    println!("== Ablation: behavioral vs transistor-level termination ==\n");
+    let mut t = Table::new(&[
+        "IrefR (µA)",
+        "R behavioral",
+        "R transistor",
+        "shift (%)",
+        "lat behavioral",
+        "lat transistor",
+        "trip I",
+    ]);
+    for i_ua in [6.0, 10.0, 20.0, 36.0] {
+        let i_ref = i_ua * 1e-6;
+        let beh = program_cell_circuit(&CircuitProgramOptions::paper_fig10(), Some(i_ref))
+            .expect("behavioral path converges");
+        match transistor_level(i_ref) {
+            Ok((r, lat, trip)) => {
+                t.row_strings(vec![
+                    format!("{i_ua:.0}"),
+                    eng(beh.r_read_ohms, "Ω"),
+                    eng(r, "Ω"),
+                    format!("{:+.1}", (r / beh.r_read_ohms - 1.0) * 100.0),
+                    beh.latency_s.map_or("—".into(), |l| eng(l, "s")),
+                    lat.map_or("did not fire".into(), |l| eng(l, "s")),
+                    eng(trip, "A"),
+                ]);
+            }
+            Err(e) => t.row_strings(vec![
+                format!("{i_ua:.0}"),
+                eng(beh.r_read_ohms, "Ω"),
+                format!("failed: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    println!("{}", t.render());
+    println!("reading: the mirror+inverter comparator trips near (not exactly at) IrefR");
+    println!("and adds delay; the resulting level shift is the circuit's contribution to");
+    println!("the margin budget — small against the 2.1 kΩ worst-case margin, which is");
+    println!("the paper's implicit claim in proposing a dozen-transistor implementation.");
+}

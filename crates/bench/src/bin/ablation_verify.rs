@@ -1,0 +1,74 @@
+//! Ablation — write termination vs program-and-verify (the prior-art MLC
+//! approach the paper's introduction criticizes as "energy and time
+//! inefficient").
+
+use oxterm_bench::table::{eng, Table};
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::program::{program_cell_fast, ProgramConditions};
+use oxterm_mlc::verify_baseline::{program_and_verify, VerifyConfig};
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+
+fn main() {
+    println!("== Ablation: write termination vs program-and-verify ==\n");
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let alloc = LevelAllocation::paper_qlc();
+    let cond = ProgramConditions::paper();
+    let vcfg = VerifyConfig::typical();
+
+    let mut t = Table::new(&[
+        "state",
+        "term latency",
+        "P&V latency",
+        "term energy",
+        "P&V energy",
+        "P&V steps",
+    ]);
+    let mut term_lat = 0.0;
+    let mut pv_lat = 0.0;
+    let mut term_e = 0.0;
+    let mut pv_e = 0.0;
+    let mut n_ok = 0usize;
+    for code in 0..16u16 {
+        let term = program_cell_fast(&params, &inst, &alloc, code, &cond)
+            .expect("level programmable");
+        match program_and_verify(&params, &inst, &alloc, code, term.r_read_ohms, &vcfg) {
+            Ok(pv) => {
+                term_lat += term.latency_s;
+                pv_lat += pv.latency_s;
+                term_e += term.energy_j + term.set_energy_j;
+                pv_e += pv.energy_j;
+                n_ok += 1;
+                t.row_strings(vec![
+                    format!("{code:04b}"),
+                    eng(term.latency_s, "s"),
+                    eng(pv.latency_s, "s"),
+                    eng(term.energy_j + term.set_energy_j, "J"),
+                    eng(pv.energy_j, "J"),
+                    format!("{}p+{}v", pv.pulses, pv.verifies),
+                ]);
+            }
+            Err(e) => {
+                t.row_strings(vec![format!("{code:04b}"), "—".into(), format!("P&V failed: {e}"), String::new(), String::new(), String::new()]);
+            }
+        }
+    }
+    println!("{}", t.render());
+    if n_ok > 0 {
+        let n = n_ok as f64;
+        println!(
+            "averages over {n_ok} states: latency {} vs {} ({:.1}× slower with P&V)",
+            eng(term_lat / n, "s"),
+            eng(pv_lat / n, "s"),
+            pv_lat / term_lat
+        );
+        println!(
+            "                          energy  {} vs {} ({:.1}× with P&V)",
+            eng(term_e / n, "J"),
+            eng(pv_e / n, "J"),
+            pv_e / term_e
+        );
+    }
+    println!("\npaper's claim under test: verify loops cost a sequence of program-and-");
+    println!("verify operations per cell, while the termination lands in one shot.");
+}

@@ -1,0 +1,49 @@
+//! Fig 9 — MLC allocation strategy and READ reference placement: the I–V
+//! plane segmented by the 16 state slopes, with the 15 read reference
+//! currents placed between adjacent states.
+
+use oxterm_bench::table::{eng, Table};
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::read::MlcReader;
+use oxterm_rram::params::OxramParams;
+
+fn main() {
+    println!("== Fig 9: state slopes and read reference currents (VRead = 0.3 V) ==\n");
+    let alloc = LevelAllocation::paper_qlc();
+    let reader = MlcReader::from_allocation(&alloc, &OxramParams::calibrated(), 0.3);
+
+    let mut t = Table::new(&[
+        "state",
+        "R nominal",
+        "slope 1/R (µS)",
+        "I @ 0.3 V",
+        "IRef below",
+    ]);
+    let n = alloc.n_levels();
+    for code in 0..n {
+        let r = reader.nominal_resistances()[code];
+        let i = reader.nominal_currents()[code];
+        let ref_below = if code < n - 1 {
+            eng(reader.reference_currents()[code], "A")
+        } else {
+            "—".to_string()
+        };
+        t.row_strings(vec![
+            format!("{code:04b}"),
+            eng(r, "Ω"),
+            format!("{:.2}", 1e6 / r),
+            eng(i, "A"),
+            ref_below,
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "16 states ⇒ {} reference currents; every IRef sits strictly between \
+         its neighbours' read currents.",
+        reader.reference_currents().len()
+    );
+    println!(
+        "max read current: {} (paper bounds the window at 38 kΩ to stay below 8 µA)",
+        eng(reader.max_read_current(), "A")
+    );
+}

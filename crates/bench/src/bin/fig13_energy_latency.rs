@@ -1,0 +1,95 @@
+//! Fig 13 — energy/cell and RESET latency box plots across the 16
+//! compliance currents (500 MC runs).
+//!
+//! Paper anchors: max energy ≈ 150 pJ at 6 µA, average 25 pJ/cell; max
+//! latency 4.01 µs at 6 µA, average 1.65 µs; SET adds ~20 pJ and its ~100 ns
+//! pulse is excluded from the latency numbers.
+
+use oxterm_bench::campaigns::paper_qlc_campaign;
+use oxterm_bench::chart::boxplot_row;
+use oxterm_bench::table::{eng, Table};
+use oxterm_numerics::stats::{box_stats, summary};
+
+fn main() {
+    let runs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    println!("== Fig 13: energy/cell and RST latency, {runs} MC runs × 16 levels ==\n");
+    let campaign = paper_qlc_campaign(runs);
+
+    let mut all_energy = Vec::new();
+    let mut all_latency = Vec::new();
+    let mut t = Table::new(&[
+        "IrefR (µA)",
+        "E median",
+        "E max",
+        "lat median",
+        "lat max",
+    ]);
+    let mut e_rows = Vec::new();
+    let mut l_rows = Vec::new();
+    for lc in &campaign {
+        let e = lc.energies();
+        let l = lc.latencies();
+        let be = box_stats(&e).expect("populated");
+        let bl = box_stats(&l).expect("populated");
+        let label = format!("{:>2.0} µA", lc.spec.i_ref * 1e6);
+        e_rows.push((label.clone(), be.clone()));
+        l_rows.push((label, bl.clone()));
+        t.row_strings(vec![
+            format!("{:.0}", lc.spec.i_ref * 1e6),
+            eng(be.median, "J"),
+            eng(e.iter().cloned().fold(0.0, f64::max), "J"),
+            eng(bl.median, "s"),
+            eng(l.iter().cloned().fold(0.0, f64::max), "s"),
+        ]);
+        all_energy.extend(e);
+        all_latency.extend(l);
+    }
+    println!("{}", t.render());
+
+    let e_hi = all_energy.iter().cloned().fold(0.0f64, f64::max);
+    println!("Fig 13a: energy/cell box plots (scale 0 … {}):", eng(e_hi, "J"));
+    for (label, b) in e_rows.iter().rev() {
+        println!("{}", boxplot_row(label, b, 0.0, e_hi, 60));
+    }
+    let l_hi = all_latency.iter().cloned().fold(0.0f64, f64::max);
+    println!("\nFig 13b: RST latency box plots (scale 0 … {}):", eng(l_hi, "s"));
+    for (label, b) in l_rows.iter().rev() {
+        println!("{}", boxplot_row(label, b, 0.0, l_hi, 60));
+    }
+
+    let e_summary = summary(&all_energy).expect("populated");
+    let l_summary = summary(&all_latency).expect("populated");
+    let set_energy = campaign
+        .iter()
+        .flat_map(|lc| lc.outcomes.iter().map(|o| o.set_energy_j))
+        .sum::<f64>()
+        / (campaign.len() * runs) as f64;
+    println!("\npaper vs measured:");
+    println!(
+        "  avg RST energy/cell : paper 25 pJ      measured {}",
+        eng(e_summary.mean, "J")
+    );
+    println!(
+        "  max RST energy/cell : paper ~150 pJ    measured {} (at 6 µA)",
+        eng(e_hi, "J")
+    );
+    println!(
+        "  avg RST latency     : paper 1.65 µs    measured {}",
+        eng(l_summary.mean, "s")
+    );
+    println!(
+        "  max RST latency     : paper 4.01 µs    measured {} (at 6 µA)",
+        eng(l_hi, "s")
+    );
+    println!(
+        "  avg SET energy/cell : paper ~20 pJ     measured {}",
+        eng(set_energy, "J")
+    );
+    println!(
+        "  worst-case SET+RST  : paper ~175 pJ    measured {}",
+        eng(e_hi + set_energy, "J")
+    );
+}

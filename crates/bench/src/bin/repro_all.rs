@@ -1,0 +1,190 @@
+//! One-shot reproduction checklist: runs a reduced-size version of every
+//! experiment and prints a pass/fail summary against the paper's anchors.
+//!
+//! ```text
+//! cargo run --release -p oxterm-bench --bin repro_all [mc_runs]
+//! ```
+//!
+//! Full-size artifacts come from the individual binaries; this target
+//! exists so one command demonstrates the whole reproduction end to end.
+
+use oxterm_array::cycling::{cycle_array, CyclingConfig};
+use oxterm_bench::campaigns::mc_campaign;
+use oxterm_bench::table::{eng, Table};
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::margins::analyze;
+use oxterm_mlc::program::{program_cell_circuit, CircuitProgramOptions};
+use oxterm_mlc::projection::{project, ProjectionConfig};
+use oxterm_rram::calib::{simulate_reset_termination, CalibrationTarget, ResetConditions};
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Check {
+    name: &'static str,
+    paper: String,
+    measured: String,
+    pass: bool,
+}
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    println!("== oxterm reproduction checklist ({runs} MC runs where applicable) ==\n");
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let alloc = LevelAllocation::paper_qlc();
+    let mut checks: Vec<Check> = Vec::new();
+
+    // Table 2 anchors.
+    let mut worst_err: f64 = 0.0;
+    for (i_ua, r_kohm) in CalibrationTarget::paper().allocation {
+        if let Ok(out) = simulate_reset_termination(
+            &params,
+            &inst,
+            &ResetConditions::paper_defaults(i_ua * 1e-6),
+        ) {
+            worst_err = worst_err.max((out.r_read_ohms / (r_kohm * 1e3) - 1.0).abs());
+        }
+    }
+    checks.push(Check {
+        name: "Table 2: 16 IrefR→RHRS anchors",
+        paper: "38.17–267 kΩ".into(),
+        measured: format!("worst err {:.1} %", worst_err * 100.0),
+        pass: worst_err < 0.06,
+    });
+
+    // Fig 10 anchors (circuit level).
+    let fig10 = program_cell_circuit(&CircuitProgramOptions::paper_fig10(), Some(10e-6));
+    match fig10 {
+        Ok(out) => {
+            let lat = out.latency_s.unwrap_or(f64::NAN);
+            checks.push(Check {
+                name: "Fig 10: terminated RST @ 10 µA",
+                paper: "152 kΩ / 2.6 µs".into(),
+                measured: format!("{} / {}", eng(out.r_read_ohms, "Ω"), eng(lat, "s")),
+                pass: (100e3..250e3).contains(&out.r_read_ohms) && (1.5e-6..4.5e-6).contains(&lat),
+            });
+        }
+        Err(e) => checks.push(Check {
+            name: "Fig 10: terminated RST @ 10 µA",
+            paper: "152 kΩ / 2.6 µs".into(),
+            measured: format!("FAILED: {e}"),
+            pass: false,
+        }),
+    }
+
+    // Fig 11/12: margins from a reduced campaign.
+    let campaign = mc_campaign(&params, &alloc, runs, 0xA11);
+    let samples: Vec<_> = campaign.iter().map(|c| c.to_level_samples()).collect();
+    match analyze(&samples) {
+        Ok(report) => {
+            checks.push(Check {
+                name: "Fig 11: worst-case margin, no overlap",
+                paper: "2.1 kΩ, none".into(),
+                measured: format!(
+                    "{}, {}",
+                    eng(report.worst_case_margin(), "Ω"),
+                    if report.has_overlap() { "OVERLAP" } else { "none" }
+                ),
+                pass: !report.has_overlap() && report.worst_case_margin() > 1e3,
+            });
+            let s_lo = report.levels.last().map(|l| l.std_dev).unwrap_or(0.0);
+            let s_hi = report.levels.first().map(|l| l.std_dev).unwrap_or(1.0);
+            checks.push(Check {
+                name: "Fig 12: σ grows toward low IrefR",
+                paper: "strong growth".into(),
+                measured: format!("{:.1}× from 36 µA to 6 µA", s_lo / s_hi),
+                pass: s_lo > 5.0 * s_hi,
+            });
+        }
+        Err(e) => checks.push(Check {
+            name: "Fig 11/12",
+            paper: "margins".into(),
+            measured: format!("FAILED: {e}"),
+            pass: false,
+        }),
+    }
+
+    // Fig 13: averages.
+    let all_e: Vec<f64> = campaign.iter().flat_map(|c| c.energies()).collect();
+    let all_l: Vec<f64> = campaign.iter().flat_map(|c| c.latencies()).collect();
+    let avg_e = all_e.iter().sum::<f64>() / all_e.len() as f64;
+    let avg_l = all_l.iter().sum::<f64>() / all_l.len() as f64;
+    checks.push(Check {
+        name: "Fig 13: avg RST energy / latency",
+        paper: "25 pJ / 1.65 µs".into(),
+        measured: format!("{} / {}", eng(avg_e, "J"), eng(avg_l, "s")),
+        pass: (15e-12..60e-12).contains(&avg_e) && (0.8e-6..2.5e-6).contains(&avg_l),
+    });
+
+    // Table 3: 5-bit projection.
+    match project(&params, &ProjectionConfig::paper(5, runs, 0xA13)) {
+        Ok(row) => checks.push(Check {
+            name: "Table 3: 5-bit min ΔR",
+            paper: "1.24 kΩ".into(),
+            measured: eng(row.min_nominal_margin, "Ω"),
+            pass: (0.8e3..1.8e3).contains(&row.min_nominal_margin),
+        }),
+        Err(e) => checks.push(Check {
+            name: "Table 3: 5-bit projection",
+            paper: "1.24 kΩ".into(),
+            measured: format!("FAILED: {e}"),
+            pass: false,
+        }),
+    }
+
+    // Fig 3: distribution shapes from a reduced cycling campaign.
+    let mut rng = StdRng::seed_from_u64(0xA03);
+    let cyc = CyclingConfig {
+        n_cells: 16,
+        n_cycles: 60,
+        ..CyclingConfig::paper_fig3()
+    };
+    match cycle_array(&params, &cyc, &mut rng) {
+        Ok(data) => {
+            let ln_sigma = |v: &[f64]| {
+                let logs: Vec<f64> = v.iter().map(|x| x.ln()).collect();
+                oxterm_numerics::stats::summary(&logs).map(|s| s.std_dev).unwrap_or(0.0)
+            };
+            let (sh, sl) = (ln_sigma(&data.r_hrs), ln_sigma(&data.r_lrs));
+            checks.push(Check {
+                name: "Fig 3: HRS spread ≫ LRS spread",
+                paper: "≫".into(),
+                measured: format!("log-σ {:.2} vs {:.2}", sh, sl),
+                pass: sh > 2.0 * sl,
+            });
+        }
+        Err(e) => checks.push(Check {
+            name: "Fig 3",
+            paper: "distributions".into(),
+            measured: format!("FAILED: {e}"),
+            pass: false,
+        }),
+    }
+
+    // Render.
+    let mut t = Table::new(&["check", "paper", "measured", "status"]);
+    let mut all_pass = true;
+    for c in &checks {
+        all_pass &= c.pass;
+        t.row_strings(vec![
+            c.name.to_string(),
+            c.paper.clone(),
+            c.measured.clone(),
+            if c.pass { "PASS".into() } else { "FAIL".to_string() },
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "overall: {}",
+        if all_pass {
+            "all checks PASS — reproduction intact"
+        } else {
+            "SOME CHECKS FAILED — see individual binaries"
+        }
+    );
+    std::process::exit(if all_pass { 0 } else { 1 });
+}

@@ -1,0 +1,59 @@
+//! Table 1 — standard operating voltages, verified at circuit level.
+//!
+//! Prints the paper's bias table and, for each operation, solves the DC
+//! operating point of a 1T-1R stack under those biases to report what the
+//! cell actually sees.
+
+use oxterm_array::bias::{BiasSet, Operation};
+use oxterm_array::cell::{Cell1T1R, CellConfig};
+use oxterm_bench::table::Table;
+use oxterm_devices::sources::{SourceWave, VoltageSource};
+use oxterm_rram::cell::OxramCell;
+use oxterm_spice::analysis::op::{solve_op, OpOptions};
+use oxterm_spice::circuit::Circuit;
+
+fn stack_op(op: Operation, rho: f64) -> (f64, f64) {
+    let bias = BiasSet::standard(op);
+    let mut c = Circuit::new();
+    let bl = c.node("bl");
+    let wl = c.node("wl");
+    let sl = c.node("sl");
+    let cell = Cell1T1R::build(&mut c, "c0", bl, wl, sl, &CellConfig::paper());
+    {
+        let r: &mut OxramCell = c.device_mut(cell.rram).expect("fresh handle");
+        r.set_rho_init(rho);
+    }
+    let vbl = c.add(VoltageSource::new("vbl", bl, Circuit::gnd(), SourceWave::dc(bias.bl)));
+    c.add(VoltageSource::new("vwl", wl, Circuit::gnd(), SourceWave::dc(bias.wl)));
+    c.add(VoltageSource::new("vsl", sl, Circuit::gnd(), SourceWave::dc(bias.sl)));
+    let sol = solve_op(&c, &OpOptions::default()).expect("bias point converges");
+    let i_bl = -sol.branch_current(&c, vbl, 0).expect("fresh handle");
+    let v_cell = sol.v(bl) - sol.v(cell.mid);
+    (i_bl, v_cell)
+}
+
+fn main() {
+    println!("== Table 1: standard operating voltages (cell level) ==\n");
+    let mut t = Table::new(&["op", "WL (V)", "BL (V)", "SL (V)", "I_BL", "V_cell"]);
+    for (op, name, rho) in [
+        (Operation::Forming, "FMG", 0.0),
+        (Operation::Reset, "RST", 1.0),
+        (Operation::Set, "SET", 0.15),
+        (Operation::Read, "READ", 1.0),
+    ] {
+        let b = BiasSet::standard(op);
+        let (i, v) = stack_op(op, rho);
+        t.row_strings(vec![
+            name.to_string(),
+            format!("{:.1}", b.wl),
+            format!("{:.1}", b.bl),
+            format!("{:.1}", b.sl),
+            oxterm_bench::table::eng(i, "A"),
+            format!("{v:+.3} V"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper values: FMG 2.0/3.3/0  RST 2.5/0/1.2  SET 2.0/1.2/0  READ 2.5/0.2/0");
+    println!("(I_BL and V_cell are measured from the DC operating point of the");
+    println!(" built 1T-1R stack: LRS for RST/READ, HRS for SET, virgin for FMG)");
+}

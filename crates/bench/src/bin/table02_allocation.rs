@@ -1,0 +1,51 @@
+//! Table 2 — the 16-level ISO-ΔI allocation (IrefR → RHRS).
+//!
+//! Programs every level nominally through the calibrated fast path and
+//! prints the measured resistance next to the paper's value.
+
+use oxterm_bench::table::Table;
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::program::{program_cell_fast, ProgramConditions};
+use oxterm_rram::calib::CalibrationTarget;
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+
+fn main() {
+    println!("== Table 2: allocation of the 16 resistance levels (38 kΩ – 267 kΩ) ==\n");
+    let alloc = LevelAllocation::paper_qlc();
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let cond = ProgramConditions::paper();
+    let anchors = CalibrationTarget::paper().allocation;
+
+    let mut t = Table::new(&[
+        "state",
+        "IrefR (µA)",
+        "R_paper (kΩ)",
+        "R_model (kΩ)",
+        "err (%)",
+    ]);
+    let mut worst: f64 = 0.0;
+    for level in alloc.levels().iter().rev() {
+        // Paper lists states from '1111' (6 µA) down to '0000' (36 µA).
+        let out = program_cell_fast(&params, &inst, &alloc, level.code, &cond)
+            .expect("levels are programmable");
+        let i_ua = level.i_ref * 1e6;
+        let anchor = anchors
+            .iter()
+            .find(|(i, _)| (i - i_ua).abs() < 1e-6)
+            .map(|&(_, r)| r)
+            .expect("anchor exists");
+        let err = (out.r_read_ohms / (anchor * 1e3) - 1.0) * 100.0;
+        worst = worst.max(err.abs());
+        t.row_strings(vec![
+            format!("{:04b}", level.code),
+            format!("{i_ua:.0}"),
+            format!("{anchor:.2}"),
+            format!("{:.2}", out.r_read_ohms / 1e3),
+            format!("{err:+.1}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("worst absolute error across the 16 anchors: {worst:.1} %");
+    println!("(paper: ISO-ΔI, constant 2 µA steps; state '1111' ↔ 6 µA ↔ 267 kΩ)");
+}

@@ -1,0 +1,122 @@
+//! Shared Monte Carlo campaigns reused by several experiment binaries.
+//!
+//! Figs 11, 12 and 13 and Table 3 all consume the same campaign: for every
+//! level of an allocation, `runs` Monte Carlo programs with full
+//! variability. Running it once and slicing it three ways matches how the
+//! paper derives those artifacts from one 500-run simulation set.
+
+use oxterm_mc::sweep::sweep_mc;
+use oxterm_mc::engine::MonteCarlo;
+use oxterm_mlc::levels::{LevelAllocation, LevelSpec};
+use oxterm_mlc::margins::LevelSamples;
+use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions, ProgramOutcome};
+use oxterm_rram::params::OxramParams;
+
+/// All Monte Carlo outcomes for one level.
+#[derive(Debug, Clone)]
+pub struct LevelCampaign {
+    /// The level programmed.
+    pub spec: LevelSpec,
+    /// One outcome per Monte Carlo run.
+    pub outcomes: Vec<ProgramOutcome>,
+}
+
+impl LevelCampaign {
+    /// The sampled read resistances (Ω).
+    pub fn resistances(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.r_read_ohms).collect()
+    }
+
+    /// The sampled RESET latencies (s).
+    pub fn latencies(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.latency_s).collect()
+    }
+
+    /// The sampled RESET energies (J).
+    pub fn energies(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.energy_j).collect()
+    }
+
+    /// Converts to the margin-analysis sample form.
+    pub fn to_level_samples(&self) -> LevelSamples {
+        LevelSamples {
+            code: self.spec.code,
+            i_ref: self.spec.i_ref,
+            r: self.resistances(),
+        }
+    }
+}
+
+/// Runs the full campaign: `runs` Monte Carlo programs per level of
+/// `alloc`, in parallel, deterministically seeded.
+///
+/// # Panics
+///
+/// Panics if any program operation fails — the allocation must sit inside
+/// the calibrated model's programmable window.
+pub fn mc_campaign(
+    params: &OxramParams,
+    alloc: &LevelAllocation,
+    runs: usize,
+    seed: u64,
+) -> Vec<LevelCampaign> {
+    let cond = ProgramConditions::paper();
+    let var = McVariability::default();
+    let levels: Vec<LevelSpec> = alloc.levels().to_vec();
+    let results = sweep_mc(&levels, MonteCarlo::new(runs, seed), |spec, _, rng| {
+        program_cell_mc(params, alloc, spec.code, &cond, &var, rng)
+            .expect("level inside programmable window")
+    });
+    results
+        .into_iter()
+        .map(|(spec, outcomes)| LevelCampaign { spec, outcomes })
+        .collect()
+}
+
+/// The standard campaign used across the figure binaries: the paper's QLC
+/// allocation, 500 runs, fixed seed.
+pub fn paper_qlc_campaign(runs: usize) -> Vec<LevelCampaign> {
+    mc_campaign(
+        &OxramParams::calibrated(),
+        &LevelAllocation::paper_qlc(),
+        runs,
+        0xD47E_2021,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_covers_every_level() {
+        let campaign = mc_campaign(
+            &OxramParams::calibrated(),
+            &LevelAllocation::paper_qlc(),
+            5,
+            1,
+        );
+        assert_eq!(campaign.len(), 16);
+        for lc in &campaign {
+            assert_eq!(lc.outcomes.len(), 5);
+            assert!(lc.resistances().iter().all(|&r| r > 10e3));
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = mc_campaign(
+            &OxramParams::calibrated(),
+            &LevelAllocation::paper_qlc(),
+            3,
+            9,
+        );
+        let b = mc_campaign(
+            &OxramParams::calibrated(),
+            &LevelAllocation::paper_qlc(),
+            3,
+            9,
+        );
+        assert_eq!(a[4].resistances(), b[4].resistances());
+    }
+}

@@ -1,0 +1,132 @@
+//! Aligned table printing for the experiment binaries.
+
+/// A simple right-aligned text table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use oxterm_bench::table::Table;
+///
+/// let mut t = Table::new(&["IrefR (µA)", "R (kΩ)"]);
+/// t.row(&["6.0", "267.0"]);
+/// let s = t.render();
+/// assert!(s.contains("IrefR"));
+/// assert!(s.contains("267.0"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: &[&str]) {
+        let mut r: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Appends a row of pre-formatted strings.
+    pub fn row_strings(&mut self, cells: Vec<String>) {
+        let mut r = cells;
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let n = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (k, cell) in row.iter().enumerate().take(n) {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (k, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {cell:>width$} ", width = widths[k]));
+                if k + 1 < cells.len() {
+                    line.push('|');
+                }
+            }
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a value in engineering style with a unit (e.g. `152.3 kΩ`).
+pub fn eng(value: f64, unit: &str) -> String {
+    let (scaled, prefix) = engineering(value);
+    format!("{scaled:.3} {prefix}{unit}")
+}
+
+fn engineering(value: f64) -> (f64, &'static str) {
+    let magnitude = value.abs();
+    const TABLE: [(f64, &str); 7] = [
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+    ];
+    for &(factor, prefix) in &TABLE {
+        if magnitude >= factor {
+            return (value / factor, prefix);
+        }
+    }
+    (value / 1e-12, "p")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "value"]);
+        t.row(&["1", "10"]);
+        t.row(&["22", "3"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["1"]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn engineering_formatting() {
+        assert_eq!(eng(152_300.0, "Ω"), "152.300 kΩ");
+        assert_eq!(eng(2.6e-6, "s"), "2.600 µs");
+        assert_eq!(eng(25e-12, "J"), "25.000 pJ");
+        assert_eq!(eng(3.3, "V"), "3.300 V");
+    }
+}

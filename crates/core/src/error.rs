@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+use oxterm_rram::RramError;
+use oxterm_spice::SpiceError;
+
+/// Errors from MLC programming and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MlcError {
+    /// A compact-model operation failed.
+    Rram(RramError),
+    /// A circuit-level simulation failed.
+    Spice(SpiceError),
+    /// The requested data value does not fit the allocation.
+    InvalidData {
+        /// The offending value.
+        value: u16,
+        /// Number of levels available.
+        levels: usize,
+    },
+    /// An allocation request was malformed.
+    InvalidAllocation {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Program-and-verify exceeded its iteration budget.
+    VerifyBudgetExhausted {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for MlcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlcError::Rram(e) => write!(f, "compact-model failure: {e}"),
+            MlcError::Spice(e) => write!(f, "circuit simulation failure: {e}"),
+            MlcError::InvalidData { value, levels } => {
+                write!(f, "data value {value} does not fit {levels} levels")
+            }
+            MlcError::InvalidAllocation { reason } => {
+                write!(f, "invalid level allocation: {reason}")
+            }
+            MlcError::VerifyBudgetExhausted { iterations } => {
+                write!(f, "program-and-verify gave up after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for MlcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MlcError::Rram(e) => Some(e),
+            MlcError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RramError> for MlcError {
+    fn from(e: RramError) -> Self {
+        MlcError::Rram(e)
+    }
+}
+
+impl From<SpiceError> for MlcError {
+    fn from(e: SpiceError) -> Self {
+        MlcError::Spice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_sources() {
+        let e = MlcError::InvalidData {
+            value: 20,
+            levels: 16,
+        };
+        assert!(e.to_string().contains("20"));
+        assert!(e.source().is_none());
+        let e = MlcError::from(RramError::InvalidParameter {
+            name: "g_on",
+            value: 0.0,
+        });
+        assert!(e.source().is_some());
+    }
+}

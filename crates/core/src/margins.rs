@@ -1,0 +1,265 @@
+//! Monte Carlo margin analysis between adjacent MLC states (Figs 11–12).
+//!
+//! The paper's robustness argument rests on the resistance *margin*: the gap
+//! between the worst-case extremes of adjacent state distributions. Fig 11
+//! reports margins from 2.1 kΩ (`0000`/`0001`) to 69 kΩ (`1111`/`1110`)
+//! after 500 Monte Carlo runs; Fig 12 shows both the margin and the
+//! per-state standard deviation growing as `IrefR` falls.
+
+use oxterm_numerics::stats::{box_stats, summary, BoxStats};
+
+use crate::MlcError;
+
+/// Monte Carlo resistance samples for one programmed level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSamples {
+    /// Data code of the level.
+    pub code: u16,
+    /// Reference current used (A).
+    pub i_ref: f64,
+    /// Sampled read resistances (Ω).
+    pub r: Vec<f64>,
+}
+
+/// Distribution statistics of one level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// Data code.
+    pub code: u16,
+    /// Reference current (A).
+    pub i_ref: f64,
+    /// Sample mean (Ω).
+    pub mean: f64,
+    /// Sample standard deviation (Ω).
+    pub std_dev: f64,
+    /// Box-plot five-number summary.
+    pub box_stats: BoxStats,
+    /// Absolute extremes including outliers (Ω).
+    pub full_range: (f64, f64),
+}
+
+/// Margin between two adjacent levels (ordered by resistance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdjacentMargin {
+    /// Lower-resistance level's code.
+    pub lo_code: u16,
+    /// Higher-resistance level's code.
+    pub hi_code: u16,
+    /// Gap between the distribution means (Ω).
+    pub nominal_gap: f64,
+    /// Worst-case margin: `min(high) − max(low)` over all samples (Ω).
+    /// Negative values mean the distributions overlap.
+    pub worst_case: f64,
+}
+
+/// Full margin report across an allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarginReport {
+    /// Per-level statistics, ordered by increasing mean resistance.
+    pub levels: Vec<LevelStats>,
+    /// Margins between each adjacent pair, same order.
+    pub margins: Vec<AdjacentMargin>,
+}
+
+impl MarginReport {
+    /// The smallest worst-case margin across all adjacent pairs (Ω).
+    pub fn worst_case_margin(&self) -> f64 {
+        self.margins
+            .iter()
+            .map(|m| m.worst_case)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The smallest nominal (mean-to-mean) margin (Ω).
+    pub fn min_nominal_margin(&self) -> f64 {
+        self.margins
+            .iter()
+            .map(|m| m.nominal_gap)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether any adjacent pair overlaps (a decoding failure would be
+    /// possible).
+    pub fn has_overlap(&self) -> bool {
+        self.margins.iter().any(|m| m.worst_case <= 0.0)
+    }
+}
+
+/// Estimated decode reliability of an allocation under Gaussian read noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeErrorEstimate {
+    /// Per-adjacent-pair misclassification probability (same order as
+    /// [`MarginReport::margins`]).
+    pub per_pair: Vec<f64>,
+    /// Probability that a uniformly random stored symbol decodes wrongly
+    /// (union bound over its two boundaries, averaged over symbols).
+    pub symbol_error_rate: f64,
+}
+
+/// Converts a margin report into decode error probabilities.
+///
+/// Models each level as Gaussian with its measured mean/σ, adds the sense
+/// path's own input-referred noise `sigma_sense` (Ω-equivalent), and places
+/// the decision threshold midway between adjacent means: the
+/// misclassification probability of a boundary is
+/// `Q(gap / (2·σ_eff))` per side.
+///
+/// The paper argues 4 bits/cell is the sensing limit; this estimate makes
+/// that argument quantitative — the 6-bit allocation's boundaries sit at
+/// ~1σ where error rates are percent-scale.
+pub fn decode_error_estimate(report: &MarginReport, sigma_sense: f64) -> DecodeErrorEstimate {
+    use oxterm_numerics::special::q_function;
+    let per_pair: Vec<f64> = report
+        .margins
+        .iter()
+        .enumerate()
+        .map(|(k, _)| {
+            let lo = &report.levels[k];
+            let hi = &report.levels[k + 1];
+            let s_lo = (lo.std_dev * lo.std_dev + sigma_sense * sigma_sense).sqrt();
+            let s_hi = (hi.std_dev * hi.std_dev + sigma_sense * sigma_sense).sqrt();
+            let threshold = 0.5 * (lo.mean + hi.mean);
+            q_function((threshold - lo.mean) / s_lo) + q_function((hi.mean - threshold) / s_hi)
+        })
+        .map(|p| p.clamp(0.0, 1.0))
+        .collect();
+    let n = report.levels.len() as f64;
+    // Each symbol can fail across its lower or upper boundary; each pair
+    // error is shared by its two symbols.
+    let symbol_error_rate = per_pair.iter().sum::<f64>() / n;
+    DecodeErrorEstimate {
+        per_pair,
+        symbol_error_rate,
+    }
+}
+
+/// Computes the margin report for a set of per-level Monte Carlo samples.
+///
+/// # Errors
+///
+/// Returns [`MlcError::InvalidAllocation`] if fewer than two levels are
+/// given or any level has no samples.
+pub fn analyze(samples: &[LevelSamples]) -> Result<MarginReport, MlcError> {
+    if samples.len() < 2 {
+        return Err(MlcError::InvalidAllocation {
+            reason: format!("margin analysis needs ≥ 2 levels, got {}", samples.len()),
+        });
+    }
+    let mut levels = Vec::with_capacity(samples.len());
+    for s in samples {
+        let stats = summary(&s.r).map_err(|e| MlcError::InvalidAllocation {
+            reason: format!("level {}: {e}", s.code),
+        })?;
+        let bx = box_stats(&s.r).map_err(|e| MlcError::InvalidAllocation {
+            reason: format!("level {}: {e}", s.code),
+        })?;
+        let full_range = bx.full_range();
+        levels.push(LevelStats {
+            code: s.code,
+            i_ref: s.i_ref,
+            mean: stats.mean,
+            std_dev: stats.std_dev,
+            box_stats: bx,
+            full_range,
+        });
+    }
+    levels.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"));
+    let margins = levels
+        .windows(2)
+        .map(|w| AdjacentMargin {
+            lo_code: w[0].code,
+            hi_code: w[1].code,
+            nominal_gap: w[1].mean - w[0].mean,
+            worst_case: w[1].full_range.0 - w[0].full_range.1,
+        })
+        .collect();
+    Ok(MarginReport { levels, margins })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(code: u16, center: f64, spread: f64, n: usize) -> LevelSamples {
+        let r = (0..n)
+            .map(|k| center + spread * ((k as f64 / (n - 1) as f64) - 0.5))
+            .collect();
+        LevelSamples {
+            code,
+            i_ref: 1e-6 * (36 - code) as f64,
+            r,
+        }
+    }
+
+    #[test]
+    fn clean_separation_yields_positive_margins() {
+        let samples = vec![
+            level(0, 40e3, 2e3, 50),
+            level(1, 50e3, 2e3, 50),
+            level(2, 65e3, 4e3, 50),
+        ];
+        let report = analyze(&samples).unwrap();
+        assert_eq!(report.margins.len(), 2);
+        assert!(!report.has_overlap());
+        // Worst-case = min(hi) − max(lo): (49 − 41) = 8 kΩ for pair 0–1.
+        assert!((report.margins[0].worst_case - 8e3).abs() < 1.0);
+        assert!((report.margins[0].nominal_gap - 10e3).abs() < 1.0);
+        assert!((report.worst_case_margin() - 8e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let samples = vec![level(0, 40e3, 10e3, 50), level(1, 45e3, 10e3, 50)];
+        let report = analyze(&samples).unwrap();
+        assert!(report.has_overlap());
+        assert!(report.worst_case_margin() < 0.0);
+    }
+
+    #[test]
+    fn levels_are_sorted_by_resistance() {
+        // Feed levels out of order; report must sort.
+        let samples = vec![level(2, 80e3, 1e3, 10), level(0, 40e3, 1e3, 10), level(1, 60e3, 1e3, 10)];
+        let report = analyze(&samples).unwrap();
+        let means: Vec<f64> = report.levels.iter().map(|l| l.mean).collect();
+        assert!(means.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(report.levels[0].code, 0);
+        assert_eq!(report.levels[2].code, 2);
+    }
+
+    #[test]
+    fn decode_error_tracks_separation() {
+        let tight = analyze(&[level(0, 40e3, 1e3, 60), level(1, 60e3, 1e3, 60)]).unwrap();
+        let loose = analyze(&[level(0, 40e3, 1e3, 60), level(1, 44e3, 1e3, 60)]).unwrap();
+        let e_tight = decode_error_estimate(&tight, 0.0);
+        let e_loose = decode_error_estimate(&loose, 0.0);
+        assert!(e_tight.symbol_error_rate < e_loose.symbol_error_rate);
+        // Sense noise makes everything worse.
+        let noisy = decode_error_estimate(&tight, 5e3);
+        assert!(noisy.symbol_error_rate > e_tight.symbol_error_rate);
+        assert_eq!(e_tight.per_pair.len(), 1);
+    }
+
+    #[test]
+    fn well_separated_levels_have_negligible_error() {
+        // 20 kΩ gap with ~290 Ω per-level spread (uniform over 1 kΩ): the
+        // boundary sits ~34σ out — astronomically reliable.
+        let report = analyze(&[level(0, 40e3, 1e3, 60), level(1, 60e3, 1e3, 60)]).unwrap();
+        let e = decode_error_estimate(&report, 0.0);
+        assert!(e.symbol_error_rate < 1e-6, "ser = {}", e.symbol_error_rate);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(analyze(&[]).is_err());
+        assert!(analyze(&[level(0, 1.0, 0.1, 5)]).is_err());
+        let bad = vec![
+            LevelSamples {
+                code: 0,
+                i_ref: 1e-6,
+                r: vec![],
+            },
+            level(1, 2.0, 0.1, 5),
+        ];
+        assert!(analyze(&bad).is_err());
+    }
+}

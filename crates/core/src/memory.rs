@@ -1,0 +1,266 @@
+//! A high-level façade: a simulated QLC RRAM memory.
+//!
+//! [`MlcMemory`] bundles the calibrated model, a level allocation, the
+//! codec, the reader, and per-cell state into a byte-addressable store —
+//! the API a downstream user (e.g. an architecture simulator wanting an
+//! MLC RRAM timing/energy model) actually wants. Every write runs the real
+//! programming physics per cell; every read re-derives the data from the
+//! stored analog resistances.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use oxterm_rram::params::OxramParams;
+
+use crate::codec::MlcCodec;
+use crate::levels::LevelAllocation;
+use crate::program::{program_cell_mc, McVariability, ProgramConditions};
+use crate::read::MlcReader;
+use crate::MlcError;
+
+/// Aggregate cost of a memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpStats {
+    /// Total energy (J).
+    pub energy_j: f64,
+    /// Wall time of the operation: parallel across the cells of a word,
+    /// serial across words (s).
+    pub time_s: f64,
+    /// Cells touched.
+    pub cells: usize,
+}
+
+/// A simulated multi-level RRAM memory.
+///
+/// # Examples
+///
+/// ```
+/// use oxterm_mlc::memory::MlcMemory;
+///
+/// # fn main() -> Result<(), oxterm_mlc::MlcError> {
+/// let mut mem = MlcMemory::paper_qlc(64, 42)?; // 64 bytes, seeded
+/// let stats = mem.write(0, b"hello rram")?;
+/// assert!(stats.energy_j > 0.0);
+/// assert_eq!(mem.read(0, 10)?, b"hello rram");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MlcMemory {
+    params: OxramParams,
+    alloc: LevelAllocation,
+    codec: MlcCodec,
+    reader: MlcReader,
+    conditions: ProgramConditions,
+    variability: McVariability,
+    /// Stored analog resistance per cell (Ω); `None` = never written.
+    cells: Vec<Option<f64>>,
+    /// Cells per word (programmed in parallel, the paper's §4.2).
+    word_cells: usize,
+    rng: StdRng,
+    capacity_bytes: usize,
+}
+
+impl MlcMemory {
+    /// Creates a memory of `capacity_bytes` using the paper's QLC
+    /// allocation, calibrated model, and default Monte Carlo variability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlcError::InvalidAllocation`] if the allocation cannot
+    /// carry bytes (never happens for the built-in QLC allocation).
+    pub fn paper_qlc(capacity_bytes: usize, seed: u64) -> Result<Self, MlcError> {
+        let params = OxramParams::calibrated();
+        let alloc = LevelAllocation::paper_qlc();
+        let codec = MlcCodec::for_allocation(&alloc)?;
+        let reader = MlcReader::from_allocation(&alloc, &params, 0.3);
+        let n_cells = codec.cells_for_bytes(capacity_bytes);
+        Ok(MlcMemory {
+            params,
+            alloc,
+            codec,
+            reader,
+            conditions: ProgramConditions::paper(),
+            variability: McVariability::default(),
+            cells: vec![None; n_cells],
+            word_cells: 8,
+            rng: StdRng::seed_from_u64(seed),
+            capacity_bytes,
+        })
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Number of physical cells.
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Bits stored per cell.
+    pub fn bits_per_cell(&self) -> u32 {
+        self.codec.bits_per_cell()
+    }
+
+    /// Writes `data` starting at byte `addr`, programming every touched
+    /// cell through the full SET + terminated-RESET physics.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlcError::InvalidData`] if the range exceeds the capacity,
+    /// * [`MlcError::Rram`] on programming failures.
+    pub fn write(&mut self, addr: usize, data: &[u8]) -> Result<OpStats, MlcError> {
+        self.check_range(addr, data.len())?;
+        // Byte-aligned cell addressing requires whole-byte cell groups;
+        // program the covering byte range.
+        let codes = self.codec.encode(data);
+        let first_cell = self.codec.cells_for_bytes(addr);
+        let mut stats = OpStats::default();
+        let mut word_time = 0.0f64;
+        for (k, &code) in codes.iter().enumerate() {
+            let out = program_cell_mc(
+                &self.params,
+                &self.alloc,
+                code,
+                &self.conditions,
+                &self.variability,
+                &mut self.rng,
+            )?;
+            self.cells[first_cell + k] = Some(out.r_read_ohms);
+            stats.energy_j += out.energy_j + out.set_energy_j;
+            stats.cells += 1;
+            // Within a word, cells program in parallel: the word costs its
+            // slowest cell; words are serial.
+            word_time = word_time.max(out.latency_s + self.conditions.set.width);
+            if (k + 1) % self.word_cells == 0 || k + 1 == codes.len() {
+                stats.time_s += word_time;
+                word_time = 0.0;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Reads `len` bytes starting at byte `addr`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlcError::InvalidData`] if the range exceeds the capacity or
+    ///   touches never-written cells.
+    pub fn read(&self, addr: usize, len: usize) -> Result<Vec<u8>, MlcError> {
+        self.check_range(addr, len)?;
+        let first_cell = self.codec.cells_for_bytes(addr);
+        let n_cells = self.codec.cells_for_bytes(len);
+        let mut codes = Vec::with_capacity(n_cells);
+        for k in 0..n_cells {
+            let r = self.cells[first_cell + k].ok_or(MlcError::InvalidData {
+                value: (first_cell + k) as u16,
+                levels: self.alloc.n_levels(),
+            })?;
+            codes.push(self.reader.classify_resistance(r));
+        }
+        Ok(self.codec.decode(&codes, len))
+    }
+
+    /// The raw analog resistance of cell `idx`, if written.
+    pub fn cell_resistance(&self, idx: usize) -> Option<f64> {
+        self.cells.get(idx).copied().flatten()
+    }
+
+    /// Applies a retention bake to every written cell, drifting the stored
+    /// analog levels (wraps [`oxterm_rram::retention`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid bake parameters.
+    pub fn bake(
+        &mut self,
+        retention: &oxterm_rram::retention::RetentionParams,
+        temp_k: f64,
+        duration_s: f64,
+    ) -> Result<(), MlcError> {
+        use oxterm_rram::model;
+        use oxterm_rram::params::InstanceVariation;
+        let inst = InstanceVariation::nominal();
+        for cell in self.cells.iter_mut().flatten() {
+            let rho = model::rho_for_resistance(&self.params, &inst, *cell, 0.3);
+            let rho_after = retention
+                .relax(rho, temp_k, duration_s)
+                .map_err(MlcError::Rram)?;
+            *cell = model::read_resistance(&self.params, &inst, rho_after, 0.3);
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, addr: usize, len: usize) -> Result<(), MlcError> {
+        if addr + len > self.capacity_bytes {
+            return Err(MlcError::InvalidData {
+                value: (addr + len).min(u16::MAX as usize) as u16,
+                levels: self.capacity_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut mem = MlcMemory::paper_qlc(32, 1).expect("valid setup");
+        let data = b"oxterm";
+        let stats = mem.write(0, data).expect("programs");
+        assert_eq!(stats.cells, 12); // 6 bytes × 2 cells
+        assert!(stats.energy_j > 10e-12);
+        assert!(stats.time_s > 100e-9);
+        assert_eq!(mem.read(0, 6).expect("reads"), data);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut mem = MlcMemory::paper_qlc(4, 2).expect("valid setup");
+        assert!(mem.write(2, b"abc").is_err());
+        assert!(mem.read(0, 5).is_err());
+        assert_eq!(mem.capacity(), 4);
+        assert_eq!(mem.n_cells(), 8);
+        assert_eq!(mem.bits_per_cell(), 4);
+    }
+
+    #[test]
+    fn unwritten_cells_cannot_be_read() {
+        let mem = MlcMemory::paper_qlc(8, 3).expect("valid setup");
+        assert!(mem.read(0, 1).is_err());
+    }
+
+    #[test]
+    fn word_parallel_timing_is_cheaper_than_serial() {
+        // 8 cells programmed as one word must cost less wall time than the
+        // sum of their individual latencies.
+        let mut mem = MlcMemory::paper_qlc(8, 4).expect("valid setup");
+        let stats = mem.write(0, &[0xFF, 0x00, 0xAA, 0x55]).expect("programs");
+        // 8 cells in one word: time ≈ slowest cell, well under 8 × avg.
+        assert!(stats.cells == 8);
+        assert!(stats.time_s < 8.0 * 2e-6, "time {:.3e}", stats.time_s);
+    }
+
+    #[test]
+    fn bake_drifts_levels_but_read_often_survives() {
+        let mut mem = MlcMemory::paper_qlc(8, 5).expect("valid setup");
+        mem.write(0, &[0x12, 0x34]).expect("programs");
+        let before = mem.cell_resistance(0).expect("written");
+        mem.bake(
+            &oxterm_rram::retention::RetentionParams::hfo2_defaults(),
+            273.15 + 85.0,
+            10.0 * 365.25 * 24.0 * 3600.0,
+        )
+        .expect("valid bake");
+        let after = mem.cell_resistance(0).expect("written");
+        assert!(after >= before * 0.99);
+        // 85 °C / 10 years: the QLC data still reads back (cf. the
+        // ablation_retention experiment).
+        assert_eq!(mem.read(0, 2).expect("reads"), vec![0x12, 0x34]);
+    }
+}

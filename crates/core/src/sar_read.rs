@@ -1,0 +1,136 @@
+//! Circuit-level multi-level READ: successive-approximation search over
+//! the reference ladder using the real comparator stage.
+//!
+//! The paper's READ (Fig 9) compares the cell current against up to 15
+//! reference currents. A flash implementation needs 15 comparators per bit
+//! line; this module implements the cheaper successive-approximation
+//! variant — `log2(n)` sequential comparisons through **one** comparator
+//! (the same mirror+inverter stage as the write termination, re-purposed
+//! with read-ladder references), which is exactly the kind of reuse the
+//! paper's "minimal area overhead" argument invites.
+
+use oxterm_devices::sources::{CurrentSource, SourceWave, VoltageSource};
+use oxterm_spice::analysis::op::{solve_op, OpOptions};
+use oxterm_spice::circuit::Circuit;
+
+use crate::read::MlcReader;
+use crate::termination::{TerminationCircuit, TerminationSizing};
+use crate::MlcError;
+
+/// Result of a SAR read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SarReadOutcome {
+    /// Decoded data value.
+    pub code: u16,
+    /// Comparator decisions made (`⌈log2(levels)⌉` for a full ladder).
+    pub comparisons: usize,
+}
+
+/// One comparator decision at circuit level: does `i_cell` exceed `i_ref`?
+///
+/// Builds the Fig 7a stage fresh, injects the cell current, and reads the
+/// inverter output at the DC operating point.
+///
+/// # Errors
+///
+/// Propagates operating-point failures.
+pub fn comparator_decision(i_cell: f64, i_ref: f64) -> Result<bool, MlcError> {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let bl = c.node("bl");
+    c.add(VoltageSource::new(
+        "vdd",
+        vdd,
+        Circuit::gnd(),
+        SourceWave::dc(3.3),
+    ));
+    let stage =
+        TerminationCircuit::build(&mut c, "sa", bl, vdd, i_ref, &TerminationSizing::default());
+    c.add(CurrentSource::new(
+        "icell",
+        Circuit::gnd(),
+        bl,
+        SourceWave::dc(i_cell),
+    ));
+    let sol = solve_op(&c, &OpOptions::default())?;
+    // out high ⇔ Icell > IrefR (the "keep programming" polarity).
+    Ok(sol.v(stage.out) > 1.65)
+}
+
+/// Classifies a measured cell current by successive approximation over the
+/// reader's reference ladder, with every decision taken by the real
+/// comparator circuit.
+///
+/// # Errors
+///
+/// Propagates comparator solve failures.
+pub fn sar_classify(i_cell: f64, reader: &MlcReader) -> Result<SarReadOutcome, MlcError> {
+    // References are descending; codes ascend as current falls. Binary
+    // search for the first reference the current stays below.
+    let refs = reader.reference_currents();
+    let mut lo = 0usize; // candidate code lower bound
+    let mut hi = refs.len(); // upper bound (== max code)
+    let mut comparisons = 0;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // Compare against the boundary between code `mid` and `mid + 1`.
+        comparisons += 1;
+        if comparator_decision(i_cell, refs[mid])? {
+            // Current above the boundary ⇒ code ≤ mid.
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(SarReadOutcome {
+        code: lo as u16,
+        comparisons,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::LevelAllocation;
+    use oxterm_rram::params::OxramParams;
+
+    fn reader() -> MlcReader {
+        MlcReader::from_allocation(&LevelAllocation::paper_qlc(), &OxramParams::calibrated(), 0.3)
+    }
+
+    #[test]
+    fn comparator_decision_polarity() {
+        assert!(comparator_decision(20e-6, 10e-6).expect("solves"));
+        assert!(!comparator_decision(5e-6, 10e-6).expect("solves"));
+    }
+
+    #[test]
+    fn sar_decodes_nominal_levels() {
+        let rd = reader();
+        // Mid-ladder codes decode exactly; the comparator's small trip
+        // offset may shift codes at the extremes by at most one.
+        for code in [2u16, 5, 8, 11, 14] {
+            let i = rd.nominal_currents()[code as usize];
+            let out = sar_classify(i, &rd).expect("solves");
+            assert!(
+                out.code.abs_diff(code) <= 1,
+                "code {code} decoded as {}",
+                out.code
+            );
+        }
+    }
+
+    #[test]
+    fn sar_uses_logarithmic_comparisons() {
+        let rd = reader();
+        let out = sar_classify(2e-6, &rd).expect("solves");
+        assert_eq!(out.comparisons, 4, "16 levels need exactly 4 decisions");
+    }
+
+    #[test]
+    fn extremes_saturate() {
+        let rd = reader();
+        assert_eq!(sar_classify(50e-6, &rd).expect("solves").code, 0);
+        assert_eq!(sar_classify(1e-9, &rd).expect("solves").code, 15);
+    }
+}

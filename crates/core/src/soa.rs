@@ -1,0 +1,159 @@
+//! State-of-the-art MLC comparison (paper Table 4).
+//!
+//! Static survey rows from the paper plus the row this work (and this
+//! reproduction) adds.
+
+/// How the MLC levels are programmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MlcMode {
+    /// Varying RESET voltage amplitude/pulses.
+    VrstControl,
+    /// Compliance-current control during SET.
+    IcSet,
+    /// Compliance-current control during RESET (this work).
+    IcReset,
+}
+
+impl std::fmt::Display for MlcMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlcMode::VrstControl => write!(f, "VRST"),
+            MlcMode::IcSet => write!(f, "IC SET"),
+            MlcMode::IcReset => write!(f, "IC RST"),
+        }
+    }
+}
+
+/// Validation level of a prior work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignLevel {
+    /// Device-level demonstration only.
+    Device,
+    /// Circuit-level implementation.
+    Circuit,
+}
+
+impl std::fmt::Display for DesignLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignLevel::Device => write!(f, "Device"),
+            DesignLevel::Circuit => write!(f, "Circuit"),
+        }
+    }
+}
+
+/// One row of the comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaRow {
+    /// Citation tag as used in the paper.
+    pub reference: &'static str,
+    /// RRAM material stack.
+    pub device: &'static str,
+    /// Distinct states demonstrated.
+    pub states: &'static str,
+    /// Programming mode.
+    pub mode: MlcMode,
+    /// Validation level.
+    pub level: DesignLevel,
+}
+
+/// The paper's Table 4, including its own row (labelled "This work").
+pub fn table4() -> Vec<SoaRow> {
+    vec![
+        SoaRow {
+            reference: "[8]",
+            device: "Pt/TaOx/Ta2O5/Pt",
+            states: "4 HRS",
+            mode: MlcMode::VrstControl,
+            level: DesignLevel::Device,
+        },
+        SoaRow {
+            reference: "[11]",
+            device: "TiN/HfTiO2/TiN",
+            states: "3 LRS / 1 HRS",
+            mode: MlcMode::IcSet,
+            level: DesignLevel::Device,
+        },
+        SoaRow {
+            reference: "[39]",
+            device: "TiN/HfOx/Pt",
+            states: "8 HRS",
+            mode: MlcMode::VrstControl,
+            level: DesignLevel::Device,
+        },
+        SoaRow {
+            reference: "[13]",
+            device: "Cu/HfO2/Cu/Pt",
+            states: "3 LRS / 1 HRS",
+            mode: MlcMode::IcSet,
+            level: DesignLevel::Device,
+        },
+        SoaRow {
+            reference: "[17]",
+            device: "Ti/HfOx/Ti/TiN",
+            states: "3 LRS / 1 HRS",
+            mode: MlcMode::IcSet,
+            level: DesignLevel::Circuit,
+        },
+        SoaRow {
+            reference: "[12]",
+            device: "TiN/HfOx/Pt",
+            states: "8 HRS",
+            mode: MlcMode::VrstControl,
+            level: DesignLevel::Device,
+        },
+        SoaRow {
+            reference: "[40]",
+            device: "Pt/W/TaOx/Pt",
+            states: "7 HRS / 1 LRS",
+            mode: MlcMode::VrstControl,
+            level: DesignLevel::Device,
+        },
+        SoaRow {
+            reference: "[14]",
+            device: "TiN/Ti/HfOx/TiN",
+            states: "8 HRS",
+            mode: MlcMode::IcReset,
+            level: DesignLevel::Circuit,
+        },
+        SoaRow {
+            reference: "This work",
+            device: "TiN/Ti/HfOx/TiN",
+            states: "16 HRS",
+            mode: MlcMode::IcReset,
+            level: DesignLevel::Circuit,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn this_work_is_the_only_16_state_entry() {
+        let rows = table4();
+        let sixteen: Vec<_> = rows.iter().filter(|r| r.states.contains("16")).collect();
+        assert_eq!(sixteen.len(), 1);
+        assert_eq!(sixteen[0].reference, "This work");
+        assert_eq!(sixteen[0].mode, MlcMode::IcReset);
+        assert_eq!(sixteen[0].level, DesignLevel::Circuit);
+    }
+
+    #[test]
+    fn table_matches_paper_row_count() {
+        assert_eq!(table4().len(), 9);
+        // Only two circuit-level prior entries besides this work.
+        let circuit = table4()
+            .iter()
+            .filter(|r| r.level == DesignLevel::Circuit)
+            .count();
+        assert_eq!(circuit, 3);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(MlcMode::IcReset.to_string(), "IC RST");
+        assert_eq!(DesignLevel::Device.to_string(), "Device");
+    }
+}

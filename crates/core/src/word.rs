@@ -1,0 +1,301 @@
+//! Word-level parallel programming (paper §4.2 and Fig 6).
+//!
+//! "Once an 8-bit word is addressed, each memory word is first entirely
+//! SET. Then a RST operation is performed in parallel through the SL with a
+//! predefined compliance current set according to the data bus values at
+//! the BL driver level. During RST, multi-bit access is guaranteed as one
+//! RST write termination is associated with a single bit-line."
+//!
+//! The circuit here implements exactly that: one shared SL pulse drives all
+//! cells of the word; every bit line carries its own termination (a series
+//! cut-off switch standing in for the BL driver's output stage) that
+//! disconnects *its own* bit line when its cell current reaches its
+//! per-level reference — so the slowest bit never over-resets the fast
+//! ones.
+
+use oxterm_array::cell::{Cell1T1R, CellConfig};
+use oxterm_array::parasitics::LineParasitics;
+use oxterm_devices::sources::{SourceWave, VoltageSource};
+use oxterm_devices::switch::{SwitchParams, VSwitch};
+use oxterm_rram::cell::OxramCell;
+use oxterm_rram::params::InstanceVariation;
+use oxterm_spice::analysis::tran::{run_transient, MonitorAction, TranOptions, TranSample};
+use oxterm_spice::circuit::{Circuit, ElementId};
+
+use crate::levels::LevelAllocation;
+use crate::MlcError;
+
+/// Options for a circuit-level word program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordProgramOptions {
+    /// Per-cell configuration.
+    pub cell: CellConfig,
+    /// Per-bit-line parasitics.
+    pub bl_line: LineParasitics,
+    /// Shared SL driver level (V).
+    pub v_sl: f64,
+    /// WL level (V).
+    pub v_wl: f64,
+    /// Pulse budget — must exceed the slowest level's latency (s).
+    pub pulse_width: f64,
+    /// Starting filament state (all cells SET beforehand).
+    pub rho_start: f64,
+    /// Read-back voltage (V).
+    pub v_read: f64,
+    /// Maximum transient step (s).
+    pub dt_max: f64,
+}
+
+impl WordProgramOptions {
+    /// The paper's conditions: Fig 10 bias, tile-scale per-bit parasitics.
+    pub fn paper() -> Self {
+        WordProgramOptions {
+            cell: CellConfig::paper(),
+            bl_line: LineParasitics::tile_8x8(),
+            v_sl: 1.35,
+            v_wl: 2.5,
+            pulse_width: 6.0e-6,
+            rho_start: 1.0,
+            v_read: 0.3,
+            dt_max: 10e-9,
+        }
+    }
+}
+
+/// Outcome of one word program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordOutcome {
+    /// Programmed codes (as requested).
+    pub codes: Vec<u16>,
+    /// Final read resistance per bit (Ω).
+    pub r_read_ohms: Vec<f64>,
+    /// Per-bit termination latency (s); `None` if a bit never fired.
+    pub latencies: Vec<Option<f64>>,
+    /// Total SL-driver energy for the word (J).
+    pub energy_j: f64,
+}
+
+/// Programs a word of cells in parallel through one shared SL pulse, each
+/// bit line terminated independently at its level's reference current.
+///
+/// # Errors
+///
+/// * [`MlcError::InvalidData`] for out-of-range codes or an empty word,
+/// * [`MlcError::Spice`] for transient failures.
+pub fn program_word_circuit(
+    codes: &[u16],
+    alloc: &LevelAllocation,
+    opts: &WordProgramOptions,
+) -> Result<WordOutcome, MlcError> {
+    if codes.is_empty() {
+        return Err(MlcError::InvalidData {
+            value: 0,
+            levels: alloc.n_levels(),
+        });
+    }
+    let i_refs: Vec<f64> = codes
+        .iter()
+        .map(|&c| alloc.level(c).map(|l| l.i_ref))
+        .collect::<Result<_, _>>()?;
+
+    let mut c = Circuit::new();
+    let sl = c.node("sl");
+    let wl = c.node("wl");
+    let ctrl_on = c.node("ctrl_on");
+
+    struct Bit {
+        cell: Cell1T1R,
+        sense: ElementId,
+        ctrl: ElementId,
+    }
+    let mut bits = Vec::with_capacity(codes.len());
+    for (k, _) in codes.iter().enumerate() {
+        let bl_cell = c.node(&format!("bl{k}_cell"));
+        let bl_cut = c.node(&format!("bl{k}_cut"));
+        let bl_sense = c.node(&format!("bl{k}_sense"));
+        let ctrl = c.node(&format!("bl{k}_ctrl"));
+        let cell = Cell1T1R::build(&mut c, &format!("w{k}"), bl_cell, wl, sl, &opts.cell);
+        {
+            let r: &mut OxramCell = c.device_mut(cell.rram)?;
+            r.set_rho_init(opts.rho_start);
+        }
+        opts.bl_line
+            .build(&mut c, &format!("blp{k}"), bl_cell, bl_cut);
+        // The BL driver's cut-off: a switch the termination opens.
+        c.add(VSwitch::new(
+            format!("cut{k}"),
+            bl_cut,
+            bl_sense,
+            ctrl,
+            Circuit::gnd(),
+            SwitchParams {
+                g_on: 1.0 / 50.0,
+                g_off: 1e-9,
+                v_th: 1.65,
+                v_width: 0.1,
+            },
+        ));
+        let ctrl_src = c.add(VoltageSource::new(
+            format!("vctrl{k}"),
+            ctrl,
+            Circuit::gnd(),
+            SourceWave::dc(3.3),
+        ));
+        let sense = c.add(VoltageSource::new(
+            format!("vsense{k}"),
+            bl_sense,
+            Circuit::gnd(),
+            SourceWave::dc(0.0),
+        ));
+        bits.push(Bit {
+            cell,
+            sense,
+            ctrl: ctrl_src,
+        });
+    }
+    let _ = ctrl_on;
+    c.add(VoltageSource::new(
+        "vwl",
+        wl,
+        Circuit::gnd(),
+        SourceWave::dc(opts.v_wl),
+    ));
+    let vsl = c.add(VoltageSource::new(
+        "vsl",
+        sl,
+        Circuit::gnd(),
+        SourceWave::pulse(opts.v_sl, 20e-9, 10e-9, opts.pulse_width, 10e-9),
+    ));
+
+    // Per-bit termination state machine.
+    let n = bits.len();
+    let mut armed = vec![false; n];
+    let mut fired: Vec<Option<f64>> = vec![None; n];
+    let sense_ids: Vec<ElementId> = bits.iter().map(|b| b.sense).collect();
+    let ctrl_ids: Vec<ElementId> = bits.iter().map(|b| b.ctrl).collect();
+    let i_refs_monitor = i_refs.clone();
+    let mut monitor = |sample: &TranSample<'_>, circuit: &mut Circuit| -> MonitorAction {
+        let mut all_done = true;
+        for k in 0..n {
+            if fired[k].is_some() {
+                continue;
+            }
+            let Ok(u) = circuit.branch_unknown(sense_ids[k], 0) else {
+                continue;
+            };
+            let i = sample.solution.as_slice()[u].abs();
+            if !armed[k] {
+                if i >= i_refs_monitor[k] * 1.5 {
+                    armed[k] = true;
+                }
+                all_done = false;
+                continue;
+            }
+            if i > i_refs_monitor[k] {
+                all_done = false;
+                continue;
+            }
+            // Terminate this bit: open its BL cut-off switch.
+            fired[k] = Some(sample.time);
+            if let Ok(vs) = circuit.device_mut::<VoltageSource>(ctrl_ids[k]) {
+                vs.force_end_at(sample.time, 0.0, 5e-9);
+            }
+        }
+        if all_done && fired.iter().all(|f| f.is_some()) {
+            let latest = fired
+                .iter()
+                .filter_map(|f| *f)
+                .fold(0.0f64, f64::max);
+            if sample.time > latest + 100e-9 {
+                return MonitorAction::Stop;
+            }
+        }
+        MonitorAction::Continue
+    };
+
+    let tran = TranOptions {
+        dt_max: Some(opts.dt_max),
+        ..TranOptions::for_duration(opts.pulse_width + 300e-9)
+    };
+    let result = run_transient(&mut c, &tran, &mut [&mut monitor])?;
+
+    // Collect outcomes.
+    let inst = InstanceVariation::nominal();
+    let mut r_read = Vec::with_capacity(n);
+    let mut latencies = Vec::with_capacity(n);
+    for (k, bit) in bits.iter().enumerate() {
+        let rho = result.state_trace(&c, bit.cell.rram, 0)?.last();
+        r_read.push(oxterm_rram::model::read_resistance(
+            &opts.cell.oxram,
+            &inst,
+            rho,
+            opts.v_read,
+        ));
+        latencies.push(fired[k].map(|t| (t - 20e-9).max(0.0)));
+    }
+    let v_sl_wave = result.node_trace(sl);
+    let i_sl = result.branch_trace(&c, vsl, 0)?.map(|i| -i);
+    let energy = v_sl_wave.pointwise_mul(&i_sl).integral();
+
+    Ok(WordOutcome {
+        codes: codes.to_vec(),
+        r_read_ohms: r_read,
+        latencies,
+        energy_j: energy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::MlcReader;
+    use oxterm_rram::params::OxramParams;
+
+    #[test]
+    fn parallel_word_lands_each_bit_on_its_level() {
+        let alloc = LevelAllocation::paper_qlc();
+        let codes = vec![15u16, 0, 8];
+        let out = program_word_circuit(&codes, &alloc, &WordProgramOptions::paper())
+            .expect("word programs");
+        // Every bit fired, ordered resistances: code 15 ≫ code 8 ≫ code 0.
+        assert!(out.latencies.iter().all(|l| l.is_some()));
+        assert!(out.r_read_ohms[0] > 2.0 * out.r_read_ohms[2]);
+        assert!(out.r_read_ohms[2] > 1.3 * out.r_read_ohms[1]);
+        // The slow bit (15 → 6 µA) terminates last.
+        let l15 = out.latencies[0].expect("fired");
+        let l0 = out.latencies[1].expect("fired");
+        assert!(l15 > 2.0 * l0, "{l15:.3e} vs {l0:.3e}");
+    }
+
+    #[test]
+    fn word_bits_classify_correctly() {
+        let alloc = LevelAllocation::paper_qlc();
+        let params = OxramParams::calibrated();
+        let reader = MlcReader::from_allocation(&alloc, &params, 0.3);
+        let codes = vec![12u16, 3];
+        let out = program_word_circuit(&codes, &alloc, &WordProgramOptions::paper())
+            .expect("word programs");
+        for (k, &code) in codes.iter().enumerate() {
+            let classified = reader.classify_resistance(out.r_read_ohms[k]);
+            let delta = classified.abs_diff(code);
+            assert!(
+                delta <= 1,
+                "bit {k}: stored {code}, classified {classified} (R = {:.3e})",
+                out.r_read_ohms[k]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_word_rejected() {
+        let alloc = LevelAllocation::paper_qlc();
+        assert!(matches!(
+            program_word_circuit(&[], &alloc, &WordProgramOptions::paper()),
+            Err(MlcError::InvalidData { .. })
+        ));
+        assert!(matches!(
+            program_word_circuit(&[99], &alloc, &WordProgramOptions::paper()),
+            Err(MlcError::InvalidData { value: 99, .. })
+        ));
+    }
+}

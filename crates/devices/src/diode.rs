@@ -1,0 +1,153 @@
+//! Exponential junction diode with convergence-safe linearization.
+
+use std::any::Any;
+
+use oxterm_spice::circuit::NodeId;
+use oxterm_spice::device::{Device, StampContext};
+
+use crate::VT_300K;
+
+/// Diode model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeParams {
+    /// Saturation current (A).
+    pub i_s: f64,
+    /// Ideality factor.
+    pub n: f64,
+}
+
+impl Default for DiodeParams {
+    fn default() -> Self {
+        DiodeParams { i_s: 1e-14, n: 1.0 }
+    }
+}
+
+/// A junction diode from anode `p` to cathode `n`.
+///
+/// The exponential is linearly extended above `x = v/(n·Vt) = 40` so the
+/// Newton iteration never sees an overflowing conductance.
+#[derive(Debug, Clone)]
+pub struct Diode {
+    name: String,
+    p: NodeId,
+    n: NodeId,
+    params: DiodeParams,
+}
+
+/// Exponent beyond which the exponential is continued linearly.
+const X_MAX: f64 = 40.0;
+
+impl Diode {
+    /// Creates a diode with the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_s` or `n` is not strictly positive.
+    pub fn new(name: impl Into<String>, p: NodeId, n: NodeId, params: DiodeParams) -> Self {
+        assert!(
+            params.i_s > 0.0 && params.n > 0.0,
+            "diode parameters must be positive"
+        );
+        Diode {
+            name: name.into(),
+            p,
+            n,
+            params,
+        }
+    }
+
+    /// Diode current and conductance at junction voltage `v`.
+    pub fn i_g(&self, v: f64) -> (f64, f64) {
+        let nvt = self.params.n * VT_300K;
+        let x = v / nvt;
+        if x > X_MAX {
+            // Linear continuation of the exponential: e^x ≈ e^40·(1 + x − 40).
+            let e = X_MAX.exp();
+            let i = self.params.i_s * (e * (1.0 + (x - X_MAX)) - 1.0);
+            let g = self.params.i_s * e / nvt;
+            (i, g)
+        } else {
+            let e = x.exp();
+            let i = self.params.i_s * (e - 1.0);
+            let g = (self.params.i_s * e / nvt).max(1e-15);
+            (i, g)
+        }
+    }
+}
+
+impl Device for Diode {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn stamp(&self, ctx: &mut StampContext<'_>) {
+        let v = ctx.v(self.p) - ctx.v(self.n);
+        let (i, g) = self.i_g(v);
+        ctx.stamp_nonlinear_branch(self.p, self.n, i, g, v);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passive::Resistor;
+    use crate::sources::{SourceWave, VoltageSource};
+    use oxterm_spice::analysis::op::{solve_op, OpOptions};
+    use oxterm_spice::circuit::Circuit;
+
+    #[test]
+    fn forward_drop_is_about_0v6() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let a = c.node("a");
+        c.add(VoltageSource::new(
+            "v1",
+            vin,
+            Circuit::gnd(),
+            SourceWave::dc(3.0),
+        ));
+        c.add(Resistor::new("r1", vin, a, 1e3));
+        c.add(Diode::new("d1", a, Circuit::gnd(), DiodeParams::default()));
+        let sol = solve_op(&c, &OpOptions::default()).unwrap();
+        let vd = sol.v(a);
+        assert!((0.5..0.75).contains(&vd), "vd = {vd}");
+        // Current consistency: (3 − vd)/1k = Is·(exp(vd/vt) − 1).
+        let i_r = (3.0 - vd) / 1e3;
+        let i_d = 1e-14 * ((vd / VT_300K).exp() - 1.0);
+        assert!((i_r - i_d).abs() / i_r < 1e-3);
+    }
+
+    #[test]
+    fn reverse_leakage_is_saturation_current() {
+        let d = {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            Diode::new("d", a, Circuit::gnd(), DiodeParams::default())
+        };
+        let (i, g) = d.i_g(-1.0);
+        assert!((i + 1e-14).abs() < 1e-20);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn overflow_region_is_linear() {
+        let d = {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            Diode::new("d", a, Circuit::gnd(), DiodeParams::default())
+        };
+        let (i1, g1) = d.i_g(2.0);
+        let (i2, g2) = d.i_g(3.0);
+        assert!(i1.is_finite() && i2.is_finite());
+        assert!(i2 > i1);
+        assert!((g1 - g2).abs() / g1 < 1e-12, "conductance constant above X_MAX");
+    }
+}

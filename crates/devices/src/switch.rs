@@ -1,0 +1,208 @@
+//! A smooth voltage-controlled switch.
+//!
+//! Used for idealized driver output stages where a full transistor model
+//! would add nothing: the conductance between the two terminals moves
+//! smoothly (logistic) from `g_off` to `g_on` as the control voltage crosses
+//! the threshold, keeping the Newton iteration differentiable.
+
+use std::any::Any;
+
+use oxterm_spice::circuit::NodeId;
+use oxterm_spice::device::{Device, StampContext};
+
+/// Switch parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchParams {
+    /// Conductance when on (S).
+    pub g_on: f64,
+    /// Conductance when off (S).
+    pub g_off: f64,
+    /// Control threshold voltage (V).
+    pub v_th: f64,
+    /// Transition width (V).
+    pub v_width: f64,
+}
+
+impl Default for SwitchParams {
+    fn default() -> Self {
+        SwitchParams {
+            g_on: 1e-2,
+            g_off: 1e-9,
+            v_th: 1.65,
+            v_width: 0.05,
+        }
+    }
+}
+
+/// A voltage-controlled switch between `p` and `n`, controlled by
+/// `v(cp) − v(cn)`.
+#[derive(Debug, Clone)]
+pub struct VSwitch {
+    name: String,
+    p: NodeId,
+    n: NodeId,
+    cp: NodeId,
+    cn: NodeId,
+    params: SwitchParams,
+}
+
+impl VSwitch {
+    /// Creates a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if conductances or the transition width are not positive, or
+    /// `g_on <= g_off`.
+    pub fn new(
+        name: impl Into<String>,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        params: SwitchParams,
+    ) -> Self {
+        assert!(
+            params.g_on > params.g_off && params.g_off > 0.0 && params.v_width > 0.0,
+            "switch parameters must satisfy g_on > g_off > 0 and v_width > 0"
+        );
+        VSwitch {
+            name: name.into(),
+            p,
+            n,
+            cp,
+            cn,
+            params,
+        }
+    }
+
+    /// Conductance and its control-voltage derivative at control voltage
+    /// `vc`.
+    pub fn g_and_dg(&self, vc: f64) -> (f64, f64) {
+        let x = (vc - self.params.v_th) / self.params.v_width;
+        let sigma = if x > 40.0 {
+            1.0
+        } else if x < -40.0 {
+            0.0
+        } else {
+            1.0 / (1.0 + (-x).exp())
+        };
+        let span = self.params.g_on - self.params.g_off;
+        let g = self.params.g_off + span * sigma;
+        let dg = span * sigma * (1.0 - sigma) / self.params.v_width;
+        (g, dg)
+    }
+}
+
+impl Device for VSwitch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn stamp(&self, ctx: &mut StampContext<'_>) {
+        let vc = ctx.v(self.cp) - ctx.v(self.cn);
+        let v = ctx.v(self.p) - ctx.v(self.n);
+        let (g, dg) = self.g_and_dg(vc);
+        // i(v, vc) = g(vc)·v; linearize in both v and vc.
+        ctx.stamp_conductance(self.p, self.n, g);
+        ctx.stamp_vccs(self.p, self.n, self.cp, self.cn, dg * v);
+        // Cancel the extra constant introduced by the vccs linearization:
+        // i ≈ g·v + dg·v·(vc − vc0); the vccs stamps dg·v·vc, so subtract
+        // dg·v·vc0 as an equivalent current.
+        ctx.stamp_current(self.p, self.n, -dg * v * vc);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passive::Resistor;
+    use crate::sources::{SourceWave, VoltageSource};
+    use oxterm_spice::analysis::op::{solve_op, OpOptions};
+    use oxterm_spice::circuit::Circuit;
+
+    fn switch_divider(vc: f64) -> f64 {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        let ctrl = c.node("ctrl");
+        c.add(VoltageSource::new(
+            "vin",
+            vin,
+            Circuit::gnd(),
+            SourceWave::dc(1.0),
+        ));
+        c.add(VoltageSource::new(
+            "vc",
+            ctrl,
+            Circuit::gnd(),
+            SourceWave::dc(vc),
+        ));
+        c.add(VSwitch::new(
+            "s1",
+            vin,
+            out,
+            ctrl,
+            Circuit::gnd(),
+            SwitchParams::default(),
+        ));
+        c.add(Resistor::new("rl", out, Circuit::gnd(), 1e3));
+        let sol = solve_op(&c, &OpOptions::default()).unwrap();
+        sol.v(out)
+    }
+
+    #[test]
+    fn switch_passes_when_on() {
+        let v = switch_divider(3.3);
+        // g_on = 10 mS → series 100 Ω against 1 kΩ load: v ≈ 0.909.
+        assert!((v - 1000.0 / 1100.0).abs() < 1e-3, "v = {v}");
+    }
+
+    #[test]
+    fn switch_blocks_when_off() {
+        let v = switch_divider(0.0);
+        assert!(v < 1e-3, "v = {v}");
+    }
+
+    #[test]
+    fn conductance_is_monotone_in_control() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let s = VSwitch::new("s", a, b, a, b, SwitchParams::default());
+        let mut prev = 0.0;
+        for i in 0..50 {
+            let vc = i as f64 * 0.1;
+            let (g, dg) = s.g_and_dg(vc);
+            assert!(g >= prev);
+            assert!(dg >= 0.0);
+            prev = g;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "switch parameters")]
+    fn rejects_inverted_conductances() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let _ = VSwitch::new(
+            "bad",
+            a,
+            Circuit::gnd(),
+            a,
+            Circuit::gnd(),
+            SwitchParams {
+                g_on: 1e-9,
+                g_off: 1e-2,
+                ..SwitchParams::default()
+            },
+        );
+    }
+}

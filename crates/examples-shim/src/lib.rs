@@ -1,0 +1,9 @@
+//! Shim crate exposing the repository-root `examples/` directory as cargo
+//! example targets:
+//!
+//! ```text
+//! cargo run --release -p oxterm-examples --example quickstart
+//! cargo run --release -p oxterm-examples --example qlc_storage
+//! cargo run --release -p oxterm-examples --example nn_weights
+//! cargo run --release -p oxterm-examples --example endurance_cycling
+//! ```

@@ -1,0 +1,6 @@
+//! Shim crate exposing the repository-root `tests/` directory as cargo
+//! integration-test targets spanning every `oxterm` crate:
+//!
+//! ```text
+//! cargo test -p oxterm-integration
+//! ```

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A matrix factorization hit a (numerically) zero pivot.
+    SingularMatrix {
+        /// The elimination step at which the zero pivot appeared.
+        step: usize,
+    },
+    /// Operand dimensions do not agree.
+    DimensionMismatch {
+        /// What was expected (rows, cols or length).
+        expected: usize,
+        /// What was provided.
+        found: usize,
+    },
+    /// An input violated a documented precondition (e.g. non-monotone
+    /// breakpoints for a piecewise-linear waveform).
+    InvalidInput {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual (or simplex spread) at the point of failure.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::SingularMatrix { step } => {
+                write!(f, "matrix is singular at elimination step {step}")
+            }
+            NumericsError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            NumericsError::InvalidInput { reason } => {
+                write!(f, "invalid input: {reason}")
+            }
+            NumericsError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:.3e})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NumericsError::SingularMatrix { step: 3 };
+        assert_eq!(e.to_string(), "matrix is singular at elimination step 3");
+        let e = NumericsError::DimensionMismatch {
+            expected: 4,
+            found: 2,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        let e = NumericsError::NoConvergence {
+            iterations: 10,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("10 iterations"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

@@ -1,0 +1,320 @@
+//! Derivative-free minimization (Nelder–Mead simplex).
+//!
+//! Used by `oxterm-rram` to calibrate the OxRAM compact model against the
+//! paper's published Table 2 / Fig 10 / Fig 13 anchors: the objective is a
+//! full transient simulation per evaluation, so derivatives are unavailable
+//! and a simplex search is the pragmatic choice.
+
+use crate::NumericsError;
+
+/// Options controlling the Nelder–Mead search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex's objective spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex's parameter spread falls below this
+    /// (relative to the initial scale).
+    pub x_tol: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 2000,
+            f_tol: 1e-10,
+            x_tol: 1e-8,
+        }
+    }
+}
+
+/// The result of a simplex minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+    /// Whether a tolerance criterion was met (as opposed to hitting the
+    /// evaluation budget).
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0` with per-dimension initial steps `scale`.
+///
+/// Non-finite objective values are treated as `+∞`, which lets callers encode
+/// hard constraints by returning `f64::INFINITY`.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] if `x0` is empty or `scale` has a
+/// different length / non-positive entries.
+///
+/// # Examples
+///
+/// ```
+/// use oxterm_numerics::optimize::{nelder_mead, NelderMeadOptions};
+///
+/// # fn main() -> Result<(), oxterm_numerics::NumericsError> {
+/// let rosenbrock = |x: &[f64]| {
+///     let a = 1.0 - x[0];
+///     let b = x[1] - x[0] * x[0];
+///     a * a + 100.0 * b * b
+/// };
+/// let m = nelder_mead(
+///     rosenbrock,
+///     &[-1.2, 1.0],
+///     &[0.5, 0.5],
+///     NelderMeadOptions { max_evals: 5000, ..Default::default() },
+/// )?;
+/// assert!((m.x[0] - 1.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn nelder_mead<F>(
+    mut f: F,
+    x0: &[f64],
+    scale: &[f64],
+    opts: NelderMeadOptions,
+) -> Result<Minimum, NumericsError>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = x0.len();
+    if n == 0 {
+        return Err(NumericsError::InvalidInput {
+            reason: "empty parameter vector".into(),
+        });
+    }
+    if scale.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: n,
+            found: scale.len(),
+        });
+    }
+    if scale.iter().any(|&s| !(s > 0.0)) {
+        return Err(NumericsError::InvalidInput {
+            reason: "all scales must be positive".into(),
+        });
+    }
+
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Build initial simplex: x0 plus one perturbed vertex per dimension.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += scale[i];
+        simplex.push(v);
+    }
+    let mut fx: Vec<f64> = simplex.iter().map(|v| eval(v, &mut evals)).collect();
+
+    // Standard coefficients.
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let x_scale: f64 = scale.iter().cloned().fold(0.0, f64::max);
+
+    loop {
+        // Order vertices by objective.
+        let mut idx: Vec<usize> = (0..=n).collect();
+        idx.sort_by(|&a, &b| fx[a].partial_cmp(&fx[b]).expect("inf-mapped"));
+        let reorder_s: Vec<Vec<f64>> = idx.iter().map(|&i| simplex[i].clone()).collect();
+        let reorder_f: Vec<f64> = idx.iter().map(|&i| fx[i]).collect();
+        simplex = reorder_s;
+        fx = reorder_f;
+
+        let f_best = fx[0];
+        let f_worst = fx[n];
+        let f_spread = (f_worst - f_best).abs();
+        let x_spread = simplex[1..]
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .zip(&simplex[0])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+
+        if f_spread < opts.f_tol || x_spread < opts.x_tol * x_scale {
+            return Ok(Minimum {
+                x: simplex[0].clone(),
+                f: f_best,
+                evals,
+                converged: true,
+            });
+        }
+        if evals >= opts.max_evals {
+            return Ok(Minimum {
+                x: simplex[0].clone(),
+                f: f_best,
+                evals,
+                converged: false,
+            });
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for v in &simplex[..n] {
+            for (c, vi) in centroid.iter_mut().zip(v) {
+                *c += vi / n as f64;
+            }
+        }
+
+        let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(ai, bi)| ai + t * (bi - ai)).collect()
+        };
+
+        // Reflection.
+        let xr = blend(&centroid, &simplex[n], -ALPHA);
+        let fr = eval(&xr, &mut evals);
+        if fr < fx[0] {
+            // Expansion.
+            let xe = blend(&centroid, &simplex[n], -GAMMA);
+            let fe = eval(&xe, &mut evals);
+            if fe < fr {
+                simplex[n] = xe;
+                fx[n] = fe;
+            } else {
+                simplex[n] = xr;
+                fx[n] = fr;
+            }
+            continue;
+        }
+        if fr < fx[n - 1] {
+            simplex[n] = xr;
+            fx[n] = fr;
+            continue;
+        }
+        // Contraction (toward the better of worst/reflected).
+        let (xc, fc) = if fr < fx[n] {
+            let xc = blend(&centroid, &xr, RHO);
+            let fc = eval(&xc, &mut evals);
+            (xc, fc)
+        } else {
+            let xc = blend(&centroid, &simplex[n], RHO);
+            let fc = eval(&xc, &mut evals);
+            (xc, fc)
+        };
+        if fc < fx[n].min(fr) {
+            simplex[n] = xc;
+            fx[n] = fc;
+            continue;
+        }
+        // Shrink toward the best vertex.
+        let best = simplex[0].clone();
+        for i in 1..=n {
+            simplex[i] = blend(&best, &simplex[i], SIGMA);
+            fx[i] = eval(&simplex[i], &mut evals);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let m = nelder_mead(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((m.x[0] - 3.0).abs() < 1e-4);
+        assert!((m.x[1] + 1.0).abs() < 1e-4);
+        assert!(m.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let m = nelder_mead(
+            |x| {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 100.0 * b * b
+            },
+            &[-1.2, 1.0],
+            &[0.5, 0.5],
+            NelderMeadOptions {
+                max_evals: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(m.f < 1e-6, "f = {}", m.f);
+    }
+
+    #[test]
+    fn respects_infinity_constraints() {
+        // Constrain x >= 0 by returning infinity.
+        let m = nelder_mead(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::INFINITY
+                } else {
+                    (x[0] - 0.5).powi(2)
+                }
+            },
+            &[2.0],
+            &[0.5],
+            NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((m.x[0] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let m = nelder_mead(
+            |x| (x[0] * x[0] - 2.0).powi(2),
+            &[1.0],
+            &[0.1],
+            NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((m.x[0] - 2.0f64.sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(nelder_mead(|_| 0.0, &[], &[], NelderMeadOptions::default()).is_err());
+        assert!(nelder_mead(|_| 0.0, &[1.0], &[1.0, 2.0], NelderMeadOptions::default()).is_err());
+        assert!(nelder_mead(|_| 0.0, &[1.0], &[0.0], NelderMeadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        let m = nelder_mead(
+            |x| x.iter().map(|v| v * v).sum::<f64>(),
+            &[10.0, 10.0, 10.0],
+            &[1.0, 1.0, 1.0],
+            NelderMeadOptions {
+                max_evals: 10,
+                f_tol: 0.0,
+                x_tol: 0.0,
+            },
+        )
+        .unwrap();
+        assert!(!m.converged);
+        assert!(m.evals >= 10);
+    }
+}

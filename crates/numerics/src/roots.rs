@@ -1,0 +1,150 @@
+//! Scalar root finding.
+//!
+//! Compact-model internals occasionally need a quick scalar solve (e.g.
+//! inverting a conduction law to find the filament radius that yields a given
+//! read resistance). [`newton_bisect`] is a safeguarded Newton iteration that
+//! falls back to bisection whenever the Newton step leaves the bracket, so it
+//! inherits Newton's quadratic convergence with bisection's robustness.
+
+use crate::NumericsError;
+
+/// Options for [`newton_bisect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on `x`.
+    pub x_tol: f64,
+    /// Absolute tolerance on `f(x)`.
+    pub f_tol: f64,
+    /// Iteration budget.
+    pub max_iters: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        RootOptions {
+            x_tol: 1e-14,
+            f_tol: 1e-14,
+            max_iters: 200,
+        }
+    }
+}
+
+/// Finds a root of `f` in `[a, b]` using safeguarded Newton iteration.
+///
+/// The derivative is approximated by a forward difference, so only `f` is
+/// required.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidInput`] if the bracket is invalid or
+/// `f(a)` and `f(b)` have the same sign, and [`NumericsError::NoConvergence`]
+/// if the iteration budget is exhausted.
+///
+/// # Examples
+///
+/// ```
+/// use oxterm_numerics::roots::{newton_bisect, RootOptions};
+///
+/// # fn main() -> Result<(), oxterm_numerics::NumericsError> {
+/// let sqrt2 = newton_bisect(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default())?;
+/// assert!((sqrt2 - 2.0f64.sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn newton_bisect<F>(mut f: F, a: f64, b: f64, opts: RootOptions) -> Result<f64, NumericsError>
+where
+    F: FnMut(f64) -> f64,
+{
+    if !(a < b) || !a.is_finite() || !b.is_finite() {
+        return Err(NumericsError::InvalidInput {
+            reason: format!("invalid bracket [{a}, {b}]"),
+        });
+    }
+    let mut lo = a;
+    let mut hi = b;
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(NumericsError::InvalidInput {
+            reason: "f(a) and f(b) must have opposite signs".into(),
+        });
+    }
+
+    let mut x = 0.5 * (lo + hi);
+    for it in 0..opts.max_iters {
+        let fx = f(x);
+        if fx.abs() <= opts.f_tol || (hi - lo) <= opts.x_tol {
+            return Ok(x);
+        }
+        // Maintain the bracket.
+        if fx.signum() == f_lo.signum() {
+            lo = x;
+            f_lo = fx;
+        } else {
+            hi = x;
+        }
+        // Newton step with finite-difference derivative.
+        let h = 1e-7 * (1.0 + x.abs());
+        let dfdx = (f(x + h) - fx) / h;
+        let newton = if dfdx != 0.0 { x - fx / dfdx } else { f64::NAN };
+        x = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        let _ = it;
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: opts.max_iters,
+        residual: f(x).abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let r = newton_bisect(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default()).unwrap();
+        assert!((r - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_root_of_stiff_exponential() {
+        // exp-style conduction law: I(V) = 1e-12 * (exp(V / 0.05) - 1) - 1e-6
+        let r = newton_bisect(
+            |v| 1e-12 * ((v / 0.05).exp() - 1.0) - 1e-6,
+            0.0,
+            2.0,
+            RootOptions::default(),
+        )
+        .unwrap();
+        let expected = 0.05 * (1e6_f64 + 1.0).ln();
+        assert!((r - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoint_roots_returned_directly() {
+        let r = newton_bisect(|x| x, 0.0, 1.0, RootOptions::default()).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn rejects_unbracketed() {
+        assert!(newton_bisect(|x| x * x + 1.0, -1.0, 1.0, RootOptions::default()).is_err());
+        assert!(newton_bisect(|x| x, 1.0, 0.0, RootOptions::default()).is_err());
+    }
+
+    #[test]
+    fn decreasing_function() {
+        let r = newton_bisect(|x| 1.0 - x, 0.0, 5.0, RootOptions::default()).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

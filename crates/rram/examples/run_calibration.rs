@@ -1,0 +1,78 @@
+//! Re-runs the OxRAM model calibration against the paper's published
+//! anchors and prints the fitted card next to the per-anchor errors.
+//!
+//! ```text
+//! cargo run --release -p oxterm-rram --example run_calibration
+//! ```
+
+use oxterm_rram::calib::{
+    calibrate, simulate_reset_termination, CalibrationTarget, ResetConditions,
+};
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+
+fn report(label: &str, params: &OxramParams, v_drive: f64, r_series: f64) {
+    println!("== {label} ==");
+    println!(
+        "  g_on={:.4e}  v_shape={:.3}  tau_rst0={:.4e}  v_rst={:.4}  beta={:.3}  i_joule={:.3e}",
+        params.g_on, params.v_shape, params.tau_rst0, params.v_rst, params.beta_rst, params.i_joule
+    );
+    println!("  v_drive={v_drive:.4} V  r_series={r_series:.1} Ω");
+    println!("  IrefR(µA)  R_paper(kΩ)  R_model(kΩ)  err%   latency(µs)  E(pJ)");
+    let inst = InstanceVariation::nominal();
+    for &(i_ua, r_kohm) in &CalibrationTarget::paper().allocation {
+        let cond = ResetConditions {
+            v_drive,
+            r_series,
+            i_ref: i_ua * 1e-6,
+            ..ResetConditions::paper_defaults(i_ua * 1e-6)
+        };
+        match simulate_reset_termination(params, &inst, &cond) {
+            Ok(out) => println!(
+                "  {:8.1}  {:10.1}  {:10.1}  {:+5.1}  {:8.3}  {:6.1}",
+                i_ua,
+                r_kohm,
+                out.r_read_ohms / 1e3,
+                (out.r_read_ohms / (r_kohm * 1e3) - 1.0) * 100.0,
+                out.latency_s * 1e6,
+                out.energy_j * 1e12
+            ),
+            Err(e) => println!("  {i_ua:8.1}  {r_kohm:10.1}  FAILED: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let start = OxramParams::calibrated();
+    let c0 = ResetConditions::paper_defaults(10e-6);
+    report("starting card", &start, c0.v_drive, c0.r_series);
+
+    let budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+    println!("\nrunning Nelder–Mead with {budget} evaluations × 3 chained restarts...");
+    let mut fit = calibrate(&start, c0.v_drive, c0.r_series, &CalibrationTarget::paper(), budget)
+        .expect("calibration setup is valid");
+    for round in 1..3 {
+        let next = calibrate(
+            &fit.params,
+            fit.v_drive,
+            fit.r_series,
+            &CalibrationTarget::paper(),
+            budget,
+        )
+        .expect("calibration setup is valid");
+        println!(
+            "  restart {round}: rms log error {:.4} after {} evals",
+            next.rms_log_error, next.evals
+        );
+        if next.rms_log_error < fit.rms_log_error {
+            fit = next;
+        }
+    }
+    println!(
+        "final rms log error {:.4} after {} evals",
+        fit.rms_log_error, fit.evals
+    );
+    report("fitted card", &fit.params, fit.v_drive, fit.r_series);
+}

@@ -1,0 +1,256 @@
+//! The OxRAM cell as a simulatable circuit device.
+
+use std::any::Any;
+
+use oxterm_spice::circuit::NodeId;
+use oxterm_spice::device::{Device, StampContext, UpdateContext};
+use rand::Rng;
+
+use crate::model;
+use crate::params::{InstanceVariation, OxramParams};
+
+/// A two-terminal OxRAM cell (TE = top electrode, BE = bottom electrode).
+///
+/// State: the normalized filament radius `ρ` (one state slot). Positive
+/// TE-to-BE voltage is the SET direction. The cell carries two stacked
+/// stochastic variations: a device-to-device one fixed at build time and a
+/// cycle-to-cycle one refreshed by [`OxramCell::resample_cycle`] between
+/// programming cycles.
+///
+/// # Examples
+///
+/// ```
+/// use oxterm_spice::circuit::Circuit;
+/// use oxterm_rram::cell::OxramCell;
+/// use oxterm_rram::params::OxramParams;
+///
+/// let mut c = Circuit::new();
+/// let te = c.node("bl0");
+/// let be = c.node("x0");
+/// let cell = OxramCell::new("cell00", te, be, OxramParams::calibrated());
+/// assert_eq!(cell.rho_init(), 0.0); // virgin until formed or preconditioned
+/// c.add(cell);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OxramCell {
+    name: String,
+    te: NodeId,
+    be: NodeId,
+    params: OxramParams,
+    d2d: InstanceVariation,
+    c2c: InstanceVariation,
+    rho_init: f64,
+}
+
+impl OxramCell {
+    /// Creates a virgin (unformed) cell.
+    pub fn new(name: impl Into<String>, te: NodeId, be: NodeId, params: OxramParams) -> Self {
+        OxramCell {
+            name: name.into(),
+            te,
+            be,
+            params,
+            d2d: InstanceVariation::nominal(),
+            c2c: InstanceVariation::nominal(),
+            rho_init: 0.0,
+        }
+    }
+
+    /// The model card.
+    pub fn params(&self) -> &OxramParams {
+        &self.params
+    }
+
+    /// Initial filament state used at the start of each analysis.
+    pub fn rho_init(&self) -> f64 {
+        self.rho_init
+    }
+
+    /// Sets the initial filament state (`0 ≤ ρ ≤ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is outside `[0, 1]`.
+    pub fn set_rho_init(&mut self, rho: f64) {
+        assert!((0.0..=1.0).contains(&rho), "rho must lie in [0, 1]");
+        self.rho_init = rho;
+    }
+
+    /// Preconditions the cell so it reads as `r_ohms` at `v_read`.
+    pub fn precondition_resistance(&mut self, r_ohms: f64, v_read: f64) {
+        let inst = self.effective_variation();
+        self.rho_init = model::rho_for_resistance(&self.params, &inst, r_ohms, v_read);
+    }
+
+    /// Fixes the device-to-device variation (sampled once per fabricated
+    /// cell).
+    pub fn set_d2d(&mut self, d2d: InstanceVariation) {
+        self.d2d = d2d;
+    }
+
+    /// Samples a fresh device-to-device variation.
+    pub fn sample_d2d<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.d2d = InstanceVariation::sample_d2d(&self.params, rng);
+    }
+
+    /// Refreshes the cycle-to-cycle variation — call between programming
+    /// cycles.
+    pub fn resample_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.c2c = InstanceVariation::sample_c2c(&self.params, rng);
+    }
+
+    /// The combined (D2D ∘ C2C) variation currently in effect.
+    pub fn effective_variation(&self) -> InstanceVariation {
+        self.d2d.combine(&self.c2c)
+    }
+
+    /// Read resistance the cell would show in state `rho` at `v_read`.
+    pub fn resistance(&self, rho: f64, v_read: f64) -> f64 {
+        model::read_resistance(&self.params, &self.effective_variation(), rho, v_read)
+    }
+}
+
+impl Device for OxramCell {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn state_len(&self) -> usize {
+        1
+    }
+
+    fn init_state(&self, state: &mut [f64]) {
+        state[0] = self.rho_init;
+    }
+
+    fn stamp(&self, ctx: &mut StampContext<'_>) {
+        let v = ctx.v(self.te) - ctx.v(self.be);
+        let rho = ctx.state()[0];
+        let inst = self.effective_variation();
+        let i = model::cell_current(&self.params, &inst, v, rho);
+        let g = model::cell_conductance(&self.params, &inst, v, rho);
+        ctx.stamp_nonlinear_branch(self.te, self.be, i, g, v);
+    }
+
+    fn update_state(&self, ctx: &UpdateContext<'_>, state: &mut [f64]) {
+        let dt = ctx.dt();
+        if dt == 0.0 {
+            return; // priming: keep rho_init
+        }
+        let v = ctx.v(self.te) - ctx.v(self.be);
+        let inst = self.effective_variation();
+        state[0] = model::advance_state(&self.params, &inst, state[0], v, dt);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oxterm_devices::passive::Resistor;
+    use oxterm_devices::sources::{SourceWave, VoltageSource};
+    use oxterm_spice::analysis::op::{solve_op, OpOptions};
+    use oxterm_spice::analysis::tran::{run_transient, TranOptions};
+    use oxterm_spice::circuit::Circuit;
+
+    #[test]
+    fn dc_read_matches_model_resistance() {
+        let mut c = Circuit::new();
+        let bl = c.node("bl");
+        let mut cell = OxramCell::new("u1", bl, Circuit::gnd(), OxramParams::calibrated());
+        cell.precondition_resistance(100e3, 0.3);
+        let rho = cell.rho_init();
+        let expect = cell.resistance(rho, 0.3);
+        let id = c.add(cell);
+        let vs = c.add(VoltageSource::new(
+            "vr",
+            bl,
+            Circuit::gnd(),
+            SourceWave::dc(0.3),
+        ));
+        let sol = solve_op(&c, &OpOptions::default()).unwrap();
+        let i = -sol.branch_current(&c, vs, 0).unwrap();
+        let r = 0.3 / i;
+        assert!((r - expect).abs() / expect < 1e-3, "r = {r}, expect {expect}");
+        let _ = id;
+    }
+
+    #[test]
+    fn reset_transient_increases_resistance() {
+        // SL-side positive drive with the cell reversed (BE at SL) is how
+        // RESET is applied in a 1T-1R; here drive TE negative directly.
+        let mut c = Circuit::new();
+        let te = c.node("te");
+        let mut cell = OxramCell::new("u1", te, Circuit::gnd(), OxramParams::calibrated());
+        cell.set_rho_init(1.0);
+        let cell_id = c.add(cell);
+        c.add(VoltageSource::new(
+            "vrst",
+            te,
+            Circuit::gnd(),
+            SourceWave::pulse(-1.2, 10e-9, 5e-9, 3.0e-6, 5e-9),
+        ));
+        let opts = TranOptions {
+            dt_max: Some(20e-9),
+            ..TranOptions::for_duration(3.2e-6)
+        };
+        let res = run_transient(&mut c, &opts, &mut []).unwrap();
+        let rho = res.state_trace(&c, cell_id, 0).unwrap();
+        assert!((rho.y()[0] - 1.0).abs() < 1e-12);
+        assert!(rho.last() < 0.6, "final rho = {}", rho.last());
+    }
+
+    #[test]
+    fn set_transient_grows_filament() {
+        let mut c = Circuit::new();
+        let te = c.node("te");
+        let mut cell = OxramCell::new("u1", te, Circuit::gnd(), OxramParams::calibrated());
+        cell.set_rho_init(0.15); // HRS
+        let cell_id = c.add(cell);
+        let drv = c.node("drv");
+        c.add(Resistor::new("rs", te, drv, 2e3));
+        c.add(VoltageSource::new(
+            "vset",
+            drv,
+            Circuit::gnd(),
+            SourceWave::pulse(1.4, 10e-9, 5e-9, 300e-9, 5e-9),
+        ));
+        let opts = TranOptions {
+            dt_max: Some(5e-9),
+            ..TranOptions::for_duration(400e-9)
+        };
+        let res = run_transient(&mut c, &opts, &mut []).unwrap();
+        let rho = res.state_trace(&c, cell_id, 0).unwrap();
+        assert!(rho.last() > 0.6, "final rho = {}", rho.last());
+    }
+
+    #[test]
+    fn cycle_resampling_changes_variation() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut c = Circuit::new();
+        let te = c.node("te");
+        let mut cell = OxramCell::new("u1", te, Circuit::gnd(), OxramParams::calibrated());
+        let before = cell.effective_variation();
+        let mut rng = StdRng::seed_from_u64(3);
+        cell.resample_cycle(&mut rng);
+        let after = cell.effective_variation();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must lie")]
+    fn rejects_out_of_range_state() {
+        let mut c = Circuit::new();
+        let te = c.node("te");
+        let mut cell = OxramCell::new("u1", te, Circuit::gnd(), OxramParams::calibrated());
+        cell.set_rho_init(1.5);
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use oxterm_numerics::NumericsError;
+
+/// Errors from the compact-model routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RramError {
+    /// A scalar solve or fit failed.
+    Numerics(NumericsError),
+    /// A simulated programming operation never reached its target.
+    NotTerminated {
+        /// The reference current that was never reached (A).
+        i_ref: f64,
+        /// Simulated time at abandonment (s).
+        t_max: f64,
+        /// Cell current when the simulation gave up (A).
+        i_final: f64,
+    },
+    /// A parameter violated its documented range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for RramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RramError::Numerics(e) => write!(f, "numerical failure: {e}"),
+            RramError::NotTerminated {
+                i_ref,
+                t_max,
+                i_final,
+            } => write!(
+                f,
+                "reset did not reach {:.3e} A within {:.3e} s (cell current {:.3e} A)",
+                i_ref, t_max, i_final
+            ),
+            RramError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for RramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RramError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for RramError {
+    fn from(e: NumericsError) -> Self {
+        RramError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = RramError::NotTerminated {
+            i_ref: 6e-6,
+            t_max: 1e-5,
+            i_final: 8e-6,
+        };
+        assert!(e.to_string().contains("did not reach"));
+        let e = RramError::InvalidParameter {
+            name: "g_on",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("g_on"));
+    }
+}

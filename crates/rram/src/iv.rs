@@ -1,0 +1,266 @@
+//! Quasi-static I–V sweep generation (butterfly curves, forming).
+//!
+//! Reproduces the measurement style behind the paper's Fig 1c (1T-1R I–V in
+//! log scale) and Fig 5 (stochastic I–V envelopes for SET/RST/FMG): a slow
+//! staircase voltage sweep with a per-point dwell, SET-side compliance
+//! clamping, and the filament state evolving along the way.
+
+use crate::model;
+use crate::params::{InstanceVariation, OxramParams};
+use crate::RramError;
+
+/// Configuration of a quasi-static sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvSweepConfig {
+    /// Positive sweep extreme (SET side, V).
+    pub v_max: f64,
+    /// Negative sweep extreme (RESET side, V).
+    pub v_min: f64,
+    /// Points per sweep leg.
+    pub points_per_leg: usize,
+    /// Dwell time per point (s).
+    pub dwell: f64,
+    /// Compliance current on the SET side (A).
+    pub i_compliance: f64,
+    /// Starting filament state.
+    pub rho_start: f64,
+}
+
+impl IvSweepConfig {
+    /// The paper's Fig 1c conditions: ±1.4 V-class sweep on a formed cell
+    /// with the access transistor limiting the SET current.
+    pub fn butterfly() -> Self {
+        IvSweepConfig {
+            v_max: 1.4,
+            v_min: -1.7,
+            points_per_leg: 80,
+            dwell: 1e-6,
+            i_compliance: 100e-6,
+            rho_start: 0.05, // start from HRS so the SET branch shows
+        }
+    }
+
+    /// Forming conditions: virgin cell, 0 → 3.3 V.
+    pub fn forming() -> Self {
+        IvSweepConfig {
+            v_max: 3.3,
+            v_min: 0.0,
+            points_per_leg: 120,
+            dwell: 1e-6,
+            i_compliance: 100e-6,
+            rho_start: 0.0,
+        }
+    }
+}
+
+/// One sample of a swept I–V characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvPoint {
+    /// Applied cell voltage (V).
+    pub v: f64,
+    /// Cell current, compliance-clamped (A).
+    pub i: f64,
+    /// Filament state after the dwell at this point.
+    pub rho: f64,
+    /// Whether the compliance clamp was active.
+    pub compliance_active: bool,
+}
+
+/// Runs a full butterfly sweep: `0 → v_max → 0 → v_min → 0`.
+///
+/// # Errors
+///
+/// Returns [`RramError::InvalidParameter`] for an invalid card or
+/// non-positive dwell/compliance.
+pub fn butterfly_sweep(
+    params: &OxramParams,
+    inst: &InstanceVariation,
+    config: &IvSweepConfig,
+) -> Result<Vec<IvPoint>, RramError> {
+    params.validate()?;
+    if !(config.dwell > 0.0) {
+        return Err(RramError::InvalidParameter {
+            name: "dwell",
+            value: config.dwell,
+        });
+    }
+    if !(config.i_compliance > 0.0) {
+        return Err(RramError::InvalidParameter {
+            name: "i_compliance",
+            value: config.i_compliance,
+        });
+    }
+    let n = config.points_per_leg.max(2);
+    let mut voltages = Vec::with_capacity(4 * n);
+    push_leg(&mut voltages, 0.0, config.v_max, n);
+    push_leg(&mut voltages, config.v_max, 0.0, n);
+    if config.v_min < 0.0 {
+        push_leg(&mut voltages, 0.0, config.v_min, n);
+        push_leg(&mut voltages, config.v_min, 0.0, n);
+    }
+    Ok(run_points(params, inst, &voltages, config))
+}
+
+/// Runs a single forming leg `0 → v_max` from a virgin state.
+///
+/// # Errors
+///
+/// Same conditions as [`butterfly_sweep`].
+pub fn forming_sweep(
+    params: &OxramParams,
+    inst: &InstanceVariation,
+    config: &IvSweepConfig,
+) -> Result<Vec<IvPoint>, RramError> {
+    params.validate()?;
+    if !(config.dwell > 0.0) {
+        return Err(RramError::InvalidParameter {
+            name: "dwell",
+            value: config.dwell,
+        });
+    }
+    let n = config.points_per_leg.max(2);
+    let mut voltages = Vec::with_capacity(n);
+    push_leg(&mut voltages, 0.0, config.v_max, n);
+    Ok(run_points(params, inst, &voltages, config))
+}
+
+fn push_leg(out: &mut Vec<f64>, from: f64, to: f64, n: usize) {
+    for k in 0..n {
+        out.push(from + (to - from) * k as f64 / (n - 1) as f64);
+    }
+}
+
+fn run_points(
+    params: &OxramParams,
+    inst: &InstanceVariation,
+    voltages: &[f64],
+    config: &IvSweepConfig,
+) -> Vec<IvPoint> {
+    let mut rho = config.rho_start;
+    let mut out = Vec::with_capacity(voltages.len());
+    for &v in voltages {
+        let raw = model::cell_current(params, inst, v, rho);
+        let (i, clamped, v_eff) = if v > 0.0 && raw > config.i_compliance {
+            // The access transistor saturates: current clamps and the cell
+            // only sees the voltage that sustains the compliance current.
+            let v_eff = invert_current(params, inst, rho, config.i_compliance, v);
+            (config.i_compliance, true, v_eff)
+        } else {
+            (raw, false, v)
+        };
+        rho = model::advance_state(params, inst, rho, v_eff, config.dwell);
+        out.push(IvPoint {
+            v,
+            i,
+            rho,
+            compliance_active: clamped,
+        });
+    }
+    out
+}
+
+/// Inverts the conduction law: the voltage at which the cell carries
+/// `i_target` in state `rho` (bisection; conduction is monotone).
+fn invert_current(
+    params: &OxramParams,
+    inst: &InstanceVariation,
+    rho: f64,
+    i_target: f64,
+    v_max: f64,
+) -> f64 {
+    let mut lo = 0.0;
+    let mut hi = v_max;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if model::cell_current(params, inst, mid, rho) < i_target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nominal() -> (OxramParams, InstanceVariation) {
+        (OxramParams::calibrated(), InstanceVariation::nominal())
+    }
+
+    #[test]
+    fn butterfly_shows_hysteresis() {
+        let (p, inst) = nominal();
+        let pts = butterfly_sweep(&p, &inst, &IvSweepConfig::butterfly()).unwrap();
+        // Current at +0.3 V on the way up (HRS) must be well below current
+        // at +0.3 V on the way down (LRS after SET).
+        let up = pts
+            .iter()
+            .take(80)
+            .min_by(|a, b| {
+                (a.v - 0.3).abs().partial_cmp(&(b.v - 0.3).abs()).unwrap()
+            })
+            .unwrap();
+        let down = pts
+            .iter()
+            .skip(80)
+            .take(80)
+            .min_by(|a, b| {
+                (a.v - 0.3).abs().partial_cmp(&(b.v - 0.3).abs()).unwrap()
+            })
+            .unwrap();
+        assert!(
+            down.i > 5.0 * up.i,
+            "no hysteresis: up {} vs down {}",
+            up.i,
+            down.i
+        );
+    }
+
+    #[test]
+    fn compliance_clamps_set_current() {
+        let (p, inst) = nominal();
+        let pts = butterfly_sweep(&p, &inst, &IvSweepConfig::butterfly()).unwrap();
+        let max_i = pts.iter().map(|pt| pt.i).fold(0.0f64, f64::max);
+        assert!(max_i <= 100e-6 * 1.0001, "max current {max_i}");
+        assert!(pts.iter().any(|pt| pt.compliance_active));
+    }
+
+    #[test]
+    fn reset_leg_reduces_filament() {
+        let (p, inst) = nominal();
+        let pts = butterfly_sweep(&p, &inst, &IvSweepConfig::butterfly()).unwrap();
+        let after_set = pts[2 * 80 - 1].rho;
+        let after_reset = pts.last().unwrap().rho;
+        assert!(
+            after_reset < 0.8 * after_set,
+            "reset leg did not dissolve: {after_set} → {after_reset}"
+        );
+    }
+
+    #[test]
+    fn forming_switches_virgin_cell() {
+        let (p, inst) = nominal();
+        let pts = forming_sweep(&p, &inst, &IvSweepConfig::forming()).unwrap();
+        assert!(pts[0].rho < 0.01);
+        assert!(pts.last().unwrap().rho > 0.5, "rho = {}", pts.last().unwrap().rho);
+        // Forming must engage only above SET-level voltages.
+        let at_1v2 = pts
+            .iter()
+            .min_by(|a, b| (a.v - 1.2).abs().partial_cmp(&(b.v - 1.2).abs()).unwrap())
+            .unwrap();
+        assert!(at_1v2.rho < 0.2, "premature forming at 1.2 V: {}", at_1v2.rho);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (p, inst) = nominal();
+        let mut cfg = IvSweepConfig::butterfly();
+        cfg.dwell = 0.0;
+        assert!(butterfly_sweep(&p, &inst, &cfg).is_err());
+        let mut cfg = IvSweepConfig::butterfly();
+        cfg.i_compliance = -1.0;
+        assert!(butterfly_sweep(&p, &inst, &cfg).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! HfO2 OxRAM compact model with stochastic variability.
+//!
+//! This crate is the `oxterm` substitute for the Bocquet-style compact model
+//! the paper uses (calibrated there against a fabricated 130 nm test chip).
+//! Since neither the silicon nor the proprietary model deck is available, the
+//! model here is calibrated against the paper's *published outputs*: the
+//! Table 2 `IrefR → RHRS` allocation, the Fig 10 termination transient, and
+//! the Fig 13 latency anchors. See `DESIGN.md` §4 for the full rationale.
+//!
+//! # Model summary
+//!
+//! The cell state is the normalized conductive-filament radius `ρ ∈ [0, 1]`.
+//!
+//! * **Conduction** — ohmic filament with a mild super-linear correction
+//!   plus a hopping background:
+//!   `I(v, ρ) = g_on·ρ²·v·(1 + (v/v_shape)²) + i_leak·sinh(v/v_hop)`.
+//!   The super-linearity is what makes the 0.3 V read resistance exceed
+//!   `V_cell/IrefR` at termination, as the paper's Table 2 implies.
+//! * **SET** (`v > 0`) — regenerative growth
+//!   `dρ/dt = (1 − ρ)(ρ + ρ_nuc)/τ_set(v)` with
+//!   `τ_set(v) = τ_set0·exp(−α·v/v_set)`; the `(ρ + ρ_nuc)` factor makes
+//!   virgin cells (`ρ ≈ 0`) require forming-level voltages.
+//! * **RESET** (`v < 0`) — progressive dissolution
+//!   `dρ/dt = −ρ^(1+β)/τ_rst(|v|)` with
+//!   `τ_rst(v) = τ_rst0·exp(−α·v/v_rst)`; `β > 0` produces the heavy
+//!   low-current latency tail the paper reports (4.0 µs at 6 µA vs an
+//!   average of 1.65 µs).
+//! * **Variability** — lognormal multiplicative noise on the transfer
+//!   coefficient `α` and oxide thickness `Lx` (±5 % σ, the paper's stated
+//!   calibration), split into device-to-device and cycle-to-cycle parts.
+//!
+//! # Examples
+//!
+//! Program a cell into an intermediate HRS with a current-terminated RESET:
+//!
+//! ```
+//! use oxterm_rram::params::OxramParams;
+//! use oxterm_rram::calib::{simulate_reset_termination, ResetConditions};
+//!
+//! # fn main() -> Result<(), oxterm_rram::RramError> {
+//! let params = OxramParams::calibrated();
+//! let outcome = simulate_reset_termination(
+//!     &params,
+//!     &Default::default(),
+//!     &ResetConditions::paper_defaults(10e-6), // IrefR = 10 µA
+//! )?;
+//! assert!(outcome.r_read_ohms > 100e3 && outcome.r_read_ohms < 250e3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod calib;
+pub mod cell;
+pub mod iv;
+pub mod model;
+pub mod model_threshold;
+pub mod params;
+pub mod pcm;
+pub mod retention;
+
+mod error;
+
+pub use error::RramError;

@@ -1,0 +1,151 @@
+//! Circuit analyses: DC operating point, DC sweep, transient.
+
+pub mod dc_sweep;
+pub mod op;
+pub mod tran;
+
+use oxterm_numerics::dense::DMatrix;
+use oxterm_numerics::sparse::TripletMatrix;
+use oxterm_numerics::sparse_lu::SparseLu;
+
+use crate::circuit::Circuit;
+use crate::device::{AnalysisKind, DenseSink, StampContext, TripletSink};
+use crate::options::SimOptions;
+use crate::SpiceError;
+
+/// Assembles the linearized MNA system at the candidate solution and solves
+/// it, returning the next Newton iterate.
+pub(crate) fn assemble_and_solve(
+    circuit: &Circuit,
+    candidate: &[f64],
+    state: &[f64],
+    kind: AnalysisKind,
+    source_factor: f64,
+    gshunt: f64,
+    opts: &SimOptions,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = circuit.n_unknowns();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let nn = circuit.n_nodes() - 1;
+    let mut b = vec![0.0; n];
+
+    let stamp_all = |sink: &mut dyn crate::device::MnaSink, b_len_check: usize| {
+        debug_assert_eq!(b_len_check, n);
+        for el in &circuit.elements {
+            let mut ctx = StampContext {
+                sink,
+                candidate,
+                state: &state[el.state_offset..el.state_offset + el.state_len],
+                kind,
+                source_factor,
+                branch_base: nn + el.branch_offset,
+            };
+            el.device.stamp(&mut ctx);
+        }
+    };
+
+    if n <= opts.sparse_threshold {
+        let mut a = DMatrix::zeros(n, n);
+        {
+            let mut sink = DenseSink { a: &mut a, b: &mut b };
+            stamp_all(&mut sink, n);
+        }
+        for i in 0..nn {
+            a.add(i, i, gshunt);
+        }
+        let lu = a.factorize()?;
+        Ok(lu.solve(&b)?)
+    } else {
+        let mut a = TripletMatrix::new(n, n);
+        {
+            let mut sink = TripletSink { a: &mut a, b: &mut b };
+            stamp_all(&mut sink, n);
+        }
+        for i in 0..nn {
+            a.add(i, i, gshunt);
+        }
+        let lu = SparseLu::factorize(&a.to_csc())?;
+        Ok(lu.solve(&b)?)
+    }
+}
+
+/// Result of a Newton solve: the converged iterate and the iteration count.
+pub(crate) struct NewtonOutcome {
+    pub x: Vec<f64>,
+    pub iters: usize,
+}
+
+/// Damped Newton–Raphson at fixed `kind`/`source_factor`/`gshunt`.
+pub(crate) fn newton_solve(
+    circuit: &Circuit,
+    x0: &[f64],
+    state: &[f64],
+    kind: AnalysisKind,
+    source_factor: f64,
+    gshunt: f64,
+    opts: &SimOptions,
+) -> Result<NewtonOutcome, SpiceError> {
+    let n = circuit.n_unknowns();
+    let nn = circuit.n_nodes() - 1;
+    let linear = !circuit.has_nonlinear();
+    let mut x = x0.to_vec();
+    let mut worst = f64::INFINITY;
+    for iter in 0..opts.max_newton_iters {
+        let x_new = assemble_and_solve(circuit, &x, state, kind, source_factor, gshunt, opts)?;
+        if x_new.iter().any(|v| !v.is_finite()) {
+            return Err(SpiceError::NoConvergence {
+                analysis: "newton",
+                time: match kind {
+                    AnalysisKind::Dc => 0.0,
+                    AnalysisKind::Tran { time, .. } => time,
+                },
+                detail: "non-finite solution vector".into(),
+            });
+        }
+        if linear {
+            return Ok(NewtonOutcome { x: x_new, iters: 1 });
+        }
+        let mut converged = true;
+        worst = 0.0;
+        for i in 0..n {
+            let atol = if i < nn { opts.vntol } else { opts.abstol };
+            let tol = atol + opts.reltol * x_new[i].abs().max(x[i].abs());
+            let err = (x_new[i] - x[i]).abs();
+            worst = worst.max(err / tol);
+            if err > tol {
+                converged = false;
+            }
+        }
+        if converged {
+            return Ok(NewtonOutcome {
+                x: x_new,
+                iters: iter + 1,
+            });
+        }
+        // Global damping: clamp node-voltage updates relative to the
+        // previous iterate; branch currents take the full step.
+        let mut damped = x_new;
+        for i in 0..nn {
+            let d = damped[i] - x[i];
+            if d > opts.max_dv {
+                damped[i] = x[i] + opts.max_dv;
+            } else if d < -opts.max_dv {
+                damped[i] = x[i] - opts.max_dv;
+            }
+        }
+        x = damped;
+    }
+    Err(SpiceError::NoConvergence {
+        analysis: "newton",
+        time: match kind {
+            AnalysisKind::Dc => 0.0,
+            AnalysisKind::Tran { time, .. } => time,
+        },
+        detail: format!(
+            "{} iterations, worst error {worst:.2} × tolerance",
+            opts.max_newton_iters
+        ),
+    })
+}

@@ -1,0 +1,104 @@
+use std::error::Error;
+use std::fmt;
+
+use oxterm_numerics::NumericsError;
+
+/// Errors produced by circuit construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// A numerical kernel failed (singular matrix, bad dimensions, …).
+    Numerics(NumericsError),
+    /// Newton–Raphson failed to converge even after gmin and source stepping.
+    NoConvergence {
+        /// Analysis that failed ("op", "tran", …).
+        analysis: &'static str,
+        /// Simulated time at the failure (0 for DC analyses).
+        time: f64,
+        /// Detail of the last attempt.
+        detail: String,
+    },
+    /// The circuit is malformed (no devices, dangling reference, …).
+    InvalidCircuit {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// Transient analysis ran out of allowed time steps.
+    StepLimit {
+        /// Simulated time reached before the limit hit.
+        time: f64,
+        /// The configured step limit.
+        max_steps: usize,
+    },
+    /// Time step shrank below the configured minimum without convergence.
+    TimestepTooSmall {
+        /// Simulated time at which the step collapsed.
+        time: f64,
+        /// The step size that was rejected.
+        dt: f64,
+    },
+    /// A device or node lookup failed.
+    NotFound {
+        /// What was searched for.
+        what: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Numerics(e) => write!(f, "numerical failure: {e}"),
+            SpiceError::NoConvergence {
+                analysis,
+                time,
+                detail,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge at t = {time:.4e} s: {detail}"
+            ),
+            SpiceError::InvalidCircuit { reason } => write!(f, "invalid circuit: {reason}"),
+            SpiceError::StepLimit { time, max_steps } => write!(
+                f,
+                "transient exceeded {max_steps} steps at t = {time:.4e} s"
+            ),
+            SpiceError::TimestepTooSmall { time, dt } => write!(
+                f,
+                "time step collapsed to {dt:.3e} s at t = {time:.4e} s without convergence"
+            ),
+            SpiceError::NotFound { what } => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for SpiceError {
+    fn from(e: NumericsError) -> Self {
+        SpiceError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_numerics_error_with_source() {
+        let e = SpiceError::from(NumericsError::SingularMatrix { step: 1 });
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+}

@@ -1,0 +1,223 @@
+//! Recorded time-series traces and measurement operators.
+//!
+//! The measurements mirror what the paper's figures extract from Eldo
+//! waveforms: threshold crossings (write-termination latency in Fig 10),
+//! integrals (energy per cell in Fig 13a), and end-point values (final HRS
+//! resistance).
+
+/// Direction qualifier for threshold-crossing searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossDir {
+    /// Value passes the level going up.
+    Rising,
+    /// Value passes the level going down.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// A sampled waveform on a non-uniform time grid.
+///
+/// Produced by [`crate::analysis::tran::TranResult`] accessors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    t: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Waveform {
+    /// Builds a waveform from parallel time/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or are empty.
+    pub fn from_parts(t: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(t.len(), y.len(), "waveform vectors must be parallel");
+        assert!(!t.is_empty(), "waveform must have at least one sample");
+        Waveform { t, y }
+    }
+
+    /// Time samples.
+    pub fn t(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Value samples.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Whether the waveform has no samples (never true for constructed
+    /// waveforms).
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// `(t, y)` sample pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.t.iter().cloned().zip(self.y.iter().cloned())
+    }
+
+    /// Last sampled value.
+    pub fn last(&self) -> f64 {
+        *self.y.last().expect("non-empty")
+    }
+
+    /// Linear interpolation at time `t` (clamped at the ends).
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.t[0] {
+            return self.y[0];
+        }
+        let n = self.t.len();
+        if t >= self.t[n - 1] {
+            return self.y[n - 1];
+        }
+        let idx = self.t.partition_point(|&ti| ti <= t);
+        let (t0, y0) = (self.t[idx - 1], self.y[idx - 1]);
+        let (t1, y1) = (self.t[idx], self.y[idx]);
+        if t1 == t0 {
+            y1
+        } else {
+            y0 + (y1 - y0) * (t - t0) / (t1 - t0)
+        }
+    }
+
+    /// First time the waveform crosses `level` in the given direction, by
+    /// linear interpolation between samples.
+    pub fn first_crossing(&self, level: f64, dir: CrossDir) -> Option<f64> {
+        for w in 0..self.t.len().saturating_sub(1) {
+            let (y0, y1) = (self.y[w], self.y[w + 1]);
+            let crossed = match dir {
+                CrossDir::Rising => y0 < level && y1 >= level,
+                CrossDir::Falling => y0 > level && y1 <= level,
+                CrossDir::Any => (y0 < level && y1 >= level) || (y0 > level && y1 <= level),
+            };
+            if crossed {
+                let (t0, t1) = (self.t[w], self.t[w + 1]);
+                if y1 == y0 {
+                    return Some(t1);
+                }
+                return Some(t0 + (t1 - t0) * (level - y0) / (y1 - y0));
+            }
+        }
+        None
+    }
+
+    /// Trapezoidal integral over the whole record.
+    pub fn integral(&self) -> f64 {
+        self.integral_range(self.t[0], self.t[self.t.len() - 1])
+    }
+
+    /// Trapezoidal integral over `[a, b]` (clamped to the record).
+    pub fn integral_range(&self, a: f64, b: f64) -> f64 {
+        if b <= a {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for w in 0..self.t.len().saturating_sub(1) {
+            let (t0, t1) = (self.t[w], self.t[w + 1]);
+            if t1 <= a || t0 >= b {
+                continue;
+            }
+            let lo = t0.max(a);
+            let hi = t1.min(b);
+            sum += 0.5 * (self.value_at(lo) + self.value_at(hi)) * (hi - lo);
+        }
+        sum
+    }
+
+    /// Minimum sampled value.
+    pub fn min(&self) -> f64 {
+        self.y.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sampled value.
+    pub fn max(&self) -> f64 {
+        self.y.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Pointwise product with another waveform on the same grid — used to
+    /// form instantaneous power `p(t) = v(t)·i(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time grids differ.
+    pub fn pointwise_mul(&self, other: &Waveform) -> Waveform {
+        assert_eq!(self.t, other.t, "waveforms must share a time grid");
+        let y = self.y.iter().zip(&other.y).map(|(a, b)| a * b).collect();
+        Waveform {
+            t: self.t.clone(),
+            y,
+        }
+    }
+
+    /// Applies a function to every sample value.
+    pub fn map<F: FnMut(f64) -> f64>(&self, f: F) -> Waveform {
+        Waveform {
+            t: self.t.clone(),
+            y: self.y.iter().cloned().map(f).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::from_parts(vec![0.0, 1.0, 2.0], vec![0.0, 2.0, 0.0])
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let w = ramp();
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(0.5), 1.0);
+        assert_eq!(w.value_at(1.5), 1.0);
+        assert_eq!(w.value_at(5.0), 0.0);
+        assert_eq!(w.last(), 0.0);
+    }
+
+    #[test]
+    fn crossings() {
+        let w = ramp();
+        let up = w.first_crossing(1.0, CrossDir::Rising).unwrap();
+        assert!((up - 0.5).abs() < 1e-12);
+        let down = w.first_crossing(1.0, CrossDir::Falling).unwrap();
+        assert!((down - 1.5).abs() < 1e-12);
+        assert_eq!(w.first_crossing(3.0, CrossDir::Any), None);
+        let any = w.first_crossing(0.5, CrossDir::Any).unwrap();
+        assert!((any - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrals() {
+        let w = ramp();
+        assert!((w.integral() - 2.0).abs() < 1e-12);
+        assert!((w.integral_range(0.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((w.integral_range(0.5, 1.5) - 1.5).abs() < 1e-12);
+        assert_eq!(w.integral_range(1.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn extremes_and_power() {
+        let w = ramp();
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 2.0);
+        let p = w.pointwise_mul(&w);
+        assert_eq!(p.value_at(1.0), 4.0);
+        let half = w.map(|y| y / 2.0);
+        assert_eq!(half.max(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_parts_panic() {
+        Waveform::from_parts(vec![0.0], vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Endurance-style cycling: repeated SET / terminated-RESET cycles on one
+//! cell, showing that the write termination keeps every cycle's programmed
+//! level inside its window even as cycle-to-cycle variability perturbs the
+//! device (the paper's §4.4.2 endurance argument: "the final state of the
+//! cell is only determined by the current drawn by the cell").
+//!
+//! ```text
+//! cargo run --release -p oxterm-examples --example endurance_cycling
+//! ```
+
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions};
+use oxterm_mlc::read::MlcReader;
+use oxterm_rram::params::OxramParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cycles = 2000usize;
+    let code = 10u16; // state '1010' → IrefR = 16 µA → ~92 kΩ
+    println!("cycling one cell {cycles}× through SET + terminated RESET (state {code:04b})\n");
+
+    let alloc = LevelAllocation::paper_qlc();
+    let params = OxramParams::calibrated();
+    let reader = MlcReader::from_allocation(&alloc, &params, 0.3);
+    let conditions = ProgramConditions::paper();
+    let variability = McVariability::default();
+    let mut rng = StdRng::seed_from_u64(0xE9D);
+
+    let mut resistances = Vec::with_capacity(cycles);
+    let mut misreads = 0usize;
+    for _ in 0..cycles {
+        let out = program_cell_mc(&params, &alloc, code, &conditions, &variability, &mut rng)?;
+        if reader.classify_resistance(out.r_read_ohms) != code {
+            misreads += 1;
+        }
+        resistances.push(out.r_read_ohms);
+    }
+
+    let stats = oxterm_numerics::stats::summary(&resistances)?;
+    let bx = oxterm_numerics::stats::box_stats(&resistances)?;
+    println!("  programmed resistance over {cycles} cycles:");
+    println!("    mean   {:.2} kΩ", stats.mean / 1e3);
+    println!("    σ      {:.0} Ω  ({:.2} % of mean)", stats.std_dev, 100.0 * stats.std_dev / stats.mean);
+    println!("    median {:.2} kΩ  IQR {:.0} Ω", bx.median / 1e3, bx.iqr());
+    println!("    range  {:.2} … {:.2} kΩ", stats.min / 1e3, stats.max / 1e3);
+    println!("    misreads: {misreads}/{cycles}");
+
+    // Show the first cycles as a quick trace.
+    println!("\n  first 10 cycles (kΩ):");
+    print!("   ");
+    for r in resistances.iter().take(10) {
+        print!(" {:.1}", r / 1e3);
+    }
+    println!();
+
+    println!("\nbecause the termination re-derives the state from IrefR every cycle,");
+    println!("drift in the cell's parameters does not accumulate into the stored level —");
+    println!("the mechanism behind the paper's endurance and retention claims.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Store a message in a simulated QLC RRAM page and read it back.
+//!
+//! Exercises the full public pipeline: byte codec → per-cell programming
+//! with full Monte Carlo variability (cell, mirrors, access path) →
+//! multi-level read → decode, reporting the raw symbol error rate.
+//!
+//! ```text
+//! cargo run --release -p oxterm-examples --example qlc_storage
+//! ```
+
+use oxterm_mlc::codec::MlcCodec;
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions};
+use oxterm_mlc::read::MlcReader;
+use oxterm_rram::params::OxramParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let message = b"density enhancement of RRAMs using a RESET write termination";
+    println!("storing {} bytes in QLC RRAM cells...\n", message.len());
+
+    let alloc = LevelAllocation::paper_qlc();
+    let params = OxramParams::calibrated();
+    let codec = MlcCodec::for_allocation(&alloc)?;
+    let reader = MlcReader::from_allocation(&alloc, &params, 0.3);
+    let conditions = ProgramConditions::paper();
+    let variability = McVariability::default();
+    let mut rng = StdRng::seed_from_u64(0x51C);
+
+    // Encode: 8 bits/byte at 4 bits/cell → 2 cells per byte.
+    let codes = codec.encode(message);
+    println!(
+        "  {} bytes → {} cells ({} bits/cell)",
+        message.len(),
+        codes.len(),
+        codec.bits_per_cell()
+    );
+
+    // Program every cell with sampled variability, then read back.
+    let mut read_codes = Vec::with_capacity(codes.len());
+    let mut symbol_errors = 0usize;
+    let mut total_energy = 0.0;
+    let mut worst_latency = 0.0f64;
+    for &code in &codes {
+        let out = program_cell_mc(&params, &alloc, code, &conditions, &variability, &mut rng)?;
+        total_energy += out.energy_j + out.set_energy_j;
+        worst_latency = worst_latency.max(out.latency_s);
+        let read = reader.classify_resistance(out.r_read_ohms);
+        if read != code {
+            symbol_errors += 1;
+        }
+        read_codes.push(read);
+    }
+    let decoded = codec.decode(&read_codes, message.len());
+
+    println!("  total programming energy: {:.2} nJ", total_energy * 1e9);
+    println!("  worst cell latency:       {:.2} µs", worst_latency * 1e6);
+    println!(
+        "  raw symbol errors:        {symbol_errors}/{} cells",
+        codes.len()
+    );
+    println!("\nread back: {:?}", String::from_utf8_lossy(&decoded));
+    if decoded == message {
+        println!("message recovered exactly — margins held for every cell.");
+    } else {
+        println!("message corrupted — margins were violated on some cells.");
+    }
+    Ok(())
+}

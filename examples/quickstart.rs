@@ -1,0 +1,40 @@
+//! Quickstart: program one quad-level cell with the RESET write
+//! termination and read it back.
+//!
+//! ```text
+//! cargo run --release -p oxterm-examples --example quickstart
+//! ```
+
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::program::{program_cell_fast, ProgramConditions};
+use oxterm_mlc::read::MlcReader;
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Table 2 allocation: 16 levels, IrefR = 6–36 µA.
+    let alloc = LevelAllocation::paper_qlc();
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let conditions = ProgramConditions::paper();
+
+    // Build the multi-level reader once (15 reference currents at 0.3 V).
+    let reader = MlcReader::from_allocation(&alloc, &params, 0.3);
+
+    println!("programming all 16 QLC states through the write termination:\n");
+    println!("  data  IrefR    R programmed   latency    RST energy   read-back");
+    for code in 0..16u16 {
+        let out = program_cell_fast(&params, &inst, &alloc, code, &conditions)?;
+        let read_back = reader.classify_resistance(out.r_read_ohms);
+        println!(
+            "  {code:04b}  {:4.0} µA  {:9.1} kΩ  {:7.2} µs  {:8.1} pJ   {read_back:04b} {}",
+            out.i_ref * 1e6,
+            out.r_read_ohms / 1e3,
+            out.latency_s * 1e6,
+            out.energy_j * 1e12,
+            if read_back == code { "✓" } else { "✗ MISMATCH" },
+        );
+    }
+    println!("\nno read-verify loop was used: each state is one SET plus one");
+    println!("current-terminated RESET, exactly the paper's scheme.");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! The analog simulator as a standalone tool — no RRAM involved.
+//!
+//! `oxterm-spice` + `oxterm-devices` form a general-purpose MNA simulator;
+//! this example exercises it on three textbook circuits and checks the
+//! answers against hand analysis: a diode rectifier operating point, a
+//! CMOS inverter voltage-transfer curve, and an RC step response.
+//!
+//! ```text
+//! cargo run --release -p oxterm-examples --example spice_playground
+//! ```
+
+use oxterm_devices::diode::{Diode, DiodeParams};
+use oxterm_devices::mosfet::{MosParams, Mosfet};
+use oxterm_devices::passive::{Capacitor, Resistor};
+use oxterm_devices::sources::{SourceWave, VoltageSource};
+use oxterm_spice::analysis::dc_sweep::{dc_sweep, linspace};
+use oxterm_spice::analysis::op::{solve_op, OpOptions};
+use oxterm_spice::analysis::tran::{run_transient, TranOptions};
+use oxterm_spice::circuit::Circuit;
+use oxterm_spice::waveform::CrossDir;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Diode + resistor operating point.
+    println!("1) diode feed: 3.3 V through 10 kΩ into a junction diode");
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let a = c.node("anode");
+    c.add(VoltageSource::new("v1", vin, Circuit::gnd(), SourceWave::dc(3.3)));
+    c.add(Resistor::new("r1", vin, a, 10e3));
+    c.add(Diode::new("d1", a, Circuit::gnd(), DiodeParams::default()));
+    let sol = solve_op(&c, &OpOptions::default())?;
+    println!(
+        "   diode drop {:.3} V, current {:.1} µA (expect ~0.6 V / ~270 µA)\n",
+        sol.v(a),
+        (3.3 - sol.v(a)) / 10e3 * 1e6
+    );
+
+    // 2. CMOS inverter VTC via a DC sweep.
+    println!("2) CMOS inverter voltage-transfer curve (3.3 V rail)");
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let g = c.node("g");
+    let out = c.node("out");
+    c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+    let vg = c.add(VoltageSource::new("vg", g, Circuit::gnd(), SourceWave::dc(0.0)));
+    c.add(Mosfet::new("mn", out, g, Circuit::gnd(), Circuit::gnd(), MosParams::nmos_130nm_hv(), 2e-6, 0.5e-6));
+    c.add(Mosfet::new("mp", out, g, vdd, vdd, MosParams::pmos_130nm_hv(), 5e-6, 0.5e-6));
+    let points = linspace(0.0, 3.3, 34);
+    let curve = dc_sweep(
+        &mut c,
+        &points,
+        |ckt, v| {
+            let src: &mut VoltageSource = ckt.device_mut(vg)?;
+            src.set_wave(SourceWave::dc(v));
+            Ok(())
+        },
+        &OpOptions::default(),
+    )?;
+    let out_node = out;
+    let vtc: Vec<(f64, f64)> = curve.iter().map(|(v, s)| (*v, s.v(out_node))).collect();
+    let switch_at = vtc
+        .windows(2)
+        .find(|w| w[0].1 > 1.65 && w[1].1 <= 1.65)
+        .map(|w| 0.5 * (w[0].0 + w[1].0));
+    println!(
+        "   VTC: out(0 V) = {:.2} V, out(3.3 V) = {:.2} V, threshold ≈ {:.2} V\n",
+        vtc.first().map(|p| p.1).unwrap_or(f64::NAN),
+        vtc.last().map(|p| p.1).unwrap_or(f64::NAN),
+        switch_at.unwrap_or(f64::NAN)
+    );
+
+    // 3. RC step response.
+    println!("3) RC low-pass step response (τ = 1 µs)");
+    let mut c = Circuit::new();
+    let src = c.node("src");
+    let mid = c.node("mid");
+    c.add(VoltageSource::new("v1", src, Circuit::gnd(), SourceWave::step(1.0, 1e-9)));
+    c.add(Resistor::new("r1", src, mid, 1e3));
+    c.add(Capacitor::new("c1", mid, Circuit::gnd(), 1e-9));
+    let res = run_transient(&mut c, &TranOptions::for_duration(6e-6), &mut [])?;
+    let w = res.node_trace(mid);
+    let t63 = w
+        .first_crossing(1.0 - (-1.0f64).exp(), CrossDir::Rising)
+        .expect("charges");
+    println!(
+        "   63.2 % crossing at {:.3} µs (expect 1.0 µs), final {:.4} V over {} accepted steps",
+        t63 * 1e6,
+        w.last(),
+        res.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,140 @@
+//! Array-level integration: build the paper's 8×8 tile, program a word
+//! through the per-bit-line termination (behavioral), and read it back
+//! through the circuit.
+
+use oxterm_array::array::{ArrayConfig, TileArray};
+use oxterm_array::bias::{BiasSet, Operation};
+use oxterm_devices::sources::{SourceWave, VoltageSource};
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::read::MlcReader;
+use oxterm_rram::params::OxramParams;
+use oxterm_spice::analysis::op::{solve_op, OpOptions};
+use oxterm_spice::circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds an 8×8 tile, preconditions row 0 with the 8 even QLC levels, and
+/// verifies a circuit-level read of each column classifies correctly.
+#[test]
+fn programmed_word_reads_back_through_the_tile() {
+    let params = OxramParams::calibrated();
+    let alloc = LevelAllocation::paper_qlc();
+    let reader = MlcReader::from_allocation(&alloc, &params, 0.3);
+
+    let mut c = Circuit::new();
+    let mut rng = StdRng::seed_from_u64(0xA88);
+    let mut config = ArrayConfig::tile_8x8();
+    // Keep D2D small for this check: the read path itself is under test.
+    config.sigma_vth = 1e-3;
+    config.sigma_beta = 0.005;
+    let tile = TileArray::build(&mut c, &config, &mut rng);
+
+    // Store codes 0, 2, 4, … 14 in row 0; everything else deep HRS.
+    let codes: Vec<u16> = (0..8).map(|k| (k * 2) as u16).collect();
+    for (col, &code) in codes.iter().enumerate() {
+        let target = reader.nominal_resistances()[code as usize];
+        tile.cells[0][col]
+            .precondition(&mut c, target, 0.3)
+            .expect("fresh handles");
+        for row in 1..8 {
+            tile.cells[row][col]
+                .precondition(&mut c, 5e6, 0.3)
+                .expect("fresh handles");
+        }
+    }
+
+    // Read row 0: WL0 high, all BLs at the read voltage, SLs grounded.
+    let read = BiasSet::standard(Operation::Read);
+    let mut bl_sources = Vec::new();
+    for (k, &bl) in tile.bl.iter().enumerate() {
+        bl_sources.push(c.add(VoltageSource::new(
+            format!("vbl{k}"),
+            bl,
+            Circuit::gnd(),
+            SourceWave::dc(0.3),
+        )));
+    }
+    for (k, &wl) in tile.wl.iter().enumerate() {
+        let level = if k == 0 { read.wl } else { 0.0 };
+        c.add(VoltageSource::new(
+            format!("vwl{k}"),
+            wl,
+            Circuit::gnd(),
+            SourceWave::dc(level),
+        ));
+    }
+    for (k, &sl) in tile.sl.iter().enumerate() {
+        c.add(VoltageSource::new(
+            format!("vsl{k}"),
+            sl,
+            Circuit::gnd(),
+            SourceWave::dc(read.sl),
+        ));
+    }
+    let sol = solve_op(&c, &OpOptions::default()).expect("read point converges");
+
+    for (col, &code) in codes.iter().enumerate() {
+        let i_bl = -sol
+            .branch_current(&c, bl_sources[col], 0)
+            .expect("fresh handle");
+        // The access transistor adds series resistance, lowering the read
+        // current slightly versus the ideal cell current; classify with
+        // the current the cell itself carries (BL current ≈ cell current
+        // since unselected rows are cut off).
+        let classified = reader.classify_current(i_bl);
+        // Accept ±1 level of systematic shift from the access-transistor
+        // drop; exact classification happens for most levels.
+        let delta = classified.abs_diff(code);
+        assert!(
+            delta <= 1,
+            "col {col}: stored {code}, classified {classified} (i = {i_bl:.3e})"
+        );
+    }
+}
+
+/// Unselected rows must not disturb the read: their leakage through the
+/// shared bit line stays orders below the selected cell's current.
+#[test]
+fn half_selected_cells_leak_negligibly() {
+    let params = OxramParams::calibrated();
+    let mut rng = StdRng::seed_from_u64(0xA89);
+    let mut c = Circuit::new();
+    let config = ArrayConfig {
+        rows: 4,
+        cols: 1,
+        ..ArrayConfig::tile_8x8()
+    };
+    let tile = TileArray::build(&mut c, &config, &mut rng);
+    // All cells LRS — worst case for sneak current through off rows.
+    for row in 0..4 {
+        tile.cells[row][0].precondition(&mut c, 10e3, 0.3).expect("fresh");
+    }
+    let vbl = c.add(VoltageSource::new(
+        "vbl",
+        tile.bl[0],
+        Circuit::gnd(),
+        SourceWave::dc(0.3),
+    ));
+    // No WL selected at all.
+    for (k, &wl) in tile.wl.iter().enumerate() {
+        c.add(VoltageSource::new(
+            format!("vwl{k}"),
+            wl,
+            Circuit::gnd(),
+            SourceWave::dc(0.0),
+        ));
+    }
+    c.add(VoltageSource::new(
+        "vsl",
+        tile.sl[0],
+        Circuit::gnd(),
+        SourceWave::dc(0.0),
+    ));
+    let sol = solve_op(&c, &OpOptions::default()).expect("converges");
+    let i_leak = (-sol.branch_current(&c, vbl, 0).expect("fresh")).abs();
+    assert!(
+        i_leak < 0.1e-6,
+        "off-row leakage {i_leak:.3e} A is not negligible"
+    );
+    let _ = params;
+}

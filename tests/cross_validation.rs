@@ -1,0 +1,108 @@
+//! Cross-validation between the fast scalar programming path and the full
+//! circuit-level MNA transient — the two execution engines must agree on
+//! the physics they share.
+
+use oxterm_mlc::program::{
+    program_cell_circuit, program_cell_fast, CircuitProgramOptions, ProgramConditions,
+};
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_rram::calib::{simulate_reset_termination, ResetConditions};
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+
+/// The terminated resistance from both paths must agree within the slack
+/// allowed by their different series paths (ideal resistor vs real access
+/// transistor + distributed line).
+#[test]
+fn terminated_resistance_agrees_between_paths() {
+    let alloc = LevelAllocation::paper_qlc();
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let cond = ProgramConditions::paper();
+    for code in [0u16, 5, 10, 15] {
+        let fast = program_cell_fast(&params, &inst, &alloc, code, &cond)
+            .expect("programmable level");
+        let circuit = program_cell_circuit(
+            &CircuitProgramOptions::paper_fig10(),
+            Some(alloc.level(code).expect("valid code").i_ref),
+        )
+        .expect("transient converges");
+        let ratio = circuit.r_read_ohms / fast.r_read_ohms;
+        assert!(
+            (0.75..1.35).contains(&ratio),
+            "code {code}: circuit {:.3e} vs fast {:.3e} (ratio {ratio:.2})",
+            circuit.r_read_ohms,
+            fast.r_read_ohms
+        );
+    }
+}
+
+/// Latency ordering and scale must match: lower reference ⇒ longer RESET,
+/// µs scale at 10 µA on both paths.
+#[test]
+fn latency_agrees_in_scale_and_ordering() {
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let fast10 =
+        simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(10e-6))
+            .expect("terminates");
+    let circ10 = program_cell_circuit(&CircuitProgramOptions::paper_fig10(), Some(10e-6))
+        .expect("converges");
+    let circ30 = program_cell_circuit(&CircuitProgramOptions::paper_fig10(), Some(30e-6))
+        .expect("converges");
+    let l10 = circ10.latency_s.expect("fires");
+    let l30 = circ30.latency_s.expect("fires");
+    assert!(l10 > l30, "latency must grow as IrefR falls");
+    let ratio = l10 / fast10.latency_s;
+    assert!(
+        (0.5..3.0).contains(&ratio),
+        "circuit latency {l10:.3e} vs fast {:.3e}",
+        fast10.latency_s
+    );
+}
+
+/// The circuit-level waveform must show the defining Fig 10 features: the
+/// current decays monotonically (after the pulse edge) down to the
+/// reference, then collapses once the pulse is chopped.
+#[test]
+fn waveform_shape_matches_fig10() {
+    let out = program_cell_circuit(&CircuitProgramOptions::paper_fig10(), Some(10e-6))
+        .expect("converges");
+    let i = &out.i_cell;
+    // Peak current happens early (within the first quarter of the record).
+    let t_end = *i.t().last().expect("non-empty");
+    let peak_t = i
+        .iter()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite"))
+        .map(|(t, _)| t)
+        .expect("non-empty");
+    assert!(peak_t < 0.5 * t_end, "peak at {peak_t:.3e} of {t_end:.3e}");
+    // The final cell current is far below the reference (pulse chopped).
+    assert!(i.last().abs() < 2e-6, "final current {:.3e}", i.last());
+    // The filament only ever shrinks during RESET.
+    let rho = &out.rho;
+    let mut prev = rho.y()[0];
+    for &r in rho.y() {
+        assert!(r <= prev + 1e-9, "rho increased during RESET");
+        prev = r;
+    }
+}
+
+/// Energy accounting: circuit-level driver energy must be within a factor
+/// of the fast path's `∫V·I dt` (same physics, different series elements).
+#[test]
+fn energy_agrees_in_scale() {
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let fast =
+        simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(10e-6))
+            .expect("terminates");
+    let circuit = program_cell_circuit(&CircuitProgramOptions::paper_fig10(), Some(10e-6))
+        .expect("converges");
+    let ratio = circuit.energy_j / fast.energy_j;
+    assert!(
+        (0.4..4.0).contains(&ratio),
+        "circuit energy {:.3e} vs fast {:.3e}",
+        circuit.energy_j,
+        fast.energy_j
+    );
+}

@@ -1,0 +1,82 @@
+//! End-to-end QLC pipeline: bytes → codec → Monte Carlo programming →
+//! multi-level read → decode, spanning `oxterm-mlc`, `oxterm-rram`, and
+//! `oxterm-mc`.
+
+use oxterm_mc::engine::MonteCarlo;
+use oxterm_mlc::codec::MlcCodec;
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions};
+use oxterm_mlc::read::MlcReader;
+use oxterm_rram::params::OxramParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pipeline(data: &[u8], seed: u64) -> (Vec<u8>, usize) {
+    let alloc = LevelAllocation::paper_qlc();
+    let params = OxramParams::calibrated();
+    let codec = MlcCodec::for_allocation(&alloc).expect("16 levels is a power of two");
+    let reader = MlcReader::from_allocation(&alloc, &params, 0.3);
+    let conditions = ProgramConditions::paper();
+    let variability = McVariability::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let codes = codec.encode(data);
+    let mut read_codes = Vec::with_capacity(codes.len());
+    let mut symbol_errors = 0;
+    for &code in &codes {
+        let out = program_cell_mc(&params, &alloc, code, &conditions, &variability, &mut rng)
+            .expect("programmable level");
+        let read = reader.classify_resistance(out.r_read_ohms);
+        if read != code {
+            symbol_errors += 1;
+        }
+        read_codes.push(read);
+    }
+    (codec.decode(&read_codes, data.len()), symbol_errors)
+}
+
+#[test]
+fn stores_and_recovers_a_binary_payload() {
+    let data: Vec<u8> = (0..64u16).map(|k| (k * 37 % 256) as u8).collect();
+    let (decoded, errors) = pipeline(&data, 0xE2E);
+    assert_eq!(errors, 0, "margins violated on {errors} cells");
+    assert_eq!(decoded, data);
+}
+
+#[test]
+fn all_256_byte_values_round_trip() {
+    let data: Vec<u8> = (0..=255).collect();
+    let (decoded, errors) = pipeline(&data, 0xE2E + 1);
+    assert_eq!(errors, 0);
+    assert_eq!(decoded, data);
+}
+
+#[test]
+fn error_rate_survives_many_seeds() {
+    // 10 seeds × 32 cells: under the calibrated variability the margins
+    // must hold everywhere (the paper reports no distribution overlap).
+    let data = [0xA5u8; 16];
+    for seed in 0..10 {
+        let (_, errors) = pipeline(&data, 1000 + seed);
+        assert_eq!(errors, 0, "seed {seed} produced {errors} symbol errors");
+    }
+}
+
+#[test]
+fn mc_engine_parallelizes_the_programming_workload() {
+    // Program the same level through the MC engine in parallel and check
+    // the population statistics match the serial run exactly.
+    let params = OxramParams::calibrated();
+    let alloc = LevelAllocation::paper_qlc();
+    let conditions = ProgramConditions::paper();
+    let variability = McVariability::default();
+    let campaign = MonteCarlo::new(64, 99);
+    let f = |_i: usize, rng: &mut StdRng| {
+        program_cell_mc(&params, &alloc, 9, &conditions, &variability, rng)
+            .expect("programmable")
+            .r_read_ohms
+    };
+    let serial = campaign.with_threads(1).run(f);
+    let parallel = campaign.with_threads(4).run(f);
+    assert_eq!(serial, parallel);
+}

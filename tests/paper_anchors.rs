@@ -1,0 +1,163 @@
+//! Regression pins for the reproduction quality: the headline numbers of
+//! EXPERIMENTS.md, asserted with tolerances. If a model or solver change
+//! degrades the reproduction, these tests catch it.
+
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::margins::analyze;
+use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions};
+use oxterm_mc::engine::MonteCarlo;
+use oxterm_mlc::margins::LevelSamples;
+use oxterm_rram::calib::{simulate_reset_termination, CalibrationTarget, ResetConditions};
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+
+/// Table 2: every one of the 16 anchors within ±6 % (measured: ±4.2 %).
+#[test]
+fn table2_anchors_within_tolerance() {
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    for (i_ua, r_kohm) in CalibrationTarget::paper().allocation {
+        let out = simulate_reset_termination(
+            &params,
+            &inst,
+            &ResetConditions::paper_defaults(i_ua * 1e-6),
+        )
+        .expect("programmable window");
+        let err = (out.r_read_ohms / (r_kohm * 1e3) - 1.0).abs();
+        assert!(
+            err < 0.06,
+            "anchor {i_ua} µA: {:.1} kΩ vs paper {r_kohm} kΩ ({:.1} % off)",
+            out.r_read_ohms / 1e3,
+            err * 100.0
+        );
+    }
+}
+
+/// Fig 10 / Fig 13b latency anchors within ±15 % on the fast path.
+#[test]
+fn latency_anchors_within_tolerance() {
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    for (i_ua, target) in [(10.0, 2.6e-6), (6.0, 4.01e-6)] {
+        let out = simulate_reset_termination(
+            &params,
+            &inst,
+            &ResetConditions::paper_defaults(i_ua * 1e-6),
+        )
+        .expect("terminates");
+        let err = (out.latency_s / target - 1.0).abs();
+        assert!(
+            err < 0.15,
+            "latency at {i_ua} µA: {:.2} µs vs paper {:.2} µs",
+            out.latency_s * 1e6,
+            target * 1e6
+        );
+    }
+}
+
+/// Fig 13 energy anchors: strongly decreasing profile with paper-scale
+/// magnitudes (15–80 pJ nominal, ≥4× spread across the window).
+#[test]
+fn energy_profile_matches_paper_shape() {
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let e6 = simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(6e-6))
+        .expect("terminates")
+        .energy_j;
+    let e36 = simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(36e-6))
+        .expect("terminates")
+        .energy_j;
+    assert!(e6 > 4.0 * e36, "energy spread {e6:.3e} vs {e36:.3e}");
+    assert!((40e-12..160e-12).contains(&e6), "E(6 µA) = {e6:.3e}");
+    assert!((5e-12..40e-12).contains(&e36), "E(36 µA) = {e36:.3e}");
+}
+
+/// Fig 11: 200-run Monte Carlo must show positive worst-case margins
+/// everywhere, with the smallest at the 0000/0001 end, kΩ-scale.
+#[test]
+fn mc_margins_match_fig11_shape() {
+    let params = OxramParams::calibrated();
+    let alloc = LevelAllocation::paper_qlc();
+    let cond = ProgramConditions::paper();
+    let var = McVariability::default();
+    let samples: Vec<LevelSamples> = alloc
+        .levels()
+        .iter()
+        .map(|spec| {
+            let r = MonteCarlo::new(200, 0xF16_11 + spec.code as u64).run(|_, rng| {
+                program_cell_mc(&params, &alloc, spec.code, &cond, &var, rng)
+                    .expect("programmable")
+                    .r_read_ohms
+            });
+            LevelSamples {
+                code: spec.code,
+                i_ref: spec.i_ref,
+                r,
+            }
+        })
+        .collect();
+    let report = analyze(&samples).expect("16 levels");
+    assert!(!report.has_overlap(), "distributions overlap");
+    let wc = report.worst_case_margin();
+    assert!(
+        (1.0e3..4.0e3).contains(&wc),
+        "worst-case margin {wc:.3e} (paper: 2.1 kΩ)"
+    );
+    // The smallest margin must sit at the high-current (low-R) end.
+    let smallest = report
+        .margins
+        .iter()
+        .min_by(|a, b| a.worst_case.partial_cmp(&b.worst_case).expect("finite"))
+        .expect("non-empty");
+    assert_eq!((smallest.lo_code, smallest.hi_code), (0, 1));
+    // And the largest at the 1111/1110 end.
+    let largest = report
+        .margins
+        .iter()
+        .max_by(|a, b| a.worst_case.partial_cmp(&b.worst_case).expect("finite"))
+        .expect("non-empty");
+    assert_eq!((largest.lo_code, largest.hi_code), (14, 15));
+}
+
+/// Fig 12: σ(R) grows super-linearly toward low reference currents.
+#[test]
+fn sigma_growth_matches_fig12() {
+    let params = OxramParams::calibrated();
+    let alloc = LevelAllocation::paper_qlc();
+    let cond = ProgramConditions::paper();
+    let var = McVariability::default();
+    let sigma_of = |code: u16| {
+        let r = MonteCarlo::new(200, 0xF16_12 + code as u64).run(|_, rng| {
+            program_cell_mc(&params, &alloc, code, &cond, &var, rng)
+                .expect("programmable")
+                .r_read_ohms
+        });
+        oxterm_numerics::stats::summary(&r).expect("populated").std_dev
+    };
+    let s_low_i = sigma_of(15); // 6 µA
+    let s_high_i = sigma_of(0); // 36 µA
+    assert!(
+        s_low_i > 6.0 * s_high_i,
+        "σ(6 µA) = {s_low_i:.3e} vs σ(36 µA) = {s_high_i:.3e} (paper: strong growth)"
+    );
+}
+
+/// Pseudo-exponential R(IrefR): log-linear fit much better than linear.
+#[test]
+fn fig8_pseudo_exponential_shape() {
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let pts: Vec<(f64, f64)> = (0..16)
+        .map(|k| {
+            let i = (6.0 + 2.0 * k as f64) * 1e-6;
+            let out =
+                simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(i))
+                    .expect("terminates");
+            (i * 1e6, out.r_read_ohms)
+        })
+        .collect();
+    let lin = oxterm_numerics::stats::linear_fit(&pts).expect("points");
+    let log_pts: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (x, y.ln())).collect();
+    let log = oxterm_numerics::stats::linear_fit(&log_pts).expect("points");
+    assert!(log.r2 > lin.r2 + 0.1, "log r² {:.3} vs lin r² {:.3}", log.r2, lin.r2);
+    assert!(log.r2 > 0.9);
+}

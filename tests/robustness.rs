@@ -1,0 +1,137 @@
+//! Failure injection: malformed circuits, exhausted budgets, and stale
+//! handles must produce typed errors — never panics, hangs, or silently
+//! wrong results.
+
+use oxterm_devices::passive::{Capacitor, Resistor};
+use oxterm_devices::sources::{SourceWave, VoltageSource};
+use oxterm_rram::calib::{simulate_reset_termination, ResetConditions};
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+use oxterm_rram::RramError;
+use oxterm_spice::analysis::op::{solve_op, OpOptions};
+use oxterm_spice::analysis::tran::{run_transient, MonitorAction, TranOptions};
+use oxterm_spice::circuit::Circuit;
+use oxterm_spice::SpiceError;
+
+#[test]
+fn conflicting_voltage_sources_report_singular_topology() {
+    // Two ideal voltage sources with different values across the same
+    // node pair: structurally contradictory, must surface as an error.
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.add(VoltageSource::new("v1", a, Circuit::gnd(), SourceWave::dc(1.0)));
+    c.add(VoltageSource::new("v2", a, Circuit::gnd(), SourceWave::dc(2.0)));
+    let r = solve_op(&c, &OpOptions::default());
+    assert!(r.is_err(), "contradictory sources must not 'solve'");
+}
+
+#[test]
+fn empty_circuit_is_fine() {
+    // Zero unknowns is a degenerate but legal case.
+    let c = Circuit::new();
+    let sol = solve_op(&c, &OpOptions::default()).expect("empty circuit solves trivially");
+    assert!(sol.as_slice().is_empty());
+}
+
+#[test]
+fn floating_node_is_tamed_by_gmin() {
+    // A capacitor to a floating node: gmin must keep the matrix solvable.
+    let mut c = Circuit::new();
+    let a = c.node("float");
+    c.add(Capacitor::new("c1", a, Circuit::gnd(), 1e-12));
+    let sol = solve_op(&c, &OpOptions::default()).expect("gmin regularizes");
+    assert_eq!(sol.v(a), 0.0);
+}
+
+#[test]
+fn step_limit_is_enforced() {
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.add(VoltageSource::new(
+        "v1",
+        a,
+        Circuit::gnd(),
+        SourceWave::pulse(1.0, 1e-9, 1e-9, 1e-6, 1e-9),
+    ));
+    c.add(Resistor::new("r1", a, Circuit::gnd(), 1e3));
+    let opts = TranOptions {
+        max_steps: 3,
+        ..TranOptions::for_duration(2e-6)
+    };
+    match run_transient(&mut c, &opts, &mut []) {
+        Err(SpiceError::StepLimit { max_steps: 3, .. }) => {}
+        other => panic!("expected StepLimit, got {other:?}"),
+    }
+}
+
+#[test]
+fn pathological_monitor_cannot_hang_the_engine() {
+    // A monitor that always rejects the step: the attempt budget must
+    // terminate the run with an error instead of spinning forever.
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.add(VoltageSource::new("v1", a, Circuit::gnd(), SourceWave::dc(1.0)));
+    c.add(Resistor::new("r1", a, Circuit::gnd(), 1e3));
+    let mut evil = |_s: &oxterm_spice::analysis::tran::TranSample<'_>,
+                    _c: &mut Circuit|
+     -> MonitorAction { MonitorAction::RedoWithDt(1e-18) };
+    let opts = TranOptions {
+        max_steps: 50,
+        dt_min: 1e-18,
+        ..TranOptions::for_duration(1e-6)
+    };
+    let r = run_transient(&mut c, &opts, &mut [&mut evil]);
+    assert!(r.is_err(), "evil monitor must exhaust the attempt budget");
+}
+
+#[test]
+fn stale_handles_are_not_found() {
+    let mut c1 = Circuit::new();
+    let a = c1.node("a");
+    let id = c1.add(Resistor::new("r1", a, Circuit::gnd(), 1e3));
+    // A fresh circuit knows nothing about c1's handle.
+    let c2 = Circuit::new();
+    assert!(matches!(
+        c2.device(id),
+        Err(SpiceError::NotFound { .. })
+    ));
+    assert!(c2.find_device("r1").is_err());
+    // Wrong-type downcast is also NotFound.
+    let mut c1 = c1;
+    assert!(c1.device_mut::<Capacitor>(id).is_err());
+}
+
+#[test]
+fn unreachable_reference_reports_cleanly() {
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let mut cond = ResetConditions::paper_defaults(1e-10);
+    cond.t_max = 2e-6;
+    match simulate_reset_termination(&params, &inst, &cond) {
+        Err(RramError::NotTerminated { i_ref, .. }) => {
+            assert!((i_ref - 1e-10).abs() < 1e-20);
+        }
+        other => panic!("expected NotTerminated, got {other:?}"),
+    }
+}
+
+#[test]
+fn invalid_model_cards_fail_fast() {
+    let mut p = OxramParams::calibrated();
+    p.tau_rst0 = f64::NAN;
+    let inst = InstanceVariation::nominal();
+    let r = simulate_reset_termination(&p, &inst, &ResetConditions::paper_defaults(10e-6));
+    assert!(matches!(r, Err(RramError::InvalidParameter { .. })));
+}
+
+#[test]
+fn transient_with_zero_duration_budget_is_rejected_or_trivial() {
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    c.add(VoltageSource::new("v1", a, Circuit::gnd(), SourceWave::dc(1.0)));
+    c.add(Resistor::new("r1", a, Circuit::gnd(), 1e3));
+    // t_stop equal to zero: the run records the operating point and ends.
+    let opts = TranOptions::for_duration(0.0);
+    let res = run_transient(&mut c, &opts, &mut []).expect("degenerate run is legal");
+    assert_eq!(res.len(), 1);
+    assert!((res.final_solution().v(a) - 1.0).abs() < 1e-9);
+}

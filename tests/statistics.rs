@@ -1,0 +1,71 @@
+//! Statistical integration tests: the Monte Carlo populations produced by
+//! the programming stack must be well-behaved distributions, checked with
+//! the Kolmogorov–Smirnov machinery from `oxterm-numerics`.
+
+use oxterm_mc::engine::MonteCarlo;
+use oxterm_mlc::levels::LevelAllocation;
+use oxterm_mlc::margins::{analyze, decode_error_estimate, LevelSamples};
+use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions};
+use oxterm_numerics::stats::{ks_statistic, ks_threshold, summary};
+use oxterm_rram::params::OxramParams;
+
+fn sample_level(code: u16, runs: usize, seed: u64) -> Vec<f64> {
+    let params = OxramParams::calibrated();
+    let alloc = LevelAllocation::paper_qlc();
+    let cond = ProgramConditions::paper();
+    let var = McVariability::default();
+    MonteCarlo::new(runs, seed).run(|_, rng| {
+        program_cell_mc(&params, &alloc, code, &cond, &var, rng)
+            .expect("programmable")
+            .r_read_ohms
+    })
+}
+
+#[test]
+fn different_seeds_draw_from_the_same_distribution() {
+    // Two disjoint campaigns of the same level: KS must accept.
+    let a = sample_level(8, 150, 1);
+    let b = sample_level(8, 150, 2);
+    let d = ks_statistic(&a, &b).expect("populated");
+    let thr = ks_threshold(a.len(), b.len(), 0.001);
+    assert!(d < thr, "KS {d:.4} exceeds threshold {thr:.4}");
+}
+
+#[test]
+fn adjacent_levels_draw_from_different_distributions() {
+    let a = sample_level(8, 150, 3);
+    let b = sample_level(9, 150, 3);
+    let d = ks_statistic(&a, &b).expect("populated");
+    let thr = ks_threshold(a.len(), b.len(), 0.001);
+    assert!(d > thr, "adjacent levels indistinguishable: KS {d:.4}");
+}
+
+#[test]
+fn qlc_decode_error_rate_is_small_but_finite_noise_sensitivity() {
+    // Build a 4-level mini-report and check the BER estimator's ordering:
+    // adding sense noise degrades, wider gaps win.
+    let mut samples = Vec::new();
+    for code in [0u16, 5, 10, 15] {
+        let r = sample_level(code, 80, 7);
+        samples.push(LevelSamples {
+            code,
+            i_ref: 1e-6,
+            r,
+        });
+    }
+    let report = analyze(&samples).expect("populated");
+    let clean = decode_error_estimate(&report, 0.0);
+    let noisy = decode_error_estimate(&report, 2e3);
+    assert!(clean.symbol_error_rate < 1e-6, "clean SER {}", clean.symbol_error_rate);
+    assert!(noisy.symbol_error_rate >= clean.symbol_error_rate);
+}
+
+#[test]
+fn level_population_moments_are_stable_across_runs_counts() {
+    // The mean must not drift with the campaign size (no accumulation
+    // bugs in the MC plumbing).
+    let small = summary(&sample_level(4, 60, 11)).expect("populated");
+    let large = summary(&sample_level(4, 240, 11)).expect("populated");
+    let drift = (small.mean - large.mean).abs() / large.mean;
+    assert!(drift < 0.01, "mean drift {drift:.4}");
+}

@@ -1,0 +1,158 @@
+//! Transistor-level write-termination circuit in a live transient: the
+//! Fig 7a mirrors + inverter must chop a real 1T-1R RESET close to where
+//! the ideal behavioral monitor does.
+
+use oxterm_array::cell::{Cell1T1R, CellConfig};
+use oxterm_devices::sources::{SourceWave, VoltageSource};
+use oxterm_mlc::termination::{TerminationCircuit, TerminationSizing};
+use oxterm_rram::cell::OxramCell;
+use oxterm_rram::params::InstanceVariation;
+use oxterm_spice::analysis::tran::{run_transient, MonitorAction, TranOptions};
+use oxterm_spice::circuit::Circuit;
+
+/// Runs a terminated RESET with the transistor-level stage; returns
+/// `(final R, chop time)`.
+fn run_transistor_termination(i_ref: f64) -> (f64, Option<f64>) {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let sl = c.node("sl");
+    let wl = c.node("wl");
+    let bl = c.node("bl");
+    let config = CellConfig::paper();
+    let cell = Cell1T1R::build(&mut c, "c0", bl, wl, sl, &config);
+    {
+        let r: &mut OxramCell = c.device_mut(cell.rram).expect("fresh");
+        r.set_rho_init(1.0);
+    }
+    let term =
+        TerminationCircuit::build(&mut c, "t0", bl, vdd, i_ref, &TerminationSizing::default());
+    c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+    // WL boosted to the rail: the SL headroom for the termination stage
+    // (M1 diode drop) would otherwise pinch the access transistor off —
+    // the paper's 2.5 V WL pairs with its 1.2 V SL.
+    c.add(VoltageSource::new("vwl", wl, Circuit::gnd(), SourceWave::dc(3.3)));
+    let vsl = c.add(VoltageSource::new(
+        "vsl",
+        sl,
+        Circuit::gnd(),
+        // Headroom above the M1 diode drop so the cell sees its usual bias.
+        SourceWave::pulse(1.95, 20e-9, 10e-9, 8.0e-6, 10e-9),
+    ));
+
+    let out_node = term.out;
+    let mut armed = false;
+    let mut chopped: Option<f64> = None;
+    let mut monitor = |sample: &oxterm_spice::analysis::tran::TranSample<'_>,
+                       circuit: &mut Circuit|
+     -> MonitorAction {
+        let v_out = sample.solution.v(out_node);
+        if let Some(tc) = chopped {
+            return if sample.time > tc + 100e-9 {
+                MonitorAction::Stop
+            } else {
+                MonitorAction::Continue
+            };
+        }
+        if !armed {
+            if v_out > 2.6 {
+                armed = true;
+            }
+            return MonitorAction::Continue;
+        }
+        if v_out < 1.65 {
+            chopped = Some(sample.time);
+            if let Ok(vs) = circuit.device_mut::<VoltageSource>(vsl) {
+                vs.force_end_at(sample.time, 0.0, 5e-9);
+            }
+        }
+        MonitorAction::Continue
+    };
+    let opts = TranOptions {
+        dt_max: Some(10e-9),
+        ..TranOptions::for_duration(8.2e-6)
+    };
+    let result = run_transient(&mut c, &opts, &mut [&mut monitor]).expect("converges");
+    let rho = result
+        .state_trace(&c, cell.rram, 0)
+        .expect("fresh handle")
+        .last();
+    let r = oxterm_rram::model::read_resistance(
+        &config.oxram,
+        &InstanceVariation::nominal(),
+        rho,
+        0.3,
+    );
+    (r, chopped)
+}
+
+#[test]
+fn transistor_level_termination_fires() {
+    let (r, chopped) = run_transistor_termination(10e-6);
+    assert!(chopped.is_some(), "comparator never tripped");
+    // The paper's level at 10 µA is 153 kΩ; the real circuit trips near
+    // (not exactly at) the reference — accept a generous band and verify
+    // the level is inside the MLC window at all.
+    assert!(
+        (60e3..500e3).contains(&r),
+        "transistor-level termination placed R at {r:.3e}"
+    );
+}
+
+#[test]
+fn transistor_level_levels_are_ordered() {
+    let (r_hi, c1) = run_transistor_termination(8e-6);
+    let (r_lo, c2) = run_transistor_termination(28e-6);
+    assert!(c1.is_some() && c2.is_some());
+    assert!(
+        r_hi > 1.5 * r_lo,
+        "levels not separated: {r_hi:.3e} vs {r_lo:.3e}"
+    );
+}
+
+#[test]
+fn comparator_dc_trip_tracks_reference() {
+    // DC sanity at several references: inject a current and bisect the
+    // comparator trip point; it must track IrefR within mirror accuracy.
+    use oxterm_devices::sources::CurrentSource;
+    use oxterm_spice::analysis::op::{solve_op, OpOptions};
+    for i_ref in [6e-6, 16e-6, 36e-6] {
+        let trip = {
+            let mut lo = 1e-6;
+            let mut hi = 60e-6;
+            for _ in 0..18 {
+                let mid = 0.5 * (lo + hi);
+                let mut c = Circuit::new();
+                let vdd = c.node("vdd");
+                let bl = c.node("bl");
+                c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+                let term = TerminationCircuit::build(
+                    &mut c,
+                    "t0",
+                    bl,
+                    vdd,
+                    i_ref,
+                    &TerminationSizing::default(),
+                );
+                c.add(CurrentSource::new(
+                    "icell",
+                    Circuit::gnd(),
+                    bl,
+                    SourceWave::dc(mid),
+                ));
+                let sol = solve_op(&c, &OpOptions::default()).expect("dc converges");
+                if sol.v(term.out) < 1.65 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+        let err = (trip - i_ref).abs() / i_ref;
+        assert!(
+            err < 0.25,
+            "trip {trip:.3e} vs ref {i_ref:.3e} ({:.0} % off)",
+            err * 100.0
+        );
+    }
+}
