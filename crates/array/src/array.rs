@@ -68,7 +68,10 @@ impl TileArray {
         config: &ArrayConfig,
         rng: &mut R,
     ) -> TileArray {
-        assert!(config.rows > 0 && config.cols > 0, "array must be non-empty");
+        assert!(
+            config.rows > 0 && config.cols > 0,
+            "array must be non-empty"
+        );
         let wl: Vec<NodeId> = (0..config.rows)
             .map(|r| circuit.node(&format!("wl{r}")))
             .collect();
@@ -92,14 +95,14 @@ impl TileArray {
             .collect();
 
         let mut cells = Vec::with_capacity(config.rows);
-        for r in 0..config.rows {
+        for (r, &wl_r) in wl.iter().enumerate().take(config.rows) {
             let mut row = Vec::with_capacity(config.cols);
             for c in 0..config.cols {
                 let cell = Cell1T1R::build(
                     circuit,
                     &format!("c{r}_{c}"),
                     bl_far[c],
-                    wl[r],
+                    wl_r,
                     sl[c],
                     &config.cell,
                 );
@@ -161,7 +164,9 @@ mod tests {
         for r in 0..2 {
             for col in 0..2 {
                 let target = if r == 0 && col == 0 { 10e3 } else { 300e3 };
-                tile.cells[r][col].precondition(&mut c, target, 0.3).unwrap();
+                tile.cells[r][col]
+                    .precondition(&mut c, target, 0.3)
+                    .unwrap();
             }
         }
         let read = BiasSet::standard(Operation::Read);

@@ -56,12 +56,7 @@ impl Cell1T1R {
         config: &CellConfig,
     ) -> Self {
         let mid = circuit.internal_node(&format!("{name}_mid"));
-        let rram = circuit.add(OxramCell::new(
-            format!("{name}_r"),
-            bl,
-            mid,
-            config.oxram,
-        ));
+        let rram = circuit.add(OxramCell::new(format!("{name}_r"), bl, mid, config.oxram));
         let transistor = circuit.add(Mosfet::new(
             format!("{name}_m"),
             mid,
@@ -150,9 +145,24 @@ mod tests {
         let cell = Cell1T1R::build(&mut c, "c0", bl, wl, sl, &CellConfig::paper());
         cell.precondition(&mut c, r_precondition, 0.3).unwrap();
         let read = BiasSet::standard(Operation::Read);
-        let vbl = c.add(VoltageSource::new("vbl", bl, Circuit::gnd(), SourceWave::dc(read.bl)));
-        c.add(VoltageSource::new("vwl", wl, Circuit::gnd(), SourceWave::dc(wl_v)));
-        c.add(VoltageSource::new("vsl", sl, Circuit::gnd(), SourceWave::dc(read.sl)));
+        let vbl = c.add(VoltageSource::new(
+            "vbl",
+            bl,
+            Circuit::gnd(),
+            SourceWave::dc(read.bl),
+        ));
+        c.add(VoltageSource::new(
+            "vwl",
+            wl,
+            Circuit::gnd(),
+            SourceWave::dc(wl_v),
+        ));
+        c.add(VoltageSource::new(
+            "vsl",
+            sl,
+            Circuit::gnd(),
+            SourceWave::dc(read.sl),
+        ));
         let sol = solve_op(&c, &OpOptions::default()).unwrap();
         -sol.branch_current(&c, vbl, 0).unwrap()
     }

@@ -49,10 +49,7 @@ impl LineParasitics {
     /// Scales the capacitance (parasitic sweep ablation).
     #[must_use]
     pub fn with_c_total(self, c_bl_total: f64) -> Self {
-        LineParasitics {
-            c_bl_total,
-            ..self
-        }
+        LineParasitics { c_bl_total, ..self }
     }
 
     /// Instantiates the line between `driver_end` and `far_end` as a chain

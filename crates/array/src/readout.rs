@@ -110,10 +110,18 @@ mod tests {
     #[test]
     fn row_read_separates_lrs_from_hrs() {
         let (mut c, tile) = two_by_two();
-        tile.cells[0][0].precondition(&mut c, 12e3, 0.3).expect("fresh");
-        tile.cells[0][1].precondition(&mut c, 250e3, 0.3).expect("fresh");
-        tile.cells[1][0].precondition(&mut c, 12e3, 0.3).expect("fresh");
-        tile.cells[1][1].precondition(&mut c, 12e3, 0.3).expect("fresh");
+        tile.cells[0][0]
+            .precondition(&mut c, 12e3, 0.3)
+            .expect("fresh");
+        tile.cells[0][1]
+            .precondition(&mut c, 250e3, 0.3)
+            .expect("fresh");
+        tile.cells[1][0]
+            .precondition(&mut c, 12e3, 0.3)
+            .expect("fresh");
+        tile.cells[1][1]
+            .precondition(&mut c, 12e3, 0.3)
+            .expect("fresh");
         let read = read_row(&mut c, &tile, 0, 0.3).expect("converges");
         assert!(read.i_bl[0] > 4.0 * read.i_bl[1], "{:?}", read.i_bl);
         // Column 0's LRS current is µA-scale through the access device.

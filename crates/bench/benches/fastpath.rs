@@ -2,11 +2,13 @@
 //! under every Monte Carlo figure (Figs 11–13, Table 3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use oxterm_mlc::levels::LevelAllocation;
 use oxterm_mlc::program::{program_cell_fast, ProgramConditions};
-use oxterm_rram::calib::{simulate_reset_termination, simulate_set, ResetConditions, SetConditions};
+use oxterm_rram::calib::{
+    simulate_reset_termination, simulate_set, ResetConditions, SetConditions,
+};
 use oxterm_rram::params::{InstanceVariation, OxramParams};
+use std::hint::black_box;
 
 fn bench_reset_termination(c: &mut Criterion) {
     let params = OxramParams::calibrated();
@@ -46,5 +48,10 @@ fn bench_full_program(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_reset_termination, bench_set, bench_full_program);
+criterion_group!(
+    benches,
+    bench_reset_termination,
+    bench_set,
+    bench_full_program
+);
 criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! throughput on the real per-run workload (one terminated RESET).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use oxterm_mc::engine::MonteCarlo;
 use oxterm_rram::calib::{simulate_reset_termination, ResetConditions};
 use oxterm_rram::params::{InstanceVariation, OxramParams};
+use std::hint::black_box;
 
 fn bench_mc_scaling(c: &mut Criterion) {
     let params = OxramParams::calibrated();

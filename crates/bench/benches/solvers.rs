@@ -3,10 +3,10 @@
 //! (ladder) matrices of growing size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use oxterm_numerics::dense::DMatrix;
 use oxterm_numerics::sparse::TripletMatrix;
 use oxterm_numerics::sparse_lu::SparseLu;
+use std::hint::black_box;
 
 /// Builds an RC-ladder-like conductance matrix (tridiagonal + ground tie),
 /// the dominant structure of array netlists.

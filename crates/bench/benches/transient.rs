@@ -3,12 +3,12 @@
 //! workload).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use oxterm_devices::passive::{Capacitor, Resistor};
 use oxterm_devices::sources::{SourceWave, VoltageSource};
 use oxterm_mlc::program::{program_cell_circuit, CircuitProgramOptions};
 use oxterm_spice::analysis::tran::{run_transient, TranOptions};
 use oxterm_spice::circuit::Circuit;
+use std::hint::black_box;
 
 fn bench_rc_ladder(c: &mut Criterion) {
     c.bench_function("tran_rc_ladder_20", |bench| {

@@ -54,7 +54,11 @@ fn main() {
             eng(report.min_nominal_margin(), "Ω"),
             eng(max_gap, "Ω"),
             eng(report.worst_case_margin(), "Ω"),
-            if report.has_overlap() { "YES".into() } else { "no".to_string() },
+            if report.has_overlap() {
+                "YES".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     println!("{}", t.render());

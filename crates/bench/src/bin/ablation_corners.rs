@@ -8,12 +8,14 @@
 //! (the paper grounds `IrefR` itself in a bandgap reference).
 
 use oxterm_bench::table::{eng, Table};
+use oxterm_bench::telemetry_cli;
 use oxterm_devices::mosfet::Mosfet;
 use oxterm_devices::sources::{CurrentSource, SourceWave, VoltageSource};
 use oxterm_mc::corners::Corner;
 use oxterm_mlc::termination::{TerminationCircuit, TerminationSizing};
 use oxterm_spice::analysis::op::{solve_op, OpOptions};
 use oxterm_spice::circuit::Circuit;
+use oxterm_telemetry::Telemetry;
 
 /// Comparator output at the given corner for an injected cell current.
 fn out_at_corner(corner: Corner, i_cell: f64, i_ref: f64) -> f64 {
@@ -21,7 +23,12 @@ fn out_at_corner(corner: Corner, i_cell: f64, i_ref: f64) -> f64 {
     let mut c = Circuit::new();
     let vdd = c.node("vdd");
     let bl = c.node("bl");
-    c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+    c.add(VoltageSource::new(
+        "vdd",
+        vdd,
+        Circuit::gnd(),
+        SourceWave::dc(3.3),
+    ));
     let stage =
         TerminationCircuit::build(&mut c, "t", bl, vdd, i_ref, &TerminationSizing::default());
     c.add(CurrentSource::new(
@@ -52,9 +59,12 @@ fn out_at_corner(corner: Corner, i_cell: f64, i_ref: f64) -> f64 {
 
 /// Bisects the comparator trip current at a corner.
 fn trip_point(corner: Corner, i_ref: f64) -> f64 {
+    let tel = Telemetry::global();
+    let _span = tel.span("bench.ablation_corners.trip_point_seconds");
     let mut lo = 1e-6;
     let mut hi = 80e-6;
     for _ in 0..20 {
+        tel.incr("bench.ablation_corners.bisection_steps");
         let mid = 0.5 * (lo + hi);
         if out_at_corner(corner, mid, i_ref) < 1.65 {
             lo = mid;
@@ -66,14 +76,24 @@ fn trip_point(corner: Corner, i_ref: f64) -> f64 {
 }
 
 fn main() {
+    let (_args, tel_cli) = telemetry_cli::init("ablation_corners");
     println!("== Ablation: termination trip point across process corners ==\n");
-    let mut t = Table::new(&["corner", "trip @ 6 µA", "err %", "trip @ 20 µA", "err %", "trip @ 36 µA", "err %"]);
+    let mut t = Table::new(&[
+        "corner",
+        "trip @ 6 µA",
+        "err %",
+        "trip @ 20 µA",
+        "err %",
+        "trip @ 36 µA",
+        "err %",
+    ]);
     let mut worst: f64 = 0.0;
     for corner in Corner::all() {
         let mut row = vec![corner.to_string()];
         for i_ref in [6e-6, 20e-6, 36e-6] {
             let trip = trip_point(corner, i_ref);
             let err = (trip / i_ref - 1.0) * 100.0;
+            Telemetry::global().record("bench.ablation_corners.trip_error_pct", err.abs());
             worst = worst.max(err.abs());
             row.push(eng(trip, "A"));
             row.push(format!("{err:+.1}"));
@@ -86,4 +106,5 @@ fn main() {
     println!("mirror shift together), so the trip error stays a small fraction of the");
     println!("raw ±40 mV / ±8 % device shifts — provided IrefR itself is corner-stable,");
     println!("which is why the paper derives it from a bandgap reference (§3.2).");
+    tel_cli.finish();
 }

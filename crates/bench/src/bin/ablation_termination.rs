@@ -29,12 +29,23 @@ fn transistor_level(i_ref: f64) -> Result<(f64, Option<f64>, f64), Box<dyn std::
         let r: &mut OxramCell = c.device_mut(cell.rram)?;
         r.set_rho_init(1.0);
     }
-    let term = TerminationCircuit::build(&mut c, "t0", bl, vdd, i_ref, &TerminationSizing::default());
-    c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+    let term =
+        TerminationCircuit::build(&mut c, "t0", bl, vdd, i_ref, &TerminationSizing::default());
+    c.add(VoltageSource::new(
+        "vdd",
+        vdd,
+        Circuit::gnd(),
+        SourceWave::dc(3.3),
+    ));
     // WL boosted to the rail: the SL headroom for the termination stage
     // (M1 diode drop) would otherwise pinch the access transistor off —
     // the paper's 2.5 V WL pairs with its 1.2 V SL.
-    c.add(VoltageSource::new("vwl", wl, Circuit::gnd(), SourceWave::dc(3.3)));
+    c.add(VoltageSource::new(
+        "vwl",
+        wl,
+        Circuit::gnd(),
+        SourceWave::dc(3.3),
+    ));
     // The SL driver needs headroom for the M1 gate-source drop (~0.75 V at
     // these currents) so the cell sees the same bias as the behavioral
     // path.
@@ -70,10 +81,7 @@ fn transistor_level(i_ref: f64) -> Result<(f64, Option<f64>, f64), Box<dyn std::
         if v_out < 1.65 {
             chopped = Some(sample.time);
             // Record the cell current at the trip for accuracy reporting.
-            if let Ok(u) = circuit.branch_unknown(
-                circuit.find_device("vsl").expect("exists"),
-                0,
-            ) {
+            if let Ok(u) = circuit.branch_unknown(circuit.find_device("vsl").expect("exists"), 0) {
                 trip_current = sample.solution.as_slice()[u].abs();
             }
             if let Ok(vs) = circuit.device_mut::<VoltageSource>(vsl) {
@@ -90,12 +98,8 @@ fn transistor_level(i_ref: f64) -> Result<(f64, Option<f64>, f64), Box<dyn std::
     };
     let result = run_transient(&mut c, &opts, &mut [&mut monitor])?;
     let rho = result.state_trace(&c, cell.rram, 0)?.last();
-    let r = oxterm_rram::model::read_resistance(
-        &config.oxram,
-        &InstanceVariation::nominal(),
-        rho,
-        0.3,
-    );
+    let r =
+        oxterm_rram::model::read_resistance(&config.oxram, &InstanceVariation::nominal(), rho, 0.3);
     let latency = chopped.map(|t| t - 20e-9);
     Ok((r, latency, trip_current))
 }

@@ -30,8 +30,8 @@ fn main() {
     let mut pv_e = 0.0;
     let mut n_ok = 0usize;
     for code in 0..16u16 {
-        let term = program_cell_fast(&params, &inst, &alloc, code, &cond)
-            .expect("level programmable");
+        let term =
+            program_cell_fast(&params, &inst, &alloc, code, &cond).expect("level programmable");
         match program_and_verify(&params, &inst, &alloc, code, term.r_read_ohms, &vcfg) {
             Ok(pv) => {
                 term_lat += term.latency_s;
@@ -49,7 +49,14 @@ fn main() {
                 ]);
             }
             Err(e) => {
-                t.row_strings(vec![format!("{code:04b}"), "—".into(), format!("P&V failed: {e}"), String::new(), String::new(), String::new()]);
+                t.row_strings(vec![
+                    format!("{code:04b}"),
+                    "—".into(),
+                    format!("P&V failed: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
             }
         }
     }

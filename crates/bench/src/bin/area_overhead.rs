@@ -25,7 +25,14 @@ fn main() {
         let mut probe = Circuit::new();
         let vdd = probe.node("vdd");
         let bl = probe.node("bl");
-        TerminationCircuit::build(&mut probe, "t", bl, vdd, 10e-6, &TerminationSizing::default());
+        TerminationCircuit::build(
+            &mut probe,
+            "t",
+            bl,
+            vdd,
+            10e-6,
+            &TerminationSizing::default(),
+        );
         let per_bl = probe.n_elements();
 
         // Array devices: 2 per cell (RRAM + access transistor).
@@ -49,7 +56,14 @@ fn main() {
     let before = c.n_elements();
     let vdd = c.node("vdd");
     for (k, &bl) in tile.bl.clone().iter().enumerate() {
-        TerminationCircuit::build(&mut c, &format!("term{k}"), bl, vdd, 10e-6, &TerminationSizing::default());
+        TerminationCircuit::build(
+            &mut c,
+            &format!("term{k}"),
+            bl,
+            vdd,
+            10e-6,
+            &TerminationSizing::default(),
+        );
     }
     let added = c.n_elements() - before;
     println!(

@@ -67,13 +67,23 @@ fn main() {
                     eng(out.energy_j, "J"),
                 ]);
             }
-            Err(e) => t.row_strings(vec![format!("{i_ua:.0} µA"), format!("{e}"), String::new(), String::new(), String::new()]),
+            Err(e) => t.row_strings(vec![
+                format!("{i_ua:.0} µA"),
+                format!("{e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
         }
     }
     println!("{}", t.render());
     println!(
         "ordered multi-level states: {}",
-        if ordered { "yes — the scheme transfers" } else { "NO" }
+        if ordered {
+            "yes — the scheme transfers"
+        } else {
+            "NO"
+        }
     );
     println!("\nsame mechanism as OxRAM: amorphization raises R, lowering I — a negative-");
     println!("feedback process the current comparator can terminate at any point along");

@@ -13,10 +13,7 @@ fn main() {
     let config = IvSweepConfig::butterfly();
     let pts = butterfly_sweep(&params, &inst, &config).expect("valid sweep");
 
-    let series: Vec<(f64, f64)> = pts
-        .iter()
-        .map(|p| (p.v, p.i.abs().max(1e-9)))
-        .collect();
+    let series: Vec<(f64, f64)> = pts.iter().map(|p| (p.v, p.i.abs().max(1e-9))).collect();
     println!(
         "{}",
         xy_chart(
@@ -38,11 +35,21 @@ fn main() {
     let n_leg = config.points_per_leg;
     let hrs_up = pts[..n_leg]
         .iter()
-        .min_by(|a, b| (a.v - 0.3).abs().partial_cmp(&(b.v - 0.3).abs()).expect("finite"))
+        .min_by(|a, b| {
+            (a.v - 0.3)
+                .abs()
+                .partial_cmp(&(b.v - 0.3).abs())
+                .expect("finite")
+        })
         .expect("non-empty");
     let lrs_down = pts[n_leg..2 * n_leg]
         .iter()
-        .min_by(|a, b| (a.v - 0.3).abs().partial_cmp(&(b.v - 0.3).abs()).expect("finite"))
+        .min_by(|a, b| {
+            (a.v - 0.3)
+                .abs()
+                .partial_cmp(&(b.v - 0.3).abs())
+                .expect("finite")
+        })
         .expect("non-empty");
     let set_onset = pts[..n_leg]
         .iter()

@@ -38,8 +38,14 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let lrs_pts: Vec<(f64, f64)> = lrs.points().step_by(50.max(data.r_lrs.len() / 400)).collect();
-    let hrs_pts: Vec<(f64, f64)> = hrs.points().step_by(50.max(data.r_hrs.len() / 400)).collect();
+    let lrs_pts: Vec<(f64, f64)> = lrs
+        .points()
+        .step_by(50.max(data.r_lrs.len() / 400))
+        .collect();
+    let hrs_pts: Vec<(f64, f64)> = hrs
+        .points()
+        .step_by(50.max(data.r_hrs.len() / 400))
+        .collect();
     println!(
         "{}",
         xy_chart(
@@ -56,7 +62,11 @@ fn main() {
     let hrs_med = quantile(&data.r_hrs, 0.5).expect("populated");
     let lrs_decades = (lrs.inverse(0.99) / lrs.inverse(0.01)).log10();
     let hrs_decades = (hrs.inverse(0.99) / hrs.inverse(0.01)).log10();
-    println!("medians: LRS {} | HRS {}  (paper: ~1e4 Ω vs ~1e5–1e6 Ω)", eng(lrs_med, "Ω"), eng(hrs_med, "Ω"));
+    println!(
+        "medians: LRS {} | HRS {}  (paper: ~1e4 Ω vs ~1e5–1e6 Ω)",
+        eng(lrs_med, "Ω"),
+        eng(hrs_med, "Ω")
+    );
     println!(
         "1%–99% spread: LRS {lrs_decades:.2} decades vs HRS {hrs_decades:.2} decades \
          (paper: HRS spread ≫ LRS spread)"

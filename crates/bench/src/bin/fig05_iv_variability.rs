@@ -66,7 +66,11 @@ fn main() {
         "{}",
         xy_chart(
             "SET/RST butterfly: nominal (model line) with min/max envelope (symbols)",
-            &[("nominal", &nominal_pts), ("env lo", &lo_pts), ("env hi", &hi_pts)],
+            &[
+                ("nominal", &nominal_pts),
+                ("env lo", &lo_pts),
+                ("env hi", &hi_pts)
+            ],
             64,
             16,
             Scale::Linear,

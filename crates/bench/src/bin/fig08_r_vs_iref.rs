@@ -24,18 +24,35 @@ fn main() {
         )
         .expect("window is programmable");
         pts.push((i_ua, out.r_read_ohms / 1e3));
-        t.row_strings(vec![format!("{i_ua:.0}"), format!("{:.1}", out.r_read_ohms / 1e3)]);
+        t.row_strings(vec![
+            format!("{i_ua:.0}"),
+            format!("{:.1}", out.r_read_ohms / 1e3),
+        ]);
         i_ua += 2.0;
     }
     println!("{}", t.render());
 
     println!(
         "{}",
-        xy_chart("Fig 8a (linear scale)", &[("R_HRS", &pts)], 56, 14, Scale::Linear, Scale::Linear)
+        xy_chart(
+            "Fig 8a (linear scale)",
+            &[("R_HRS", &pts)],
+            56,
+            14,
+            Scale::Linear,
+            Scale::Linear
+        )
     );
     println!(
         "{}",
-        xy_chart("Fig 8b (log scale)", &[("R_HRS", &pts)], 56, 14, Scale::Linear, Scale::Log)
+        xy_chart(
+            "Fig 8b (log scale)",
+            &[("R_HRS", &pts)],
+            56,
+            14,
+            Scale::Linear,
+            Scale::Log
+        )
     );
 
     // Pseudo-exponential check: ln(R) vs I must fit a line far better than

@@ -39,7 +39,11 @@ fn main() {
         .iter()
         .map(|(t, i)| (t * 1e6, i.abs().max(1e-9)))
         .collect();
-    let v_pts: Vec<(f64, f64)> = term.v_sl.iter().map(|(t, v)| (t * 1e6, v.max(1e-3))).collect();
+    let v_pts: Vec<(f64, f64)> = term
+        .v_sl
+        .iter()
+        .map(|(t, v)| (t * 1e6, v.max(1e-3)))
+        .collect();
     println!(
         "{}",
         xy_chart(
@@ -69,7 +73,8 @@ fn main() {
     t.row_strings(vec![
         "termination latency".into(),
         "2.6 µs".into(),
-        term.latency_s.map_or("did not fire".into(), |l| eng(l, "s")),
+        term.latency_s
+            .map_or("did not fire".into(), |l| eng(l, "s")),
     ]);
     t.row_strings(vec![
         "final HRS (terminated)".into(),

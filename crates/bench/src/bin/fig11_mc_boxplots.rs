@@ -7,13 +7,12 @@
 use oxterm_bench::campaigns::paper_qlc_campaign;
 use oxterm_bench::chart::boxplot_row;
 use oxterm_bench::table::{eng, Table};
+use oxterm_bench::telemetry_cli;
 use oxterm_mlc::margins::analyze;
 
 fn main() {
-    let runs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500);
+    let (args, tel_cli) = telemetry_cli::init("fig11");
+    let runs = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
     println!("== Fig 11: HRS box plots, {runs} MC runs × 16 compliance currents ==\n");
     let campaign = paper_qlc_campaign(runs);
     let samples: Vec<_> = campaign.iter().map(|c| c.to_level_samples()).collect();
@@ -64,10 +63,17 @@ fn main() {
         .iter()
         .map(|m| m.worst_case)
         .fold(f64::NEG_INFINITY, f64::max);
-    println!("largest worst-case margin:  {}   (paper: 69 kΩ between '1111' and '1110')", eng(largest, "Ω"));
+    println!(
+        "largest worst-case margin:  {}   (paper: 69 kΩ between '1111' and '1110')",
+        eng(largest, "Ω")
+    );
     println!(
         "distribution overlap: {}   (paper: none)",
-        if report.has_overlap() { "YES — FAILURE" } else { "none" }
+        if report.has_overlap() {
+            "YES — FAILURE"
+        } else {
+            "none"
+        }
     );
 
     // Statistical confidence of the "no overlap" claim: with zero observed
@@ -80,4 +86,5 @@ fn main() {
          per-cell failure rate < {:.2e} (95 %)",
         hi
     );
+    tel_cli.finish();
 }

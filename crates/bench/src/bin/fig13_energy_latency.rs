@@ -8,25 +8,18 @@
 use oxterm_bench::campaigns::paper_qlc_campaign;
 use oxterm_bench::chart::boxplot_row;
 use oxterm_bench::table::{eng, Table};
+use oxterm_bench::telemetry_cli;
 use oxterm_numerics::stats::{box_stats, summary};
 
 fn main() {
-    let runs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500);
+    let (args, tel_cli) = telemetry_cli::init("fig13");
+    let runs = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
     println!("== Fig 13: energy/cell and RST latency, {runs} MC runs × 16 levels ==\n");
     let campaign = paper_qlc_campaign(runs);
 
     let mut all_energy = Vec::new();
     let mut all_latency = Vec::new();
-    let mut t = Table::new(&[
-        "IrefR (µA)",
-        "E median",
-        "E max",
-        "lat median",
-        "lat max",
-    ]);
+    let mut t = Table::new(&["IrefR (µA)", "E median", "E max", "lat median", "lat max"]);
     let mut e_rows = Vec::new();
     let mut l_rows = Vec::new();
     for lc in &campaign {
@@ -50,12 +43,18 @@ fn main() {
     println!("{}", t.render());
 
     let e_hi = all_energy.iter().cloned().fold(0.0f64, f64::max);
-    println!("Fig 13a: energy/cell box plots (scale 0 … {}):", eng(e_hi, "J"));
+    println!(
+        "Fig 13a: energy/cell box plots (scale 0 … {}):",
+        eng(e_hi, "J")
+    );
     for (label, b) in e_rows.iter().rev() {
         println!("{}", boxplot_row(label, b, 0.0, e_hi, 60));
     }
     let l_hi = all_latency.iter().cloned().fold(0.0f64, f64::max);
-    println!("\nFig 13b: RST latency box plots (scale 0 … {}):", eng(l_hi, "s"));
+    println!(
+        "\nFig 13b: RST latency box plots (scale 0 … {}):",
+        eng(l_hi, "s")
+    );
     for (label, b) in l_rows.iter().rev() {
         println!("{}", boxplot_row(label, b, 0.0, l_hi, 60));
     }
@@ -92,4 +91,5 @@ fn main() {
         "  worst-case SET+RST  : paper ~175 pJ    measured {}",
         eng(e_hi + set_energy, "J")
     );
+    tel_cli.finish();
 }

@@ -35,7 +35,11 @@ fn main() {
             eng(v2.r_cell, "Ω"),
             eng(fl.r_sneak, "Ω"),
             eng(v2.r_sneak, "Ω"),
-            if v2.readable(r_lrs, 2.0) { "yes".into() } else { "NO".to_string() },
+            if v2.readable(r_lrs, 2.0) {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     println!("{}", t.render());

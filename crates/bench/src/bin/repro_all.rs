@@ -2,21 +2,29 @@
 //! experiment and prints a pass/fail summary against the paper's anchors.
 //!
 //! ```text
-//! cargo run --release -p oxterm-bench --bin repro_all [mc_runs]
+//! cargo run --release -p oxterm-bench --bin repro_all [mc_runs] [--telemetry[=json]]
 //! ```
 //!
 //! Full-size artifacts come from the individual binaries; this target
 //! exists so one command demonstrates the whole reproduction end to end.
+//!
+//! Instrumentation is always on here (the run doubles as the perf probe):
+//! a machine-readable `BENCH_telemetry.json` with throughput figures is
+//! written at exit. `--telemetry` additionally prints the full metric
+//! table, and `--telemetry=json` dumps the whole run report to
+//! `results/telemetry_repro_all.json`.
 
 use oxterm_array::cycling::{cycle_array, CyclingConfig};
 use oxterm_bench::campaigns::mc_campaign;
 use oxterm_bench::table::{eng, Table};
+use oxterm_bench::telemetry_cli;
 use oxterm_mlc::levels::LevelAllocation;
 use oxterm_mlc::margins::analyze;
 use oxterm_mlc::program::{program_cell_circuit, CircuitProgramOptions};
 use oxterm_mlc::projection::{project, ProjectionConfig};
 use oxterm_rram::calib::{simulate_reset_termination, CalibrationTarget, ResetConditions};
 use oxterm_rram::params::{InstanceVariation, OxramParams};
+use oxterm_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,10 +36,13 @@ struct Check {
 }
 
 fn main() {
-    let runs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120);
+    let (args, tel_cli) = telemetry_cli::init("repro_all");
+    // The checklist always runs instrumented — it doubles as the perf
+    // probe behind BENCH_telemetry.json (a no-op if --telemetry already
+    // installed the handle).
+    Telemetry::install(Telemetry::enabled());
+    let t_start = std::time::Instant::now();
+    let runs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(120);
     println!("== oxterm reproduction checklist ({runs} MC runs where applicable) ==\n");
     let params = OxramParams::calibrated();
     let inst = InstanceVariation::nominal();
@@ -87,7 +98,11 @@ fn main() {
                 measured: format!(
                     "{}, {}",
                     eng(report.worst_case_margin(), "Ω"),
-                    if report.has_overlap() { "OVERLAP" } else { "none" }
+                    if report.has_overlap() {
+                        "OVERLAP"
+                    } else {
+                        "none"
+                    }
                 ),
                 pass: !report.has_overlap() && report.worst_case_margin() > 1e3,
             });
@@ -147,7 +162,9 @@ fn main() {
         Ok(data) => {
             let ln_sigma = |v: &[f64]| {
                 let logs: Vec<f64> = v.iter().map(|x| x.ln()).collect();
-                oxterm_numerics::stats::summary(&logs).map(|s| s.std_dev).unwrap_or(0.0)
+                oxterm_numerics::stats::summary(&logs)
+                    .map(|s| s.std_dev)
+                    .unwrap_or(0.0)
             };
             let (sh, sl) = (ln_sigma(&data.r_hrs), ln_sigma(&data.r_lrs));
             checks.push(Check {
@@ -174,7 +191,11 @@ fn main() {
             c.name.to_string(),
             c.paper.clone(),
             c.measured.clone(),
-            if c.pass { "PASS".into() } else { "FAIL".to_string() },
+            if c.pass {
+                "PASS".into()
+            } else {
+                "FAIL".to_string()
+            },
         ]);
     }
     println!("{}", t.render());
@@ -186,5 +207,43 @@ fn main() {
             "SOME CHECKS FAILED — see individual binaries"
         }
     );
+
+    write_bench_summary(t_start.elapsed().as_secs_f64());
+    tel_cli.finish();
     std::process::exit(if all_pass { 0 } else { 1 });
+}
+
+/// Writes `BENCH_telemetry.json`: the headline throughput figures the perf
+/// trajectory tracks across commits.
+fn write_bench_summary(wall_s: f64) {
+    let report = Telemetry::global().report();
+    let newton_iters = report
+        .histogram("spice.newton.iterations")
+        .map(|h| h.sum)
+        .unwrap_or(0.0);
+    let mc_runs = report.counter("mc.engine.runs").unwrap_or(0);
+    let mut w = oxterm_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.string("bench", "repro_all");
+    w.f64("wall_seconds", wall_s);
+    w.f64("newton_iterations", newton_iters);
+    w.f64("newton_iterations_per_second", newton_iters / wall_s);
+    w.u64("mc_runs", mc_runs);
+    w.f64("mc_runs_per_second", mc_runs as f64 / wall_s);
+    w.u64(
+        "tran_steps_accepted",
+        report.counter("spice.tran.steps_accepted").unwrap_or(0),
+    );
+    w.u64(
+        "mc_convergence_failures",
+        report
+            .counter("mc.engine.convergence_failures")
+            .unwrap_or(0),
+    );
+    w.end_object();
+    let json = w.finish();
+    match std::fs::write("BENCH_telemetry.json", &json) {
+        Ok(()) => println!("throughput summary written to BENCH_telemetry.json"),
+        Err(e) => eprintln!("could not write BENCH_telemetry.json: {e}"),
+    }
 }

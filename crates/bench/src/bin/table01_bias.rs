@@ -23,9 +23,24 @@ fn stack_op(op: Operation, rho: f64) -> (f64, f64) {
         let r: &mut OxramCell = c.device_mut(cell.rram).expect("fresh handle");
         r.set_rho_init(rho);
     }
-    let vbl = c.add(VoltageSource::new("vbl", bl, Circuit::gnd(), SourceWave::dc(bias.bl)));
-    c.add(VoltageSource::new("vwl", wl, Circuit::gnd(), SourceWave::dc(bias.wl)));
-    c.add(VoltageSource::new("vsl", sl, Circuit::gnd(), SourceWave::dc(bias.sl)));
+    let vbl = c.add(VoltageSource::new(
+        "vbl",
+        bl,
+        Circuit::gnd(),
+        SourceWave::dc(bias.bl),
+    ));
+    c.add(VoltageSource::new(
+        "vwl",
+        wl,
+        Circuit::gnd(),
+        SourceWave::dc(bias.wl),
+    ));
+    c.add(VoltageSource::new(
+        "vsl",
+        sl,
+        Circuit::gnd(),
+        SourceWave::dc(bias.sl),
+    ));
     let sol = solve_op(&c, &OpOptions::default()).expect("bias point converges");
     let i_bl = -sol.branch_current(&c, vbl, 0).expect("fresh handle");
     let v_cell = sol.v(bl) - sol.v(cell.mid);

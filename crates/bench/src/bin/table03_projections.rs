@@ -28,8 +28,11 @@ fn main() {
         "overlap",
     ]);
     for (bits, p_min, p_wc) in paper {
-        let row = project(&params, &ProjectionConfig::paper(bits, runs, 0xD47E + bits as u64))
-            .expect("window is programmable");
+        let row = project(
+            &params,
+            &ProjectionConfig::paper(bits, runs, 0xD47E + bits as u64),
+        )
+        .expect("window is programmable");
         t.row_strings(vec![
             format!("{bits}"),
             format!("{}", row.levels),
@@ -37,7 +40,11 @@ fn main() {
             eng(row.min_nominal_margin, "Ω"),
             eng(p_wc, "Ω"),
             eng(row.worst_case_margin, "Ω"),
-            if row.report.has_overlap() { "YES".into() } else { "no".to_string() },
+            if row.report.has_overlap() {
+                "YES".into()
+            } else {
+                "no".to_string()
+            },
         ]);
         // Current-difference view for the sensing argument.
         let min_di = row

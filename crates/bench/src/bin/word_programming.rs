@@ -18,10 +18,17 @@ fn main() {
     // An 8-cell word exercising the full level range.
     let codes: Vec<u16> = vec![15, 0, 12, 3, 8, 5, 10, 1];
     println!("word data (4 bits/cell): {codes:?}\n");
-    let out = program_word_circuit(&codes, &alloc, &WordProgramOptions::paper())
-        .expect("word programs");
+    let out =
+        program_word_circuit(&codes, &alloc, &WordProgramOptions::paper()).expect("word programs");
 
-    let mut t = Table::new(&["bit", "code", "IrefR", "R programmed", "latency", "read-back"]);
+    let mut t = Table::new(&[
+        "bit",
+        "code",
+        "IrefR",
+        "R programmed",
+        "latency",
+        "read-back",
+    ]);
     let mut misreads = 0;
     for (k, &code) in codes.iter().enumerate() {
         let read = reader.classify_resistance(out.r_read_ohms[k]);

@@ -5,8 +5,8 @@
 //! variability. Running it once and slicing it three ways matches how the
 //! paper derives those artifacts from one 500-run simulation set.
 
-use oxterm_mc::sweep::sweep_mc;
 use oxterm_mc::engine::MonteCarlo;
+use oxterm_mc::sweep::sweep_mc_try;
 use oxterm_mlc::levels::{LevelAllocation, LevelSpec};
 use oxterm_mlc::margins::LevelSamples;
 use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions, ProgramOutcome};
@@ -63,13 +63,20 @@ pub fn mc_campaign(
     let cond = ProgramConditions::paper();
     let var = McVariability::default();
     let levels: Vec<LevelSpec> = alloc.levels().to_vec();
-    let results = sweep_mc(&levels, MonteCarlo::new(runs, seed), |spec, _, rng| {
+    // The fallible sweep records any failed run (with its replayable seed)
+    // in telemetry before this function panics on it.
+    let results = sweep_mc_try(&levels, MonteCarlo::new(runs, seed), |spec, _, rng| {
         program_cell_mc(params, alloc, spec.code, &cond, &var, rng)
-            .expect("level inside programmable window")
     });
     results
         .into_iter()
-        .map(|(spec, outcomes)| LevelCampaign { spec, outcomes })
+        .map(|(spec, outcomes)| LevelCampaign {
+            spec,
+            outcomes: outcomes
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()
+                .expect("level inside programmable window"),
+        })
         .collect()
 }
 

@@ -37,3 +37,4 @@
 pub mod campaigns;
 pub mod chart;
 pub mod table;
+pub mod telemetry_cli;

@@ -64,7 +64,11 @@ impl Table {
         };
         out.push_str(&render_row(&self.header, &widths));
         out.push('\n');
-        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>().saturating_sub(1);
+        let total: usize = widths
+            .iter()
+            .map(|w| w + 3)
+            .sum::<usize>()
+            .saturating_sub(1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
         for row in &self.rows {

@@ -1,0 +1,119 @@
+//! Shared `--telemetry[=json]` handling for the experiment binaries.
+//!
+//! Usage in a `src/bin/` target:
+//!
+//! ```ignore
+//! let (args, tel_cli) = telemetry_cli::init("fig11");
+//! let runs = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
+//! // ... experiment ...
+//! tel_cli.finish();
+//! ```
+//!
+//! `init` installs an enabled process-global [`Telemetry`] when the flag is
+//! present (it must run before any instrumented work) and strips the flag
+//! from the argument list so positional arguments keep their meaning.
+//! `finish` prints the run report and, for `--telemetry=json`, writes it to
+//! `results/telemetry_<name>.json`.
+
+use oxterm_telemetry::Telemetry;
+
+/// How the binary was asked to report telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// No flag: telemetry stays disabled (zero-overhead path).
+    Off,
+    /// `--telemetry`: print the ASCII report at exit.
+    Table,
+    /// `--telemetry=json`: print the report and write the JSON file.
+    Json,
+}
+
+/// Parsed telemetry CLI state; call [`TelemetryCli::finish`] at exit.
+#[derive(Debug)]
+pub struct TelemetryCli {
+    mode: TelemetryMode,
+    name: &'static str,
+}
+
+/// Parses `std::env::args`, installs global telemetry if requested, and
+/// returns the remaining (non-flag) arguments plus the CLI state.
+///
+/// `name` keys the JSON output file: `results/telemetry_<name>.json`.
+pub fn init(name: &'static str) -> (Vec<String>, TelemetryCli) {
+    init_from(name, std::env::args().skip(1))
+}
+
+/// [`init`] over an explicit argument iterator (testable).
+pub fn init_from(
+    name: &'static str,
+    args: impl Iterator<Item = String>,
+) -> (Vec<String>, TelemetryCli) {
+    let mut mode = TelemetryMode::Off;
+    let mut rest = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--telemetry" => mode = TelemetryMode::Table,
+            "--telemetry=json" => mode = TelemetryMode::Json,
+            _ => rest.push(a),
+        }
+    }
+    if mode != TelemetryMode::Off {
+        Telemetry::install(Telemetry::enabled());
+    }
+    (rest, TelemetryCli { mode, name })
+}
+
+impl TelemetryCli {
+    /// The parsed mode.
+    pub fn mode(&self) -> TelemetryMode {
+        self.mode
+    }
+
+    /// Prints the run report (and writes the JSON artifact in
+    /// [`TelemetryMode::Json`]). No-op when telemetry is off.
+    pub fn finish(&self) {
+        if self.mode == TelemetryMode::Off {
+            return;
+        }
+        let report = Telemetry::global().report();
+        println!("\n== telemetry ({}) ==\n", self.name);
+        println!("{}", report.to_table());
+        if self.mode == TelemetryMode::Json {
+            let path = format!("results/telemetry_{}.json", self.name);
+            match std::fs::create_dir_all("results")
+                .and_then(|()| std::fs::write(&path, report.to_json()))
+            {
+                Ok(()) => println!("telemetry report written to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_is_stripped_and_positionals_survive() {
+        let (rest, cli) = init_from(
+            "t",
+            ["120".to_string(), "--telemetry".to_string()].into_iter(),
+        );
+        assert_eq!(rest, vec!["120".to_string()]);
+        assert_eq!(cli.mode(), TelemetryMode::Table);
+    }
+
+    #[test]
+    fn no_flag_means_off() {
+        let (rest, cli) = init_from("t", ["7".to_string()].into_iter());
+        assert_eq!(rest, vec!["7".to_string()]);
+        assert_eq!(cli.mode(), TelemetryMode::Off);
+    }
+
+    #[test]
+    fn json_variant_parses() {
+        let (_, cli) = init_from("t", ["--telemetry=json".to_string()].into_iter());
+        assert_eq!(cli.mode(), TelemetryMode::Json);
+    }
+}

@@ -78,7 +78,7 @@ impl MlcCodec {
         }
     }
 
-    fn from_level(&self, level: u16) -> u16 {
+    fn code_of_level(&self, level: u16) -> u16 {
         match self.mapping {
             CodeMapping::Binary => level,
             CodeMapping::Gray => level ^ (level >> 1),
@@ -128,7 +128,7 @@ impl MlcCodec {
         let mut acc: u32 = 0;
         let mut acc_bits = 0usize;
         for &code in codes {
-            acc = (acc << bpc) | self.from_level(code) as u32;
+            acc = (acc << bpc) | self.code_of_level(code) as u32;
             acc_bits += bpc;
             while acc_bits >= 8 && out.len() < n_bytes {
                 let shift = acc_bits - 8;
@@ -214,8 +214,8 @@ mod tests {
         // Walk physically adjacent levels and check the *decoded data*
         // differs in exactly one bit — the Gray property.
         for level in 0u16..15 {
-            let a = codec.from_level(level);
-            let b = codec.from_level(level + 1);
+            let a = codec.code_of_level(level);
+            let b = codec.code_of_level(level + 1);
             assert_eq!((a ^ b).count_ones(), 1, "levels {level}/{}", level + 1);
         }
     }
@@ -228,11 +228,11 @@ mod tests {
         let binary = MlcCodec::for_allocation(&alloc).unwrap();
         let gray = MlcCodec::with_mapping(&alloc, CodeMapping::Gray).unwrap();
         let worst_binary = (0u16..15)
-            .map(|l| (binary.from_level(l) ^ binary.from_level(l + 1)).count_ones())
+            .map(|l| (binary.code_of_level(l) ^ binary.code_of_level(l + 1)).count_ones())
             .max()
             .unwrap();
         let worst_gray = (0u16..15)
-            .map(|l| (gray.from_level(l) ^ gray.from_level(l + 1)).count_ones())
+            .map(|l| (gray.code_of_level(l) ^ gray.code_of_level(l + 1)).count_ones())
             .max()
             .unwrap();
         assert_eq!(worst_binary, 4);

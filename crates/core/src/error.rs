@@ -43,7 +43,10 @@ impl fmt::Display for MlcError {
                 write!(f, "invalid level allocation: {reason}")
             }
             MlcError::VerifyBudgetExhausted { iterations } => {
-                write!(f, "program-and-verify gave up after {iterations} iterations")
+                write!(
+                    f,
+                    "program-and-verify gave up after {iterations} iterations"
+                )
             }
         }
     }

@@ -187,10 +187,8 @@ mod tests {
     #[test]
     fn iso_delta_r_spaces_resistances() {
         // Synthetic R(I) = K / I.
-        let alloc = LevelAllocation::new(4, 6e-6, 36e-6, AllocationScheme::IsoDeltaR, |i| {
-            1.5 / i
-        })
-        .unwrap();
+        let alloc =
+            LevelAllocation::new(4, 6e-6, 36e-6, AllocationScheme::IsoDeltaR, |i| 1.5 / i).unwrap();
         let r: Vec<f64> = alloc.levels().iter().map(|l| 1.5 / l.i_ref).collect();
         let d1 = r[1] - r[0];
         let d2 = r[2] - r[1];
@@ -203,8 +201,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_windows() {
-        assert!(LevelAllocation::new(1, 6e-6, 36e-6, AllocationScheme::IsoDeltaI, |_| 0.0).is_err());
-        assert!(LevelAllocation::new(4, 36e-6, 6e-6, AllocationScheme::IsoDeltaI, |_| 0.0).is_err());
+        assert!(
+            LevelAllocation::new(1, 6e-6, 36e-6, AllocationScheme::IsoDeltaI, |_| 0.0).is_err()
+        );
+        assert!(
+            LevelAllocation::new(4, 36e-6, 6e-6, AllocationScheme::IsoDeltaI, |_| 0.0).is_err()
+        );
         assert!(LevelAllocation::new(4, 0.0, 36e-6, AllocationScheme::IsoDeltaI, |_| 0.0).is_err());
     }
 

@@ -218,7 +218,11 @@ mod tests {
     #[test]
     fn levels_are_sorted_by_resistance() {
         // Feed levels out of order; report must sort.
-        let samples = vec![level(2, 80e3, 1e3, 10), level(0, 40e3, 1e3, 10), level(1, 60e3, 1e3, 10)];
+        let samples = vec![
+            level(2, 80e3, 1e3, 10),
+            level(0, 40e3, 1e3, 10),
+            level(1, 60e3, 1e3, 10),
+        ];
         let report = analyze(&samples).unwrap();
         let means: Vec<f64> = report.levels.iter().map(|l| l.mean).collect();
         assert!(means.windows(2).all(|w| w[0] < w[1]));

@@ -24,6 +24,7 @@ use oxterm_rram::params::{standard_normal, InstanceVariation, OxramParams};
 use oxterm_spice::analysis::tran::{run_transient, TranOptions};
 use oxterm_spice::circuit::Circuit;
 use oxterm_spice::waveform::CrossDir;
+use oxterm_telemetry::Telemetry;
 use rand::Rng;
 
 use crate::levels::LevelAllocation;
@@ -81,6 +82,7 @@ pub fn program_cell_fast(
     code: u16,
     cond: &ProgramConditions,
 ) -> Result<ProgramOutcome, MlcError> {
+    Telemetry::global().incr("mlc.program.fast_ops");
     let level = alloc.level(code)?;
     let set = simulate_set(params, inst, &cond.set)?;
     let reset_cond = ResetConditions {
@@ -183,6 +185,7 @@ pub fn program_cell_mc<R: Rng + ?Sized>(
     var: &McVariability,
     rng: &mut R,
 ) -> Result<ProgramOutcome, MlcError> {
+    Telemetry::global().incr("mlc.program.mc_ops");
     let level = alloc.level(code)?;
     let (inst, mut cond, i_ref_factor) = var.sample(params, cond, rng);
     let set = simulate_set(params, &inst, &cond.set)?;
@@ -278,6 +281,9 @@ pub fn program_cell_circuit(
     opts: &CircuitProgramOptions,
     i_ref: Option<f64>,
 ) -> Result<CircuitProgramOutcome, MlcError> {
+    let tel = Telemetry::global();
+    tel.incr("mlc.program.circuit_ops");
+    let _op_span = tel.span("mlc.program.circuit_seconds");
     let mut c = Circuit::new();
     let sl = c.node("sl");
     let wl = c.node("wl");
@@ -318,8 +324,7 @@ pub fn program_cell_circuit(
 
     let (result, fired) = match i_ref {
         Some(i_ref) => {
-            let (mut monitor, flag) =
-                behavioral_monitor(sense, vsl, BehavioralOptions::new(i_ref));
+            let (mut monitor, flag) = behavioral_monitor(sense, vsl, BehavioralOptions::new(i_ref));
             let res = run_transient(&mut c, &tran_opts, &mut [&mut monitor])?;
             (res, flag.fired_at())
         }

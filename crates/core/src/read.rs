@@ -48,10 +48,7 @@ impl MlcReader {
             nominal_r.push(out.r_read_ohms);
         }
         let nominal_i: Vec<f64> = nominal_r.iter().map(|r| v_read / r).collect();
-        let refs = nominal_i
-            .windows(2)
-            .map(|w| 0.5 * (w[0] + w[1]))
-            .collect();
+        let refs = nominal_i.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
         MlcReader {
             nominal_i,
             nominal_r,
@@ -105,7 +102,11 @@ mod tests {
     use crate::levels::LevelAllocation;
 
     fn reader() -> MlcReader {
-        MlcReader::from_allocation(&LevelAllocation::paper_qlc(), &OxramParams::calibrated(), 0.3)
+        MlcReader::from_allocation(
+            &LevelAllocation::paper_qlc(),
+            &OxramParams::calibrated(),
+            0.3,
+        )
     }
 
     #[test]

@@ -95,7 +95,11 @@ mod tests {
     use oxterm_rram::params::OxramParams;
 
     fn reader() -> MlcReader {
-        MlcReader::from_allocation(&LevelAllocation::paper_qlc(), &OxramParams::calibrated(), 0.3)
+        MlcReader::from_allocation(
+            &LevelAllocation::paper_qlc(),
+            &OxramParams::calibrated(),
+            0.3,
+        )
     }
 
     #[test]

@@ -18,6 +18,7 @@ use oxterm_devices::passive::Capacitor;
 use oxterm_devices::sources::{CurrentSource, SourceWave, VoltageSource};
 use oxterm_spice::analysis::tran::{MonitorAction, TranSample};
 use oxterm_spice::circuit::{Circuit, ElementId, NodeId};
+use oxterm_telemetry::Telemetry;
 
 /// Options for the behavioral termination monitor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +72,9 @@ pub fn behavioral_monitor(
     let mut armed = false;
     let mut chopped_at: Option<f64> = None;
     let mut i_prev = 0.0f64;
+    // Resolved once at monitor construction; the per-sample path pays one
+    // branch when telemetry is disabled.
+    let tel = Telemetry::global().clone();
     let monitor = move |sample: &TranSample<'_>, circuit: &mut Circuit| -> MonitorAction {
         if let Some(tc) = chopped_at {
             if sample.time >= tc + opts.hold_after_chop {
@@ -95,10 +99,22 @@ pub fn behavioral_monitor(
         }
         // Crossing detected. Refine the step if it was coarse.
         if sample.dt > opts.dt_fine * 1.5 && i_prev > opts.i_ref {
+            tel.incr("mlc.termination.bisections");
             return MonitorAction::RedoWithDt(opts.dt_fine);
         }
         chopped_at = Some(sample.time);
         flag_out.set(sample.time);
+        if tel.is_enabled() {
+            tel.incr("mlc.termination.trips");
+            tel.record("mlc.termination.chop_time_s", sample.time);
+            // How far the sensed current undershot IrefR before the
+            // comparator tripped — the discrete-sampling overshoot the
+            // paper's Fig 8 analyzes.
+            tel.record(
+                "mlc.termination.overshoot_rel",
+                (opts.i_ref - i) / opts.i_ref,
+            );
+        }
         if let Ok(vs) = circuit.device_mut::<VoltageSource>(sl_source) {
             vs.force_end_at(sample.time, 0.0, opts.chop_fall);
         }
@@ -353,15 +369,14 @@ mod tests {
         let mut c = Circuit::new();
         let vdd = c.node("vdd");
         let bl = c.node("bl");
-        c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
-        let term = TerminationCircuit::build(
-            &mut c,
-            "t0",
-            bl,
+        c.add(VoltageSource::new(
+            "vdd",
             vdd,
-            i_ref,
-            &TerminationSizing::default(),
-        );
+            Circuit::gnd(),
+            SourceWave::dc(3.3),
+        ));
+        let term =
+            TerminationCircuit::build(&mut c, "t0", bl, vdd, i_ref, &TerminationSizing::default());
         // Inject the "cell current" into the BL node.
         c.add(CurrentSource::new(
             "icell",
@@ -412,7 +427,12 @@ mod tests {
         let mut c = Circuit::new();
         let vdd = c.node("vdd");
         let bl = c.node("bl");
-        c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+        c.add(VoltageSource::new(
+            "vdd",
+            vdd,
+            Circuit::gnd(),
+            SourceWave::dc(3.3),
+        ));
         let term =
             TerminationCircuit::build(&mut c, "t0", bl, vdd, 10e-6, &TerminationSizing::default());
         c.add(CurrentSource::new(

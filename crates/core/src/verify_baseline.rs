@@ -96,13 +96,12 @@ pub fn program_and_verify(
     let mut energy = set.energy_j;
     let mut latency = config.set.width;
     let mut pulses = 0usize;
-    let mut verifies = 0usize;
     let mut restarts = 0usize;
 
     for it in 0..config.max_iterations {
-        // Verify read.
+        // Verify read. `it + 1` reads have happened once this one is done.
         let r = model::read_resistance(params, inst, rho, config.v_read);
-        verifies += 1;
+        let verifies = it + 1;
         latency += config.t_read;
         energy += config.v_read * (config.v_read / r) * config.t_read;
         if r >= lo && r <= hi {
@@ -129,7 +128,6 @@ pub fn program_and_verify(
             energy += set.energy_j;
             latency += config.set.width;
             restarts += 1;
-            let _ = it;
             continue;
         }
         // Apply one partial RESET pulse (fixed width, no termination).
@@ -163,9 +161,8 @@ mod tests {
         let inst = InstanceVariation::nominal();
         let alloc = LevelAllocation::paper_qlc();
         let target = 106e3; // code 11 in Table 2
-        let out =
-            program_and_verify(&params, &inst, &alloc, 11, target, &VerifyConfig::typical())
-                .unwrap();
+        let out = program_and_verify(&params, &inst, &alloc, 11, target, &VerifyConfig::typical())
+            .unwrap();
         assert!(
             (out.r_read_ohms - target).abs() / target <= 0.05 + 1e-9,
             "landed at {:.3e}",
@@ -180,9 +177,8 @@ mod tests {
         let params = OxramParams::calibrated();
         let inst = InstanceVariation::nominal();
         let alloc = LevelAllocation::paper_qlc();
-        let out =
-            program_and_verify(&params, &inst, &alloc, 13, 185e3, &VerifyConfig::typical())
-                .unwrap();
+        let out = program_and_verify(&params, &inst, &alloc, 13, 185e3, &VerifyConfig::typical())
+            .unwrap();
         assert!(out.verifies >= 2, "verifies = {}", out.verifies);
     }
 

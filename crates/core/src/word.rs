@@ -202,10 +202,7 @@ pub fn program_word_circuit(
             }
         }
         if all_done && fired.iter().all(|f| f.is_some()) {
-            let latest = fired
-                .iter()
-                .filter_map(|f| *f)
-                .fold(0.0f64, f64::max);
+            let latest = fired.iter().filter_map(|f| *f).fold(0.0f64, f64::max);
             if sample.time > latest + 100e-9 {
                 return MonitorAction::Stop;
             }

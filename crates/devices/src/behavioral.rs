@@ -186,8 +186,20 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let out = c.node("out");
-        c.add(VoltageSource::new("v1", vin, Circuit::gnd(), SourceWave::dc(0.1)));
-        c.add(Vcvs::new("e1", out, Circuit::gnd(), vin, Circuit::gnd(), 10.0));
+        c.add(VoltageSource::new(
+            "v1",
+            vin,
+            Circuit::gnd(),
+            SourceWave::dc(0.1),
+        ));
+        c.add(Vcvs::new(
+            "e1",
+            out,
+            Circuit::gnd(),
+            vin,
+            Circuit::gnd(),
+            10.0,
+        ));
         c.add(Resistor::new("rl", out, Circuit::gnd(), 1e3));
         let sol = solve_op(&c, &OpOptions::default()).unwrap();
         assert!((sol.v(out) - 1.0).abs() < 1e-9);
@@ -199,8 +211,21 @@ mod tests {
             let mut c = Circuit::new();
             let inp = c.node("in");
             let out = c.node("out");
-            c.add(VoltageSource::new("v1", inp, Circuit::gnd(), SourceWave::dc(vin)));
-            c.add(Comparator::new("k1", out, inp, Circuit::gnd(), 0.0, 3.3, 5e-3));
+            c.add(VoltageSource::new(
+                "v1",
+                inp,
+                Circuit::gnd(),
+                SourceWave::dc(vin),
+            ));
+            c.add(Comparator::new(
+                "k1",
+                out,
+                inp,
+                Circuit::gnd(),
+                0.0,
+                3.3,
+                5e-3,
+            ));
             c.add(Resistor::new("rl", out, Circuit::gnd(), 10e3));
             let sol = solve_op(&c, &OpOptions::default()).unwrap();
             let v = sol.v(out);

@@ -148,6 +148,9 @@ mod tests {
         let (i2, g2) = d.i_g(3.0);
         assert!(i1.is_finite() && i2.is_finite());
         assert!(i2 > i1);
-        assert!((g1 - g2).abs() / g1 < 1e-12, "conductance constant above X_MAX");
+        assert!(
+            (g1 - g2).abs() / g1 < 1e-12,
+            "conductance constant above X_MAX"
+        );
     }
 }

@@ -25,6 +25,7 @@ use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
 use oxterm_spice::device::{Device, StampContext};
+use oxterm_telemetry::Telemetry;
 
 use crate::VT_300K;
 
@@ -119,6 +120,9 @@ impl Mosfet {
     /// # Panics
     ///
     /// Panics if `w` or `l` is not strictly positive and finite.
+    // Four terminals + model card + geometry is the SPICE instance-line
+    // shape; bundling would only obscure it.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         d: NodeId,
@@ -205,9 +209,12 @@ impl Mosfet {
     }
 
     /// `F(u) = ln²(1 + e^(u/2))` and its derivative, overflow-safe.
-    fn f_and_fprime(u: f64) -> (f64, f64) {
+    /// The bool reports whether the large-argument linear continuation was
+    /// taken (deep strong inversion, beyond the smooth EKV expression).
+    fn f_and_fprime(u: f64) -> (f64, f64, bool) {
         let h = u * 0.5;
-        let ln1p = if h > 40.0 {
+        let clamped = h > 40.0;
+        let ln1p = if clamped {
             h // ln(1 + e^h) → h for large h
         } else {
             h.exp().ln_1p()
@@ -220,7 +227,7 @@ impl Mosfet {
         } else {
             1.0 / (1.0 + (-h).exp())
         };
-        (ln1p * ln1p, ln1p * sigma)
+        (ln1p * ln1p, ln1p * sigma, clamped)
     }
 
     /// Evaluates the model at absolute terminal voltages.
@@ -242,8 +249,14 @@ impl Mosfet {
         let vp = (tg - vth) / n;
         let us = (vp - ts) / vt;
         let ud = (vp - td) / vt;
-        let (f_s, fp_s) = Self::f_and_fprime(us);
-        let (f_d, fp_d) = Self::f_and_fprime(ud);
+        let (f_s, fp_s, clamp_s) = Self::f_and_fprime(us);
+        let (f_d, fp_d, clamp_d) = Self::f_and_fprime(ud);
+        if clamp_s || clamp_d {
+            // Rare-event guard: evaluations past the overflow continuation
+            // mean the device is biased outside the smooth EKV region, so
+            // surface it instead of silently linearizing.
+            Telemetry::global().incr("devices.mosfet.overflow_guards");
+        }
 
         let i0 = i_spec * (f_s - f_d);
         let vds = td - ts;
@@ -466,9 +479,24 @@ mod tests {
             let gd_fd = (nmos_at(vd + h, vg, vs).id - nmos_at(vd - h, vg, vs).id) / (2.0 * h);
             let gs_fd = (nmos_at(vd, vg, vs + h).id - nmos_at(vd, vg, vs - h).id) / (2.0 * h);
             let tol = |g: f64| 1e-4 * g.abs().max(1e-12);
-            assert!((e.gm - gm_fd).abs() < tol(gm_fd), "gm {} vs {}", e.gm, gm_fd);
-            assert!((e.gd - gd_fd).abs() < tol(gd_fd), "gd {} vs {}", e.gd, gd_fd);
-            assert!((e.gs - gs_fd).abs() < tol(gs_fd), "gs {} vs {}", e.gs, gs_fd);
+            assert!(
+                (e.gm - gm_fd).abs() < tol(gm_fd),
+                "gm {} vs {}",
+                e.gm,
+                gm_fd
+            );
+            assert!(
+                (e.gd - gd_fd).abs() < tol(gd_fd),
+                "gd {} vs {}",
+                e.gd,
+                gd_fd
+            );
+            assert!(
+                (e.gs - gs_fd).abs() < tol(gs_fd),
+                "gs {} vs {}",
+                e.gs,
+                gs_fd
+            );
         }
     }
 
@@ -527,7 +555,12 @@ mod tests {
             let vdd = c.node("vdd");
             let vin = c.node("in");
             let out = c.node("out");
-            c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+            c.add(VoltageSource::new(
+                "vdd",
+                vdd,
+                Circuit::gnd(),
+                SourceWave::dc(3.3),
+            ));
             c.add(VoltageSource::new(
                 "vin",
                 vin,
@@ -563,7 +596,12 @@ mod tests {
             }
             c.add(n);
             c.add(p);
-            c.add(crate::passive::Capacitor::new("cl", out, Circuit::gnd(), 5e-15));
+            c.add(crate::passive::Capacitor::new(
+                "cl",
+                out,
+                Circuit::gnd(),
+                5e-15,
+            ));
             let opts = TranOptions {
                 dt_max: Some(0.2e-9),
                 ..TranOptions::for_duration(60e-9)

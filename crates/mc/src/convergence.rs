@@ -147,7 +147,9 @@ mod tests {
 
     #[test]
     fn running_stats_match_batch() {
-        let data: Vec<f64> = (0..200).map(|k| (k as f64 * 0.77).sin() * 3.0 + 5.0).collect();
+        let data: Vec<f64> = (0..200)
+            .map(|k| (k as f64 * 0.77).sin() * 3.0 + 5.0)
+            .collect();
         let mut rs = RunningStats::new();
         for &x in &data {
             rs.push(x);

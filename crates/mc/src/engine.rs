@@ -1,9 +1,11 @@
 //! Deterministic parallel Monte Carlo runner.
 
+use oxterm_telemetry::Telemetry;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// A Monte Carlo campaign: `runs` independent evaluations of a closure.
 ///
@@ -45,12 +47,18 @@ impl MonteCarlo {
         })
     }
 
+    /// The derived 64-bit seed of run `run_index` — what
+    /// [`MonteCarlo::rng_for_run`] feeds to `seed_from_u64`. Telemetry
+    /// failure notes quote this value so a single run can be replayed with
+    /// `StdRng::seed_from_u64(seed)` outside the campaign.
+    pub fn seed_for_run(&self, run_index: usize) -> u64 {
+        splitmix64(self.seed ^ (run_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     /// The per-run RNG for `run_index` (public so sequential code can
     /// reproduce a single run of interest).
     pub fn rng_for_run(&self, run_index: usize) -> StdRng {
-        StdRng::seed_from_u64(splitmix64(
-            self.seed ^ (run_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        ))
+        StdRng::seed_from_u64(self.seed_for_run(run_index))
     }
 
     /// Executes the campaign, returning one result per run (in run order).
@@ -63,14 +71,34 @@ impl MonteCarlo {
         T: Send,
         F: Fn(usize, &mut StdRng) -> T + Sync,
     {
+        // One global-handle lookup per campaign; the per-run timing path
+        // only exists when telemetry was installed, so a disabled build
+        // pays a single `None` check per run.
+        let tel = Telemetry::global();
+        tel.incr("mc.engine.campaigns");
+        tel.add("mc.engine.runs", self.runs as u64);
+        let campaign_span = tel.span("mc.engine.campaign_seconds");
+        let h_run = tel.histogram("mc.engine.run_seconds");
+        let h_busy = tel.histogram("mc.engine.worker_busy_seconds");
+
         let threads = self.resolved_threads().min(self.runs.max(1));
         if threads <= 1 {
-            return (0..self.runs)
+            let out = (0..self.runs)
                 .map(|i| {
                     let mut rng = self.rng_for_run(i);
-                    f(i, &mut rng)
+                    match &h_run {
+                        Some(h) => {
+                            let t0 = Instant::now();
+                            let value = f(i, &mut rng);
+                            h.record(t0.elapsed().as_secs_f64());
+                            value
+                        }
+                        None => f(i, &mut rng),
+                    }
                 })
                 .collect();
+            campaign_span.finish();
+            return out;
         }
         let mut slots: Vec<Option<T>> = Vec::with_capacity(self.runs);
         slots.resize_with(self.runs, || None);
@@ -78,22 +106,68 @@ impl MonteCarlo {
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= self.runs {
-                        break;
+                scope.spawn(|| {
+                    let mut busy = 0.0f64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= self.runs {
+                            break;
+                        }
+                        let mut rng = self.rng_for_run(i);
+                        let value = match &h_run {
+                            Some(h) => {
+                                let t0 = Instant::now();
+                                let value = f(i, &mut rng);
+                                let dt = t0.elapsed().as_secs_f64();
+                                h.record(dt);
+                                busy += dt;
+                                value
+                            }
+                            None => f(i, &mut rng),
+                        };
+                        slots.lock()[i] = Some(value);
                     }
-                    let mut rng = self.rng_for_run(i);
-                    let value = f(i, &mut rng);
-                    slots.lock()[i] = Some(value);
+                    if let Some(h) = &h_busy {
+                        h.record(busy);
+                    }
                 });
             }
         });
+        campaign_span.finish();
         slots
             .into_inner()
             .iter_mut()
             .map(|s| s.take().expect("every slot filled"))
             .collect()
+    }
+
+    /// Like [`MonteCarlo::run`] for fallible per-run closures.
+    ///
+    /// Failed runs are returned in place (the output is in run order, one
+    /// `Result` per run) and recorded in telemetry: the
+    /// `mc.engine.convergence_failures` counter and one
+    /// `mc.engine.failed_run` note per failure carrying the run index and
+    /// derived seed, so any failing run can be replayed in isolation.
+    pub fn try_run<T, E, F>(&self, f: F) -> Vec<Result<T, E>>
+    where
+        T: Send,
+        E: Send + std::fmt::Display,
+        F: Fn(usize, &mut StdRng) -> Result<T, E> + Sync,
+    {
+        let out = self.run(f);
+        let tel = Telemetry::global();
+        if tel.is_enabled() {
+            for (i, r) in out.iter().enumerate() {
+                if let Err(e) = r {
+                    tel.incr("mc.engine.convergence_failures");
+                    tel.note(
+                        "mc.engine.failed_run",
+                        format!("run {i} seed {:#018x}: {e}", self.seed_for_run(i)),
+                    );
+                }
+            }
+        }
+        out
     }
 }
 
@@ -113,12 +187,8 @@ mod tests {
     #[test]
     fn parallel_matches_serial_exactly() {
         let campaign = MonteCarlo::new(200, 7);
-        let serial: Vec<f64> = campaign
-            .with_threads(1)
-            .run(|_, rng| rng.random::<f64>());
-        let parallel: Vec<f64> = campaign
-            .with_threads(8)
-            .run(|_, rng| rng.random::<f64>());
+        let serial: Vec<f64> = campaign.with_threads(1).run(|_, rng| rng.random::<f64>());
+        let parallel: Vec<f64> = campaign.with_threads(8).run(|_, rng| rng.random::<f64>());
         assert_eq!(serial, parallel);
     }
 
@@ -150,6 +220,34 @@ mod tests {
     fn zero_runs_is_fine() {
         let out: Vec<u8> = MonteCarlo::new(0, 1).run(|_, _| 0u8);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn try_run_keeps_failures_in_place() {
+        let campaign = MonteCarlo::new(20, 5).with_threads(4);
+        let out: Vec<Result<usize, String>> = campaign.try_run(|i, _| {
+            if i % 3 == 0 {
+                Err(format!("no convergence in run {i}"))
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(out.len(), 20);
+        for (i, r) in out.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(r.is_err());
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_for_run_matches_rng_for_run() {
+        let campaign = MonteCarlo::new(4, 11);
+        let mut direct = StdRng::seed_from_u64(campaign.seed_for_run(2));
+        let mut via = campaign.rng_for_run(2);
+        assert_eq!(direct.random::<u64>(), via.random::<u64>());
     }
 
     #[test]

@@ -258,16 +258,16 @@ impl LuFactors {
         // Forward substitution (L has implicit unit diagonal).
         for i in 1..n {
             let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                sum -= self.lu.get(i, j) * xj;
             }
             x[i] = sum;
         }
         // Back substitution.
         for i in (0..n).rev() {
             let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.lu.get(i, j) * xj;
             }
             x[i] = sum / self.lu.get(i, i);
         }
@@ -410,8 +410,8 @@ mod tests {
 
     #[test]
     fn inverse_reproduces_identity() {
-        let a = DMatrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.2, 0.0, 2.0]])
-            .unwrap();
+        let a =
+            DMatrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.2, 0.0, 2.0]]).unwrap();
         let inv = a.factorize().unwrap().inverse().unwrap();
         // A · A⁻¹ = I.
         for i in 0..3 {
@@ -442,7 +442,10 @@ mod tests {
         let refined = lu.solve_refined(&a, &b).unwrap();
         let err = |x: &[f64]| -> f64 {
             let r = a.mul_vec(x).unwrap();
-            r.iter().zip(&b).map(|(ri, bi)| (ri - bi).abs()).fold(0.0, f64::max)
+            r.iter()
+                .zip(&b)
+                .map(|(ri, bi)| (ri - bi).abs())
+                .fold(0.0, f64::max)
         };
         assert!(err(&refined) <= err(&plain) * 1.5 + 1e-18);
     }
@@ -452,7 +455,9 @@ mod tests {
         // Deterministic LCG, no external dependency in unit scope.
         let mut state: u64 = 0x243F_6A88_85A3_08D3;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         for n in [3usize, 8, 17, 40] {

@@ -95,7 +95,7 @@ where
             found: scale.len(),
         });
     }
-    if scale.iter().any(|&s| !(s > 0.0)) {
+    if !scale.iter().all(|&s| s > 0.0) {
         return Err(NumericsError::InvalidInput {
             reason: "all scales must be positive".into(),
         });

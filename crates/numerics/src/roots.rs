@@ -55,7 +55,7 @@ pub fn newton_bisect<F>(mut f: F, a: f64, b: f64, opts: RootOptions) -> Result<f
 where
     F: FnMut(f64) -> f64,
 {
-    if !(a < b) || !a.is_finite() || !b.is_finite() {
+    if !a.is_finite() || !b.is_finite() || a >= b {
         return Err(NumericsError::InvalidInput {
             reason: format!("invalid bracket [{a}, {b}]"),
         });

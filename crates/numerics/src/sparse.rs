@@ -63,7 +63,10 @@ impl TripletMatrix {
     ///
     /// Panics if the indices are out of bounds.
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n_rows && col < self.n_cols, "triplet out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "triplet out of bounds"
+        );
         if value != 0.0 {
             self.rows.push(row);
             self.cols.push(col);
@@ -180,8 +183,7 @@ impl CscMatrix {
             });
         }
         let mut y = vec![0.0; self.n_rows];
-        for j in 0..self.n_cols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
             }

@@ -241,7 +241,7 @@ impl Histogram {
     /// `n_bins == 0`, or a degenerate range.
     pub fn new(data: &[f64], lo: f64, hi: f64, n_bins: usize) -> Result<Self, NumericsError> {
         validate(data)?;
-        if n_bins == 0 || !(hi > lo) {
+        if n_bins == 0 || hi.is_nan() || lo.is_nan() || hi <= lo {
             return Err(NumericsError::InvalidInput {
                 reason: format!("bad histogram spec: {n_bins} bins over [{lo}, {hi}]"),
             });

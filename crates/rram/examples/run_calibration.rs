@@ -51,8 +51,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1500);
     println!("\nrunning Nelder–Mead with {budget} evaluations × 3 chained restarts...");
-    let mut fit = calibrate(&start, c0.v_drive, c0.r_series, &CalibrationTarget::paper(), budget)
-        .expect("calibration setup is valid");
+    let mut fit = calibrate(
+        &start,
+        c0.v_drive,
+        c0.r_series,
+        &CalibrationTarget::paper(),
+        budget,
+    )
+    .expect("calibration setup is valid");
     for round in 1..3 {
         let next = calibrate(
             &fit.params,

@@ -19,6 +19,7 @@ use oxterm_numerics::roots::{newton_bisect, RootOptions};
 use crate::model;
 use crate::params::{InstanceVariation, OxramParams};
 use crate::RramError;
+use oxterm_telemetry::Telemetry;
 
 /// Conditions for a current-terminated RESET operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,9 +82,7 @@ fn solve_divider(
     v_drive: f64,
     r_series: f64,
 ) -> Result<f64, RramError> {
-    let f = |vc: f64| {
-        model::cell_current(params, inst, vc, rho) - (v_drive - vc) / r_series
-    };
+    let f = |vc: f64| model::cell_current(params, inst, vc, rho) - (v_drive - vc) / r_series;
     Ok(newton_bisect(f, 0.0, v_drive, RootOptions::default())?)
 }
 
@@ -105,17 +104,20 @@ pub fn simulate_reset_termination(
     cond: &ResetConditions,
 ) -> Result<TerminationOutcome, RramError> {
     params.validate()?;
-    if !(cond.i_ref > 0.0) {
+    if cond.i_ref.is_nan() || cond.i_ref <= 0.0 {
         return Err(RramError::InvalidParameter {
             name: "i_ref",
             value: cond.i_ref,
         });
     }
+    let tel = Telemetry::global();
+    tel.incr("rram.termination.runs");
     let mut rho = cond.rho_start;
     let mut t = 0.0;
     let mut energy = 0.0;
     let mut i_prev = f64::NAN;
     let mut i_initial = 0.0;
+    let mut steps = 0u64;
     loop {
         let vc = solve_divider(params, inst, rho, cond.v_drive, cond.r_series)?;
         let i = model::cell_current(params, inst, vc, rho);
@@ -130,6 +132,16 @@ pub fn simulate_reset_termination(
             } else {
                 t
             };
+            if tel.is_enabled() {
+                tel.add("rram.termination.steps", steps);
+                tel.record("rram.termination.latency_s", latency.max(0.0));
+                // Discrete-time comparator overshoot: how far the current
+                // fell past IrefR before the trip was observed.
+                tel.record(
+                    "rram.termination.overshoot_rel",
+                    (cond.i_ref - i) / cond.i_ref,
+                );
+            }
             return Ok(TerminationOutcome {
                 rho_final: rho,
                 r_read_ohms: model::read_resistance(params, inst, rho, cond.v_read),
@@ -139,6 +151,7 @@ pub fn simulate_reset_termination(
             });
         }
         if t >= cond.t_max {
+            tel.incr("rram.termination.not_terminated");
             return Err(RramError::NotTerminated {
                 i_ref: cond.i_ref,
                 t_max: cond.t_max,
@@ -148,6 +161,7 @@ pub fn simulate_reset_termination(
         energy += cond.v_drive * i * cond.dt;
         rho = model::advance_state(params, inst, rho, -vc, cond.dt);
         i_prev = i;
+        steps += 1;
         t += cond.dt;
     }
 }
@@ -533,10 +547,10 @@ mod tests {
     #[test]
     fn latency_grows_as_reference_falls() {
         let (p, inst) = nominal();
-        let fast = simulate_reset_termination(&p, &inst, &ResetConditions::paper_defaults(36e-6))
-            .unwrap();
-        let slow = simulate_reset_termination(&p, &inst, &ResetConditions::paper_defaults(6e-6))
-            .unwrap();
+        let fast =
+            simulate_reset_termination(&p, &inst, &ResetConditions::paper_defaults(36e-6)).unwrap();
+        let slow =
+            simulate_reset_termination(&p, &inst, &ResetConditions::paper_defaults(6e-6)).unwrap();
         assert!(slow.latency_s > 2.0 * fast.latency_s);
         assert!(slow.energy_j > fast.energy_j);
     }
@@ -558,8 +572,8 @@ mod tests {
         let out =
             simulate_standard_reset(&p, &inst, &StandardResetPulse::paper_baseline(), 1.0, 0.3)
                 .unwrap();
-        let term = simulate_reset_termination(&p, &inst, &ResetConditions::paper_defaults(6e-6))
-            .unwrap();
+        let term =
+            simulate_reset_termination(&p, &inst, &ResetConditions::paper_defaults(6e-6)).unwrap();
         assert!(
             out.r_read_ohms > 20.0 * term.r_read_ohms,
             "deep HRS {} vs terminated {}",
@@ -593,7 +607,8 @@ mod tests {
     fn objective_is_finite_at_calibrated_point() {
         let p = OxramParams::calibrated();
         let c = ResetConditions::paper_defaults(10e-6);
-        let obj = calibration_objective(&p, c.v_drive, c.r_series, &CalibrationTarget::paper(), 5e-9);
+        let obj =
+            calibration_objective(&p, c.v_drive, c.r_series, &CalibrationTarget::paper(), 5e-9);
         assert!(obj.is_finite(), "objective = {obj}");
     }
 

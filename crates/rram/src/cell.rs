@@ -178,7 +178,10 @@ mod tests {
         let sol = solve_op(&c, &OpOptions::default()).unwrap();
         let i = -sol.branch_current(&c, vs, 0).unwrap();
         let r = 0.3 / i;
-        assert!((r - expect).abs() / expect < 1e-3, "r = {r}, expect {expect}");
+        assert!(
+            (r - expect).abs() / expect < 1e-3,
+            "r = {r}, expect {expect}"
+        );
         let _ = id;
     }
 

@@ -78,13 +78,13 @@ pub fn butterfly_sweep(
     config: &IvSweepConfig,
 ) -> Result<Vec<IvPoint>, RramError> {
     params.validate()?;
-    if !(config.dwell > 0.0) {
+    if config.dwell.is_nan() || config.dwell <= 0.0 {
         return Err(RramError::InvalidParameter {
             name: "dwell",
             value: config.dwell,
         });
     }
-    if !(config.i_compliance > 0.0) {
+    if config.i_compliance.is_nan() || config.i_compliance <= 0.0 {
         return Err(RramError::InvalidParameter {
             name: "i_compliance",
             value: config.i_compliance,
@@ -112,7 +112,7 @@ pub fn forming_sweep(
     config: &IvSweepConfig,
 ) -> Result<Vec<IvPoint>, RramError> {
     params.validate()?;
-    if !(config.dwell > 0.0) {
+    if config.dwell.is_nan() || config.dwell <= 0.0 {
         return Err(RramError::InvalidParameter {
             name: "dwell",
             value: config.dwell,
@@ -198,17 +198,13 @@ mod tests {
         let up = pts
             .iter()
             .take(80)
-            .min_by(|a, b| {
-                (a.v - 0.3).abs().partial_cmp(&(b.v - 0.3).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.v - 0.3).abs().partial_cmp(&(b.v - 0.3).abs()).unwrap())
             .unwrap();
         let down = pts
             .iter()
             .skip(80)
             .take(80)
-            .min_by(|a, b| {
-                (a.v - 0.3).abs().partial_cmp(&(b.v - 0.3).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.v - 0.3).abs().partial_cmp(&(b.v - 0.3).abs()).unwrap())
             .unwrap();
         assert!(
             down.i > 5.0 * up.i,
@@ -244,13 +240,21 @@ mod tests {
         let (p, inst) = nominal();
         let pts = forming_sweep(&p, &inst, &IvSweepConfig::forming()).unwrap();
         assert!(pts[0].rho < 0.01);
-        assert!(pts.last().unwrap().rho > 0.5, "rho = {}", pts.last().unwrap().rho);
+        assert!(
+            pts.last().unwrap().rho > 0.5,
+            "rho = {}",
+            pts.last().unwrap().rho
+        );
         // Forming must engage only above SET-level voltages.
         let at_1v2 = pts
             .iter()
             .min_by(|a, b| (a.v - 1.2).abs().partial_cmp(&(b.v - 1.2).abs()).unwrap())
             .unwrap();
-        assert!(at_1v2.rho < 0.2, "premature forming at 1.2 V: {}", at_1v2.rho);
+        assert!(
+            at_1v2.rho < 0.2,
+            "premature forming at 1.2 V: {}",
+            at_1v2.rho
+        );
     }
 
     #[test]

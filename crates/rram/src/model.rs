@@ -5,6 +5,8 @@
 //! variation factors. Voltages are signed with the SET convention: positive
 //! `v` (TE above BE) grows the filament, negative `v` dissolves it.
 
+use oxterm_telemetry::Telemetry;
+
 use crate::params::{InstanceVariation, OxramParams};
 
 /// Largest sinh/exp argument before linear continuation (overflow guard).
@@ -110,6 +112,7 @@ pub fn advance_state(
             rho = 1.0 - (1.0 - rho) * (-sub / tau_eff).exp();
             remaining -= sub;
             if 1.0 - rho < 1e-12 {
+                Telemetry::global().incr("rram.model.rho_ceiling_hits");
                 return 1.0;
             }
         }
@@ -123,17 +126,32 @@ pub fn advance_state(
         // collapses the initial LRS current almost instantly.
         let tau = tau_reset(params, inst, -v);
         let mut remaining = dt;
+        // Clamp events are accumulated locally and flushed once per call so
+        // a saturated sub-step loop costs no atomics until it exits.
+        let mut joule_clamps = 0u64;
+        let mut floored = false;
         while remaining > 0.0 {
             let shape = rho.powf(params.beta_rst).max(1e-12);
             let i_mag = cell_current(params, inst, -v, rho).abs();
-            let joule = (1.0 + (i_mag / params.i_joule).powi(2)).min(1e6);
+            let joule_raw = 1.0 + (i_mag / params.i_joule).powi(2);
+            if joule_raw > 1e6 {
+                joule_clamps += 1;
+            }
+            let joule = joule_raw.min(1e6);
             let tau_eff = tau / (shape * joule);
             let sub = (0.02 * tau_eff).min(remaining).max(remaining * 1e-9);
             rho *= (-sub / tau_eff).exp();
             remaining -= sub;
             if rho < 1e-9 {
-                return 0.0;
+                rho = 0.0;
+                floored = true;
+                break;
             }
+        }
+        let tel = Telemetry::global();
+        tel.add("rram.model.joule_clamps", joule_clamps);
+        if floored {
+            tel.incr("rram.model.rho_floor_hits");
         }
         rho
     } else {
@@ -152,8 +170,8 @@ pub fn rho_for_resistance(
     v_read: f64,
 ) -> f64 {
     let s = v_read / params.v_shape;
-    let g_needed = (1.0 / r_ohms - params.i_leak * safe_sinh(v_read / params.v_hop) / v_read)
-        / (1.0 + s * s);
+    let g_needed =
+        (1.0 / r_ohms - params.i_leak * safe_sinh(v_read / params.v_hop) / v_read) / (1.0 + s * s);
     if g_needed <= 0.0 {
         return 0.0;
     }
@@ -186,8 +204,8 @@ mod tests {
         for v in [-1.0, -0.3, 0.05, 0.8] {
             for rho in [0.05, 0.3, 1.0] {
                 let g = cell_conductance(&p, &i, v, rho);
-                let g_fd =
-                    (cell_current(&p, &i, v + h, rho) - cell_current(&p, &i, v - h, rho)) / (2.0 * h);
+                let g_fd = (cell_current(&p, &i, v + h, rho) - cell_current(&p, &i, v - h, rho))
+                    / (2.0 * h);
                 assert!(
                     (g - g_fd).abs() < 1e-4 * g_fd.abs().max(1e-12),
                     "v={v} rho={rho}: {g} vs {g_fd}"
@@ -251,7 +269,10 @@ mod tests {
         let (p, i) = nominal();
         let formed = tau_set(&p, &i, 1.2, 0.2);
         let virgin = tau_set(&p, &i, 1.2, 0.0);
-        assert!(virgin > 1e3 * formed, "barrier too weak: {virgin} vs {formed}");
+        assert!(
+            virgin > 1e3 * formed,
+            "barrier too weak: {virgin} vs {formed}"
+        );
     }
 
     #[test]

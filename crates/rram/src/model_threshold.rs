@@ -215,7 +215,14 @@ mod tests {
         let cond = ResetConditions::paper_defaults(12e-6);
         let exp_model = simulate_reset_termination(&ox, &inst, &cond).expect("terminates");
         let thr_model = simulate_reset_termination_threshold(
-            &ox, &th, &inst, cond.v_drive, cond.r_series, 12e-6, 2e-9, 60e-6,
+            &ox,
+            &th,
+            &inst,
+            cond.v_drive,
+            cond.r_series,
+            12e-6,
+            2e-9,
+            60e-6,
         )
         .expect("terminates");
         let ratio = thr_model.r_read_ohms / exp_model.r_read_ohms;
@@ -235,7 +242,14 @@ mod tests {
         let cond = ResetConditions::paper_defaults(6e-6);
         let l_thr = |i_ref: f64| {
             simulate_reset_termination_threshold(
-                &ox, &th, &inst, cond.v_drive, cond.r_series, i_ref, 2e-9, 120e-6,
+                &ox,
+                &th,
+                &inst,
+                cond.v_drive,
+                cond.r_series,
+                i_ref,
+                2e-9,
+                120e-6,
             )
             .expect("terminates")
             .latency_s

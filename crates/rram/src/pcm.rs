@@ -145,6 +145,10 @@ pub struct PcmOutcome {
 ///
 /// * [`RramError::InvalidParameter`] for an invalid card,
 /// * [`RramError::NotTerminated`] if the current never reaches `i_ref`.
+// The argument list mirrors the RRAM termination entry point's (drive,
+// series, reference, timing) shape; a config struct here would diverge
+// from its sibling for no reader benefit.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_pcm_reset_termination(
     params: &PcmParams,
     v_drive: f64,
@@ -156,7 +160,7 @@ pub fn simulate_pcm_reset_termination(
     v_read: f64,
 ) -> Result<PcmOutcome, RramError> {
     params.validate()?;
-    if !(i_ref > 0.0) {
+    if i_ref.is_nan() || i_ref <= 0.0 {
         return Err(RramError::InvalidParameter {
             name: "i_ref",
             value: i_ref,
@@ -286,8 +290,6 @@ mod tests {
         let mut p = PcmParams::gst225();
         p.p_melt = 0.0;
         assert!(p.validate().is_err());
-        assert!(
-            simulate_pcm_reset_termination(&p, 1.8, 2e3, 1e-6, 1.0, 1e-9, 1e-6, 0.2).is_err()
-        );
+        assert!(simulate_pcm_reset_termination(&p, 1.8, 2e3, 1e-6, 1.0, 1e-9, 1e-6, 0.2).is_err());
     }
 }

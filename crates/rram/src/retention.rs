@@ -92,7 +92,7 @@ impl RetentionParams {
     /// or negative duration.
     pub fn relax(&self, rho: f64, temp_k: f64, duration: f64) -> Result<f64, RramError> {
         self.validate()?;
-        if !(temp_k > 0.0) {
+        if temp_k.is_nan() || temp_k <= 0.0 {
             return Err(RramError::InvalidParameter {
                 name: "temp_k",
                 value: temp_k,

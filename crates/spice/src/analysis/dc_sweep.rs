@@ -1,8 +1,8 @@
 //! Warm-started DC parameter sweeps.
 
 use crate::analysis::op::solve_op_from;
-use crate::options::OpOptions;
 use crate::circuit::Circuit;
+use crate::options::OpOptions;
 use crate::solution::Solution;
 use crate::SpiceError;
 
@@ -39,7 +39,9 @@ where
         configure(circuit, p)?;
         let sol = solve_op_from(circuit, prev.as_ref(), opts).map_err(|e| match e {
             SpiceError::NoConvergence {
-                analysis, time, detail,
+                analysis,
+                time,
+                detail,
             } => SpiceError::NoConvergence {
                 analysis,
                 time,

@@ -8,6 +8,8 @@ use oxterm_numerics::dense::DMatrix;
 use oxterm_numerics::sparse::TripletMatrix;
 use oxterm_numerics::sparse_lu::SparseLu;
 
+use oxterm_telemetry::Telemetry;
+
 use crate::circuit::Circuit;
 use crate::device::{AnalysisKind, DenseSink, StampContext, TripletSink};
 use crate::options::SimOptions;
@@ -46,26 +48,35 @@ pub(crate) fn assemble_and_solve(
         }
     };
 
+    let tel = Telemetry::global();
     if n <= opts.sparse_threshold {
         let mut a = DMatrix::zeros(n, n);
         {
-            let mut sink = DenseSink { a: &mut a, b: &mut b };
+            let mut sink = DenseSink {
+                a: &mut a,
+                b: &mut b,
+            };
             stamp_all(&mut sink, n);
         }
         for i in 0..nn {
             a.add(i, i, gshunt);
         }
+        tel.incr("spice.newton.lu_dense");
         let lu = a.factorize()?;
         Ok(lu.solve(&b)?)
     } else {
         let mut a = TripletMatrix::new(n, n);
         {
-            let mut sink = TripletSink { a: &mut a, b: &mut b };
+            let mut sink = TripletSink {
+                a: &mut a,
+                b: &mut b,
+            };
             stamp_all(&mut sink, n);
         }
         for i in 0..nn {
             a.add(i, i, gshunt);
         }
+        tel.incr("spice.newton.lu_sparse");
         let lu = SparseLu::factorize(&a.to_csc())?;
         Ok(lu.solve(&b)?)
     }
@@ -90,11 +101,14 @@ pub(crate) fn newton_solve(
     let n = circuit.n_unknowns();
     let nn = circuit.n_nodes() - 1;
     let linear = !circuit.has_nonlinear();
+    let tel = Telemetry::global();
+    tel.incr("spice.newton.solves");
     let mut x = x0.to_vec();
     let mut worst = f64::INFINITY;
     for iter in 0..opts.max_newton_iters {
         let x_new = assemble_and_solve(circuit, &x, state, kind, source_factor, gshunt, opts)?;
         if x_new.iter().any(|v| !v.is_finite()) {
+            tel.incr("spice.newton.failures");
             return Err(SpiceError::NoConvergence {
                 analysis: "newton",
                 time: match kind {
@@ -105,6 +119,7 @@ pub(crate) fn newton_solve(
             });
         }
         if linear {
+            tel.record("spice.newton.iterations", 1.0);
             return Ok(NewtonOutcome { x: x_new, iters: 1 });
         }
         let mut converged = true;
@@ -119,6 +134,8 @@ pub(crate) fn newton_solve(
             }
         }
         if converged {
+            tel.record("spice.newton.iterations", (iter + 1) as f64);
+            tel.record("spice.newton.final_residual", worst);
             return Ok(NewtonOutcome {
                 x: x_new,
                 iters: iter + 1,
@@ -137,6 +154,8 @@ pub(crate) fn newton_solve(
         }
         x = damped;
     }
+    tel.incr("spice.newton.failures");
+    tel.record("spice.newton.final_residual", worst);
     Err(SpiceError::NoConvergence {
         analysis: "newton",
         time: match kind {

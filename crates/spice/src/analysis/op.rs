@@ -1,5 +1,7 @@
 //! DC operating-point analysis with gmin and source stepping fallbacks.
 
+use oxterm_telemetry::Telemetry;
+
 use crate::analysis::{newton_solve, NewtonOutcome};
 use crate::circuit::Circuit;
 use crate::device::AnalysisKind;
@@ -45,11 +47,14 @@ pub fn solve_op_from(
         _ => vec![0.0; n],
     };
     let sim = &opts.sim;
+    let tel = Telemetry::global();
+    tel.incr("spice.op.solves");
 
     // 1. Direct Newton.
     if let Ok(NewtonOutcome { x, .. }) =
         newton_solve(circuit, &x0, &state, AnalysisKind::Dc, 1.0, sim.gmin, sim)
     {
+        tel.incr("spice.op.direct");
         return Ok(Solution::new(x, nn));
     }
 
@@ -69,6 +74,7 @@ pub fn solve_op_from(
     }
     if gmin_ok {
         if let Ok(out) = newton_solve(circuit, &x, &state, AnalysisKind::Dc, 1.0, sim.gmin, sim) {
+            tel.incr("spice.op.gmin_recoveries");
             return Ok(Solution::new(out.x, nn));
         }
     }
@@ -92,6 +98,7 @@ pub fn solve_op_from(
                 failures += 1;
                 last_err = e.to_string();
                 if failures > 40 || step < 1e-6 {
+                    tel.incr("spice.op.failures");
                     return Err(SpiceError::NoConvergence {
                         analysis: "op",
                         time: 0.0,
@@ -103,5 +110,6 @@ pub fn solve_op_from(
             }
         }
     }
+    tel.incr("spice.op.source_recoveries");
     Ok(Solution::new(x, nn))
 }

@@ -7,6 +7,8 @@
 //! rejection via [`MonitorAction::RedoWithDt`] lets monitors bisect onto a
 //! crossing with sub-step precision.
 
+use oxterm_telemetry::Telemetry;
+
 use crate::analysis::{newton_solve, op::solve_op, NewtonOutcome};
 use crate::circuit::{Circuit, ElementId, NodeId};
 use crate::device::{AnalysisKind, UpdateContext};
@@ -163,6 +165,16 @@ pub fn run_transient(
 ) -> Result<TranResult, SpiceError> {
     let nn = circuit.n_nodes() - 1;
     let sim = opts.sim;
+    // Pre-resolve the hot-loop metrics once per run; each step then pays
+    // one branch (disabled) or one relaxed atomic op (enabled).
+    let tel = Telemetry::global();
+    tel.incr("spice.tran.runs");
+    let run_span = tel.span("spice.tran.run_seconds");
+    let c_accept = tel.counter("spice.tran.steps_accepted");
+    let c_rej_newton = tel.counter("spice.tran.steps_rejected_newton");
+    let c_rej_dv = tel.counter("spice.tran.steps_rejected_dv");
+    let c_redo = tel.counter("spice.tran.monitor_redos");
+    let h_iters = tel.histogram("spice.tran.newton_iters");
     let op = solve_op(circuit, &OpOptions { sim })?;
     let mut state = circuit.initial_state();
     prime_states(circuit, op.as_slice(), &mut state, opts);
@@ -225,6 +237,9 @@ pub fn run_transient(
             let NewtonOutcome { x: x_new, iters } = match outcome {
                 Ok(o) => o,
                 Err(_) => {
+                    if let Some(c) = &c_rej_newton {
+                        c.incr();
+                    }
                     dt_try *= 0.5;
                     if dt_try < opts.dt_min {
                         return Err(SpiceError::TimestepTooSmall {
@@ -244,6 +259,9 @@ pub fn run_transient(
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
             if dv > opts.dv_step_max && dt_try > opts.dt_min * 4.0 {
+                if let Some(c) = &c_rej_dv {
+                    c.incr();
+                }
                 dt_try *= 0.5;
                 continue;
             }
@@ -268,6 +286,9 @@ pub fn run_transient(
                 }
             }
             if let MonitorAction::RedoWithDt(d) = action {
+                if let Some(c) = &c_redo {
+                    c.incr();
+                }
                 let d = if d >= dt_try { dt_try * 0.5 } else { d };
                 dt_try = d.max(opts.dt_min);
                 continue;
@@ -281,6 +302,12 @@ pub fn run_transient(
             result.data.push(x.clone());
             result.states.push(state.clone());
             accepted += 1;
+            if let Some(c) = &c_accept {
+                c.incr();
+            }
+            if let Some(h) = &h_iters {
+                h.record(iters as f64);
+            }
 
             // Step-size adaptation.
             dt = if iters <= 10 {
@@ -291,11 +318,13 @@ pub fn run_transient(
 
             if action == MonitorAction::Stop {
                 result.stopped_early = true;
+                run_span.finish();
                 return Ok(result);
             }
             break;
         }
     }
+    run_span.finish();
     Ok(result)
 }
 
@@ -310,8 +339,10 @@ fn prime_states(circuit: &Circuit, solution: &[f64], state: &mut [f64], opts: &T
             method: opts.method,
             branch_base: nn + el.branch_offset,
         };
-        el.device
-            .update_state(&ctx, &mut state[el.state_offset..el.state_offset + el.state_len]);
+        el.device.update_state(
+            &ctx,
+            &mut state[el.state_offset..el.state_offset + el.state_len],
+        );
     }
 }
 
@@ -332,7 +363,9 @@ fn advance_states(
             method: opts.method,
             branch_base: nn + el.branch_offset,
         };
-        el.device
-            .update_state(&ctx, &mut state[el.state_offset..el.state_offset + el.state_len]);
+        el.device.update_state(
+            &ctx,
+            &mut state[el.state_offset..el.state_offset + el.state_len],
+        );
     }
 }

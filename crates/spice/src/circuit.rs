@@ -188,9 +188,12 @@ impl Circuit {
     /// Returns [`SpiceError::NotFound`] if the handle is stale or the device
     /// has a different concrete type.
     pub fn device_mut<D: Device + 'static>(&mut self, id: ElementId) -> Result<&mut D, SpiceError> {
-        let el = self.elements.get_mut(id.0).ok_or_else(|| SpiceError::NotFound {
-            what: format!("element #{}", id.0),
-        })?;
+        let el = self
+            .elements
+            .get_mut(id.0)
+            .ok_or_else(|| SpiceError::NotFound {
+                what: format!("element #{}", id.0),
+            })?;
         el.device
             .as_any_mut()
             .downcast_mut::<D>()
@@ -235,9 +238,12 @@ impl Circuit {
     /// Returns [`SpiceError::NotFound`] for stale handles or out-of-range
     /// branch indices.
     pub fn branch_unknown(&self, id: ElementId, k: usize) -> Result<usize, SpiceError> {
-        let el = self.elements.get(id.0).ok_or_else(|| SpiceError::NotFound {
-            what: format!("element #{}", id.0),
-        })?;
+        let el = self
+            .elements
+            .get(id.0)
+            .ok_or_else(|| SpiceError::NotFound {
+                what: format!("element #{}", id.0),
+            })?;
         if k >= el.n_branches {
             return Err(SpiceError::NotFound {
                 what: format!("branch {k} of element #{}", id.0),
@@ -253,9 +259,12 @@ impl Circuit {
     ///
     /// Returns [`SpiceError::NotFound`] for a stale handle.
     pub(crate) fn state_range(&self, id: ElementId) -> Result<std::ops::Range<usize>, SpiceError> {
-        let el = self.elements.get(id.0).ok_or_else(|| SpiceError::NotFound {
-            what: format!("element #{}", id.0),
-        })?;
+        let el = self
+            .elements
+            .get(id.0)
+            .ok_or_else(|| SpiceError::NotFound {
+                what: format!("element #{}", id.0),
+            })?;
         Ok(el.state_offset..el.state_offset + el.state_len)
     }
 

@@ -189,7 +189,14 @@ impl StampContext<'_> {
 
     /// Stamps a voltage-controlled current source: a current
     /// `gm·(v(cp) − v(cn))` flows from `out_from` to `out_to`.
-    pub fn stamp_vccs(&mut self, out_from: NodeId, out_to: NodeId, cp: NodeId, cn: NodeId, gm: f64) {
+    pub fn stamp_vccs(
+        &mut self,
+        out_from: NodeId,
+        out_to: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) {
         let (uf, ut) = (out_from.unknown(), out_to.unknown());
         let (up, un) = (cp.unknown(), cn.unknown());
         self.mat(uf, up, gm);
@@ -332,7 +339,10 @@ mod tests {
     fn conductance_stamp_pattern() {
         let mut a = DMatrix::zeros(2, 2);
         let mut b = vec![0.0; 2];
-        let mut sink = DenseSink { a: &mut a, b: &mut b };
+        let mut sink = DenseSink {
+            a: &mut a,
+            b: &mut b,
+        };
         let cand = [0.0, 0.0];
         let mut ctx = ctx_on(&mut sink, &cand, 2);
         ctx.stamp_conductance(NodeId(1), NodeId(2), 2.0);
@@ -346,7 +356,10 @@ mod tests {
     fn conductance_to_ground_drops_ground_row() {
         let mut a = DMatrix::zeros(1, 1);
         let mut b = vec![0.0; 1];
-        let mut sink = DenseSink { a: &mut a, b: &mut b };
+        let mut sink = DenseSink {
+            a: &mut a,
+            b: &mut b,
+        };
         let cand = [0.0];
         let mut ctx = ctx_on(&mut sink, &cand, 1);
         ctx.stamp_conductance(NodeId(1), NodeId(0), 3.0);
@@ -357,7 +370,10 @@ mod tests {
     fn current_source_signs() {
         let mut a = DMatrix::zeros(2, 2);
         let mut b = vec![0.0; 2];
-        let mut sink = DenseSink { a: &mut a, b: &mut b };
+        let mut sink = DenseSink {
+            a: &mut a,
+            b: &mut b,
+        };
         let cand = [0.0, 0.0];
         let mut ctx = ctx_on(&mut sink, &cand, 2);
         // 1 mA from node1 through the source into node2.
@@ -371,7 +387,10 @@ mod tests {
         // 2 node unknowns + 1 branch.
         let mut a = DMatrix::zeros(3, 3);
         let mut b = vec![0.0; 3];
-        let mut sink = DenseSink { a: &mut a, b: &mut b };
+        let mut sink = DenseSink {
+            a: &mut a,
+            b: &mut b,
+        };
         let cand = [0.0; 3];
         let mut ctx = ctx_on(&mut sink, &cand, 2);
         ctx.stamp_voltage_source(0, NodeId(1), NodeId(0), 5.0);
@@ -384,7 +403,10 @@ mod tests {
     fn candidate_voltages_visible() {
         let mut a = DMatrix::zeros(2, 2);
         let mut b = vec![0.0; 2];
-        let mut sink = DenseSink { a: &mut a, b: &mut b };
+        let mut sink = DenseSink {
+            a: &mut a,
+            b: &mut b,
+        };
         let cand = [1.5, -0.5];
         let ctx = ctx_on(&mut sink, &cand, 2);
         assert_eq!(ctx.v(NodeId(0)), 0.0);
@@ -398,7 +420,10 @@ mod tests {
         // conductance 3 plus source (2 − 3·1) = −1 from p to n.
         let mut a = DMatrix::zeros(1, 1);
         let mut b = vec![0.0; 1];
-        let mut sink = DenseSink { a: &mut a, b: &mut b };
+        let mut sink = DenseSink {
+            a: &mut a,
+            b: &mut b,
+        };
         let cand = [1.0];
         let mut ctx = ctx_on(&mut sink, &cand, 1);
         ctx.stamp_nonlinear_branch(NodeId(1), NodeId(0), 2.0, 3.0, 1.0);

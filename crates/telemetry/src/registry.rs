@@ -1,0 +1,149 @@
+//! The metric registry: name → counter/histogram/notes.
+
+use crate::counter::Counter;
+use crate::histogram::Histogram;
+use crate::report::{NoteLog, RunReport};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Cap on stored notes per name; later notes are dropped but still counted
+/// so the report can say how many were elided.
+const MAX_NOTES_PER_NAME: usize = 256;
+
+/// Owns every metric recorded during a run, keyed by
+/// `crate.subsystem.metric` name.
+///
+/// Registration (first use of a name) takes a write lock; subsequent
+/// lookups take a read lock and the recording itself is lock-free on the
+/// returned `Arc`. Hot paths should pre-resolve their metric once and bump
+/// the `Arc<Counter>`/`Arc<Histogram>` directly. `BTreeMap` keeps report
+/// ordering deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    notes: Mutex<BTreeMap<String, NoteLog>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().expect("registry lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().expect("registry lock").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("registry lock");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Appends a free-form note under `name`. Storage is bounded at
+    /// [`MAX_NOTES_PER_NAME`]; notes past the cap are counted, not stored.
+    pub fn note(&self, name: &str, message: &str) {
+        let mut map = self.notes.lock().expect("registry lock");
+        let log = map.entry(name.to_string()).or_default();
+        log.total += 1;
+        if log.entries.len() < MAX_NOTES_PER_NAME {
+            log.entries.push(message.to_string());
+        }
+    }
+
+    /// Rolls every metric up into a point-in-time [`RunReport`].
+    pub fn report(&self) -> RunReport {
+        let counters = self
+            .counters
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot(name)))
+            .collect();
+        let notes = self.notes.lock().expect("registry lock").clone();
+        RunReport {
+            counters,
+            histograms,
+            notes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_the_same_metric() {
+        let reg = Registry::new();
+        let a = reg.counter("x.y.c");
+        let b = reg.counter("x.y.c");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.incr();
+        assert_eq!(b.get(), 1);
+        let h1 = reg.histogram("x.y.h");
+        let h2 = reg.histogram("x.y.h");
+        assert!(Arc::ptr_eq(&h1, &h2));
+    }
+
+    #[test]
+    fn report_orders_names_deterministically() {
+        let reg = Registry::new();
+        reg.counter("z.last").incr();
+        reg.counter("a.first").incr();
+        reg.counter("m.mid").incr();
+        let report = reg.report();
+        let names: Vec<&str> = report.counters.keys().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    fn notes_are_bounded_but_counted() {
+        let reg = Registry::new();
+        for i in 0..(MAX_NOTES_PER_NAME + 10) {
+            reg.note("mc.engine.failed_run", &format!("run {i}"));
+        }
+        let report = reg.report();
+        let log = &report.notes["mc.engine.failed_run"];
+        assert_eq!(log.entries.len(), MAX_NOTES_PER_NAME);
+        assert_eq!(log.total, (MAX_NOTES_PER_NAME + 10) as u64);
+    }
+
+    #[test]
+    fn concurrent_registration_converges_to_one_metric() {
+        let reg = Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        reg.counter("contended.name").incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.report().counters["contended.name"], 8_000);
+    }
+}

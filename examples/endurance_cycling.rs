@@ -41,9 +41,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bx = oxterm_numerics::stats::box_stats(&resistances)?;
     println!("  programmed resistance over {cycles} cycles:");
     println!("    mean   {:.2} kΩ", stats.mean / 1e3);
-    println!("    σ      {:.0} Ω  ({:.2} % of mean)", stats.std_dev, 100.0 * stats.std_dev / stats.mean);
-    println!("    median {:.2} kΩ  IQR {:.0} Ω", bx.median / 1e3, bx.iqr());
-    println!("    range  {:.2} … {:.2} kΩ", stats.min / 1e3, stats.max / 1e3);
+    println!(
+        "    σ      {:.0} Ω  ({:.2} % of mean)",
+        stats.std_dev,
+        100.0 * stats.std_dev / stats.mean
+    );
+    println!(
+        "    median {:.2} kΩ  IQR {:.0} Ω",
+        bx.median / 1e3,
+        bx.iqr()
+    );
+    println!(
+        "    range  {:.2} … {:.2} kΩ",
+        stats.min / 1e3,
+        stats.max / 1e3
+    );
     println!("    misreads: {misreads}/{cycles}");
 
     // Show the first cycles as a quick trace.

@@ -92,8 +92,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .sum();
 
-    println!("  write energy (one-time):        {:.2} nJ", write_energy * 1e9);
-    println!("  storage errors after read-back: {storage_errors}/{}", weights.len());
+    println!(
+        "  write energy (one-time):        {:.2} nJ",
+        write_energy * 1e9
+    );
+    println!(
+        "  storage errors after read-back: {storage_errors}/{}",
+        weights.len()
+    );
     println!("  quantization RMSE (4-bit):      {quant_rmse:.4}");
     println!();
     println!("  per-inference layer read energy:");

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             out.r_read_ohms / 1e3,
             out.latency_s * 1e6,
             out.energy_j * 1e12,
-            if read_back == code { "✓" } else { "✗ MISMATCH" },
+            if read_back == code {
+                "✓"
+            } else {
+                "✗ MISMATCH"
+            },
         );
     }
     println!("\nno read-verify loop was used: each state is one SET plus one");

@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut c = Circuit::new();
     let vin = c.node("in");
     let a = c.node("anode");
-    c.add(VoltageSource::new("v1", vin, Circuit::gnd(), SourceWave::dc(3.3)));
+    c.add(VoltageSource::new(
+        "v1",
+        vin,
+        Circuit::gnd(),
+        SourceWave::dc(3.3),
+    ));
     c.add(Resistor::new("r1", vin, a, 10e3));
     c.add(Diode::new("d1", a, Circuit::gnd(), DiodeParams::default()));
     let sol = solve_op(&c, &OpOptions::default())?;
@@ -41,10 +46,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vdd = c.node("vdd");
     let g = c.node("g");
     let out = c.node("out");
-    c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
-    let vg = c.add(VoltageSource::new("vg", g, Circuit::gnd(), SourceWave::dc(0.0)));
-    c.add(Mosfet::new("mn", out, g, Circuit::gnd(), Circuit::gnd(), MosParams::nmos_130nm_hv(), 2e-6, 0.5e-6));
-    c.add(Mosfet::new("mp", out, g, vdd, vdd, MosParams::pmos_130nm_hv(), 5e-6, 0.5e-6));
+    c.add(VoltageSource::new(
+        "vdd",
+        vdd,
+        Circuit::gnd(),
+        SourceWave::dc(3.3),
+    ));
+    let vg = c.add(VoltageSource::new(
+        "vg",
+        g,
+        Circuit::gnd(),
+        SourceWave::dc(0.0),
+    ));
+    c.add(Mosfet::new(
+        "mn",
+        out,
+        g,
+        Circuit::gnd(),
+        Circuit::gnd(),
+        MosParams::nmos_130nm_hv(),
+        2e-6,
+        0.5e-6,
+    ));
+    c.add(Mosfet::new(
+        "mp",
+        out,
+        g,
+        vdd,
+        vdd,
+        MosParams::pmos_130nm_hv(),
+        5e-6,
+        0.5e-6,
+    ));
     let points = linspace(0.0, 3.3, 34);
     let curve = dc_sweep(
         &mut c,
@@ -74,7 +107,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut c = Circuit::new();
     let src = c.node("src");
     let mid = c.node("mid");
-    c.add(VoltageSource::new("v1", src, Circuit::gnd(), SourceWave::step(1.0, 1e-9)));
+    c.add(VoltageSource::new(
+        "v1",
+        src,
+        Circuit::gnd(),
+        SourceWave::step(1.0, 1e-9),
+    ));
     c.add(Resistor::new("r1", src, mid, 1e3));
     c.add(Capacitor::new("c1", mid, Circuit::gnd(), 1e-9));
     let res = run_transient(&mut c, &TranOptions::for_duration(6e-6), &mut [])?;

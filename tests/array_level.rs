@@ -107,7 +107,9 @@ fn half_selected_cells_leak_negligibly() {
     let tile = TileArray::build(&mut c, &config, &mut rng);
     // All cells LRS — worst case for sneak current through off rows.
     for row in 0..4 {
-        tile.cells[row][0].precondition(&mut c, 10e3, 0.3).expect("fresh");
+        tile.cells[row][0]
+            .precondition(&mut c, 10e3, 0.3)
+            .expect("fresh");
     }
     let vbl = c.add(VoltageSource::new(
         "vbl",

@@ -2,10 +2,10 @@
 //! circuit-level MNA transient — the two execution engines must agree on
 //! the physics they share.
 
+use oxterm_mlc::levels::LevelAllocation;
 use oxterm_mlc::program::{
     program_cell_circuit, program_cell_fast, CircuitProgramOptions, ProgramConditions,
 };
-use oxterm_mlc::levels::LevelAllocation;
 use oxterm_rram::calib::{simulate_reset_termination, ResetConditions};
 use oxterm_rram::params::{InstanceVariation, OxramParams};
 
@@ -19,8 +19,8 @@ fn terminated_resistance_agrees_between_paths() {
     let inst = InstanceVariation::nominal();
     let cond = ProgramConditions::paper();
     for code in [0u16, 5, 10, 15] {
-        let fast = program_cell_fast(&params, &inst, &alloc, code, &cond)
-            .expect("programmable level");
+        let fast =
+            program_cell_fast(&params, &inst, &alloc, code, &cond).expect("programmable level");
         let circuit = program_cell_circuit(
             &CircuitProgramOptions::paper_fig10(),
             Some(alloc.level(code).expect("valid code").i_ref),
@@ -93,9 +93,8 @@ fn waveform_shape_matches_fig10() {
 fn energy_agrees_in_scale() {
     let params = OxramParams::calibrated();
     let inst = InstanceVariation::nominal();
-    let fast =
-        simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(10e-6))
-            .expect("terminates");
+    let fast = simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(10e-6))
+        .expect("terminates");
     let circuit = program_cell_circuit(&CircuitProgramOptions::paper_fig10(), Some(10e-6))
         .expect("converges");
     let ratio = circuit.energy_j / fast.energy_j;

@@ -2,11 +2,11 @@
 //! EXPERIMENTS.md, asserted with tolerances. If a model or solver change
 //! degrades the reproduction, these tests catch it.
 
+use oxterm_mc::engine::MonteCarlo;
 use oxterm_mlc::levels::LevelAllocation;
 use oxterm_mlc::margins::analyze;
-use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions};
-use oxterm_mc::engine::MonteCarlo;
 use oxterm_mlc::margins::LevelSamples;
+use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions};
 use oxterm_rram::calib::{simulate_reset_termination, CalibrationTarget, ResetConditions};
 use oxterm_rram::params::{InstanceVariation, OxramParams};
 
@@ -131,7 +131,9 @@ fn sigma_growth_matches_fig12() {
                 .expect("programmable")
                 .r_read_ohms
         });
-        oxterm_numerics::stats::summary(&r).expect("populated").std_dev
+        oxterm_numerics::stats::summary(&r)
+            .expect("populated")
+            .std_dev
     };
     let s_low_i = sigma_of(15); // 6 µA
     let s_high_i = sigma_of(0); // 36 µA
@@ -158,6 +160,11 @@ fn fig8_pseudo_exponential_shape() {
     let lin = oxterm_numerics::stats::linear_fit(&pts).expect("points");
     let log_pts: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (x, y.ln())).collect();
     let log = oxterm_numerics::stats::linear_fit(&log_pts).expect("points");
-    assert!(log.r2 > lin.r2 + 0.1, "log r² {:.3} vs lin r² {:.3}", log.r2, lin.r2);
+    assert!(
+        log.r2 > lin.r2 + 0.1,
+        "log r² {:.3} vs lin r² {:.3}",
+        log.r2,
+        lin.r2
+    );
     assert!(log.r2 > 0.9);
 }

@@ -261,8 +261,9 @@ fn termination_resistance_monotone_across_window() {
     let mut prev = f64::INFINITY;
     for k in 0..31 {
         let i_ref = (6.0 + k as f64) * 1e-6;
-        let out = simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(i_ref))
-            .expect("window programmable");
+        let out =
+            simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(i_ref))
+                .expect("window programmable");
         assert!(
             out.r_read_ohms < prev,
             "R not decreasing at {i_ref:.1e}: {} vs {}",

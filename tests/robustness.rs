@@ -18,8 +18,18 @@ fn conflicting_voltage_sources_report_singular_topology() {
     // node pair: structurally contradictory, must surface as an error.
     let mut c = Circuit::new();
     let a = c.node("a");
-    c.add(VoltageSource::new("v1", a, Circuit::gnd(), SourceWave::dc(1.0)));
-    c.add(VoltageSource::new("v2", a, Circuit::gnd(), SourceWave::dc(2.0)));
+    c.add(VoltageSource::new(
+        "v1",
+        a,
+        Circuit::gnd(),
+        SourceWave::dc(1.0),
+    ));
+    c.add(VoltageSource::new(
+        "v2",
+        a,
+        Circuit::gnd(),
+        SourceWave::dc(2.0),
+    ));
     let r = solve_op(&c, &OpOptions::default());
     assert!(r.is_err(), "contradictory sources must not 'solve'");
 }
@@ -69,7 +79,12 @@ fn pathological_monitor_cannot_hang_the_engine() {
     // terminate the run with an error instead of spinning forever.
     let mut c = Circuit::new();
     let a = c.node("a");
-    c.add(VoltageSource::new("v1", a, Circuit::gnd(), SourceWave::dc(1.0)));
+    c.add(VoltageSource::new(
+        "v1",
+        a,
+        Circuit::gnd(),
+        SourceWave::dc(1.0),
+    ));
     c.add(Resistor::new("r1", a, Circuit::gnd(), 1e3));
     let mut evil = |_s: &oxterm_spice::analysis::tran::TranSample<'_>,
                     _c: &mut Circuit|
@@ -90,10 +105,7 @@ fn stale_handles_are_not_found() {
     let id = c1.add(Resistor::new("r1", a, Circuit::gnd(), 1e3));
     // A fresh circuit knows nothing about c1's handle.
     let c2 = Circuit::new();
-    assert!(matches!(
-        c2.device(id),
-        Err(SpiceError::NotFound { .. })
-    ));
+    assert!(matches!(c2.device(id), Err(SpiceError::NotFound { .. })));
     assert!(c2.find_device("r1").is_err());
     // Wrong-type downcast is also NotFound.
     let mut c1 = c1;
@@ -127,7 +139,12 @@ fn invalid_model_cards_fail_fast() {
 fn transient_with_zero_duration_budget_is_rejected_or_trivial() {
     let mut c = Circuit::new();
     let a = c.node("a");
-    c.add(VoltageSource::new("v1", a, Circuit::gnd(), SourceWave::dc(1.0)));
+    c.add(VoltageSource::new(
+        "v1",
+        a,
+        Circuit::gnd(),
+        SourceWave::dc(1.0),
+    ));
     c.add(Resistor::new("r1", a, Circuit::gnd(), 1e3));
     // t_stop equal to zero: the run records the operating point and ends.
     let opts = TranOptions::for_duration(0.0);

@@ -56,7 +56,11 @@ fn qlc_decode_error_rate_is_small_but_finite_noise_sensitivity() {
     let report = analyze(&samples).expect("populated");
     let clean = decode_error_estimate(&report, 0.0);
     let noisy = decode_error_estimate(&report, 2e3);
-    assert!(clean.symbol_error_rate < 1e-6, "clean SER {}", clean.symbol_error_rate);
+    assert!(
+        clean.symbol_error_rate < 1e-6,
+        "clean SER {}",
+        clean.symbol_error_rate
+    );
     assert!(noisy.symbol_error_rate >= clean.symbol_error_rate);
 }
 

@@ -26,11 +26,21 @@ fn run_transistor_termination(i_ref: f64) -> (f64, Option<f64>) {
     }
     let term =
         TerminationCircuit::build(&mut c, "t0", bl, vdd, i_ref, &TerminationSizing::default());
-    c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+    c.add(VoltageSource::new(
+        "vdd",
+        vdd,
+        Circuit::gnd(),
+        SourceWave::dc(3.3),
+    ));
     // WL boosted to the rail: the SL headroom for the termination stage
     // (M1 diode drop) would otherwise pinch the access transistor off —
     // the paper's 2.5 V WL pairs with its 1.2 V SL.
-    c.add(VoltageSource::new("vwl", wl, Circuit::gnd(), SourceWave::dc(3.3)));
+    c.add(VoltageSource::new(
+        "vwl",
+        wl,
+        Circuit::gnd(),
+        SourceWave::dc(3.3),
+    ));
     let vsl = c.add(VoltageSource::new(
         "vsl",
         sl,
@@ -76,12 +86,8 @@ fn run_transistor_termination(i_ref: f64) -> (f64, Option<f64>) {
         .state_trace(&c, cell.rram, 0)
         .expect("fresh handle")
         .last();
-    let r = oxterm_rram::model::read_resistance(
-        &config.oxram,
-        &InstanceVariation::nominal(),
-        rho,
-        0.3,
-    );
+    let r =
+        oxterm_rram::model::read_resistance(&config.oxram, &InstanceVariation::nominal(), rho, 0.3);
     (r, chopped)
 }
 
@@ -124,7 +130,12 @@ fn comparator_dc_trip_tracks_reference() {
                 let mut c = Circuit::new();
                 let vdd = c.node("vdd");
                 let bl = c.node("bl");
-                c.add(VoltageSource::new("vdd", vdd, Circuit::gnd(), SourceWave::dc(3.3)));
+                c.add(VoltageSource::new(
+                    "vdd",
+                    vdd,
+                    Circuit::gnd(),
+                    SourceWave::dc(3.3),
+                ));
                 let term = TerminationCircuit::build(
                     &mut c,
                     "t0",

@@ -1,0 +1,242 @@
+//! Offline stand-in for the subset of `criterion` the oxterm benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], `criterion_group!`/`criterion_main!`, and `black_box`.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark is
+//! warmed up briefly and then timed over enough iterations to fill a fixed
+//! measurement window; the mean and minimum per-iteration times are printed
+//! in a criterion-like one-line format. That is sufficient for the repo's
+//! perf-trajectory comparisons (BENCH_*.json before/after deltas), which
+//! compare means across runs of the same machine.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measurement (overridable via `CRITERION_MEASURE_MS`).
+fn measure_window() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Identifier of a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            mean_ns: f64::NAN,
+            min_ns: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`, keeping its return value alive via `black_box`.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        // Warm-up: one call to page everything in, then estimate cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+
+        let window = measure_window();
+        let batches = 5u64;
+        let per_batch = (window.as_nanos() / batches as u128 / first.as_nanos()).max(1) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min_batch_ns = f64::INFINITY;
+        let mut iters = 0u64;
+        for _ in 0..batches {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            total += dt;
+            iters += per_batch;
+            min_batch_ns = min_batch_ns.min(dt.as_nanos() as f64 / per_batch as f64);
+            if total >= window * 2 {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.min_ns = min_batch_ns;
+        self.iters = iters;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    println!(
+        "{name:<40} time: [mean {} / best {}]  ({} iters)",
+        fmt_ns(b.mean_ns),
+        fmt_ns(b.min_ns),
+        b.iters
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs registered group functions (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes --bench; ignore all harness flags.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut b = Bencher::new();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean_ns.is_finite() && b.mean_ns > 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

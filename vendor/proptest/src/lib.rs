@@ -1,0 +1,367 @@
+//! Offline stand-in for the subset of `proptest` the oxterm test suite
+//! uses: range/tuple/collection strategies, `any::<T>()`, `bool::ANY`, the
+//! `proptest!` macro, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike upstream proptest there is no shrinking — a failing case reports
+//! its case number and the failed assertion. Each test runs a fixed number
+//! of deterministic cases (seeded from the test name), overridable through
+//! the `PROPTEST_CASES` environment variable.
+
+#![deny(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and implementations for ranges and tuples.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Value` (no shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.random::<u64>() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    if span == 0 {
+                        // Full-width range: any value.
+                        return rng.random::<u64>() as $t;
+                    }
+                    lo + (rng.random::<u64>() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            self.start + (self.end - self.start) * rng.random::<f64>()
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            // Hit the end points occasionally: closed-interval invariants
+            // (e.g. ρ ∈ [0, 1]) are most fragile exactly at the edges.
+            let (lo, hi) = (*self.start(), *self.end());
+            match rng.random::<u64>() % 64 {
+                0 => lo,
+                1 => hi,
+                _ => lo + (hi - lo) * rng.random::<f64>(),
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident: $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0);
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical strategy of a type.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a full-domain value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.random::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.random::<u64>() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy of `T` (full domain).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The strategy generating both booleans uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// Uniform boolean strategy (proptest's `bool::ANY`).
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.random::<u64>() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A size specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let n = self.size.lo + (rng.random::<u64>() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy generating `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case-loop driver used by the `proptest!` expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases per property (env `PROPTEST_CASES` overrides).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(96)
+    }
+
+    /// A deterministic RNG keyed to the property name, so every property
+    /// sees a stable, independent stream.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                let __cases = $crate::test_runner::cases();
+                for __case in 0..__cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body Ok(()) })();
+                    if let Err(__msg) = __outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), __case + 1, __cases, __msg
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside `proptest!`, reporting the case on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Single-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(
+            x in 3usize..17,
+            y in -2.5f64..2.5,
+            z in 0.0f64..=1.0,
+            b in crate::bool::ANY,
+            v in crate::collection::vec(0u8..=255, 0..9),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!((0.0..=1.0).contains(&z));
+            prop_assert!(b || !b);
+            prop_assert!(v.len() < 9);
+        }
+
+        #[test]
+        fn tuples_compose(
+            t in (0usize..4, -1.0f64..1.0, 1u32..=3),
+        ) {
+            let (a, b, c) = t;
+            prop_assert!(a < 4);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!((1..=3).contains(&c));
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failures_report_case() {
+        proptest! {
+            #[allow(unreachable_code)]
+            fn always_fails(x in 0usize..2) {
+                prop_assert!(x > 10, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn any_covers_integer_types() {
+        let mut rng = crate::test_runner::rng_for("any_covers");
+        let s = any::<u8>();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..512 {
+            seen.insert(s.sample(&mut rng));
+        }
+        assert!(seen.len() > 100, "poor u8 coverage: {}", seen.len());
+    }
+}
