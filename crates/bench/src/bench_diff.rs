@@ -1,0 +1,350 @@
+//! Comparison of `BENCH_telemetry.json` throughput summaries.
+//!
+//! The repo commits a baseline `BENCH_telemetry.json`; `repro_all` rewrites
+//! it every run. This module diffs a fresh summary against the committed
+//! baseline so a perf regression fails loudly instead of silently rewriting
+//! the baseline: per-metric deltas, direction-aware judgement (wall time
+//! lower-is-better, throughput higher-is-better, workload counters
+//! informational), and a configurable relative threshold.
+//!
+//! Consumed by the `bench_diff` binary and `repro_all --check-bench`. The
+//! parser is a deliberately minimal flat-JSON reader (string and number
+//! values only) because the workspace carries no serde and the summary
+//! format is fully under our control.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default relative-change threshold before a delta counts as a regression.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// A value from the flat summary JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchValue {
+    /// Any JSON number (all summary metrics).
+    Num(f64),
+    /// A JSON string (the `bench` name field).
+    Str(String),
+}
+
+/// Parses a flat JSON object of string/number values.
+///
+/// # Errors
+///
+/// Returns a message naming the offending byte offset for anything that is
+/// not a single flat `{"key": <string|number>, ...}` object.
+pub fn parse_flat_json(s: &str) -> Result<BTreeMap<String, BenchValue>, String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |i: &mut usize| {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    let parse_string = |i: &mut usize| -> Result<String, String> {
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {i}", i = *i));
+        }
+        *i += 1;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    *i += 1;
+                }
+                _ => {
+                    out.push(c as char);
+                    *i += 1;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    };
+
+    skip_ws(&mut i);
+    if b.get(i) != Some(&b'{') {
+        return Err(format!("expected '{{' at byte {i}"));
+    }
+    i += 1;
+    let mut map = BTreeMap::new();
+    skip_ws(&mut i);
+    if b.get(i) == Some(&b'}') {
+        return Ok(map);
+    }
+    loop {
+        skip_ws(&mut i);
+        let key = parse_string(&mut i)?;
+        skip_ws(&mut i);
+        if b.get(i) != Some(&b':') {
+            return Err(format!("expected ':' after key {key:?} at byte {i}"));
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = if b.get(i) == Some(&b'"') {
+            BenchValue::Str(parse_string(&mut i)?)
+        } else {
+            let start = i;
+            while i < b.len() && !matches!(b[i], b',' | b'}') && !b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            let tok = &s[start..i];
+            BenchValue::Num(
+                tok.parse::<f64>()
+                    .map_err(|e| format!("bad number {tok:?} at byte {start}: {e}"))?,
+            )
+        };
+        map.insert(key, value);
+        skip_ws(&mut i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(map),
+            other => return Err(format!("expected ',' or '}}' at byte {i}, found {other:?}")),
+        }
+    }
+}
+
+/// Which way a metric should move to count as an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Wall time, failure counts: growth is a regression.
+    LowerIsBetter,
+    /// Throughput (`*_per_second`): shrinkage is a regression.
+    HigherIsBetter,
+    /// Workload-size counters: reported but never gate.
+    Informational,
+}
+
+/// Classifies a summary key by its suffix conventions.
+pub fn direction_for(key: &str) -> Direction {
+    if key.ends_with("_per_second") {
+        Direction::HigherIsBetter
+    } else if key == "wall_seconds" || key.contains("failures") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Summary key.
+    pub key: String,
+    /// Baseline value (`None` when the metric is new).
+    pub baseline: Option<f64>,
+    /// Fresh value (`None` when the metric disappeared).
+    pub fresh: Option<f64>,
+    /// Relative change `(fresh − baseline) / baseline`, when both exist
+    /// and the baseline is nonzero.
+    pub rel_change: Option<f64>,
+    /// Gate direction for this key.
+    pub direction: Direction,
+    /// Whether this delta exceeds the threshold in the bad direction.
+    pub regressed: bool,
+}
+
+/// Diffs two parsed summaries; `threshold` is the relative change past
+/// which a gated metric counts as regressed.
+pub fn compare(
+    baseline: &BTreeMap<String, BenchValue>,
+    fresh: &BTreeMap<String, BenchValue>,
+    threshold: f64,
+) -> Vec<MetricDelta> {
+    let num = |m: &BTreeMap<String, BenchValue>, k: &str| match m.get(k) {
+        Some(BenchValue::Num(v)) => Some(*v),
+        _ => None,
+    };
+    let mut keys: Vec<&String> = baseline.keys().chain(fresh.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .filter(|k| {
+            matches!(baseline.get(*k), Some(BenchValue::Num(_)) | None)
+                && matches!(fresh.get(*k), Some(BenchValue::Num(_)) | None)
+        })
+        .map(|k| {
+            let b = num(baseline, k);
+            let f = num(fresh, k);
+            let rel = match (b, f) {
+                (Some(b), Some(f)) if b.abs() > 1e-12 => Some((f - b) / b),
+                _ => None,
+            };
+            let direction = direction_for(k);
+            let regressed = match (rel, direction) {
+                (Some(r), Direction::LowerIsBetter) => r > threshold,
+                (Some(r), Direction::HigherIsBetter) => r < -threshold,
+                _ => false,
+            };
+            MetricDelta {
+                key: k.clone(),
+                baseline: b,
+                fresh: f,
+                rel_change: rel,
+                direction,
+                regressed,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison as an aligned text table.
+pub fn render(deltas: &[MetricDelta]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>14} {:>14} {:>9}  status",
+        "metric", "baseline", "fresh", "change"
+    );
+    for d in deltas {
+        let fmt = |v: Option<f64>| v.map_or("—".to_string(), |v| format!("{v:.4}"));
+        let change = d
+            .rel_change
+            .map_or("—".to_string(), |r| format!("{:+.1}%", r * 100.0));
+        let status = if d.regressed {
+            "REGRESSED"
+        } else {
+            match d.direction {
+                Direction::Informational => "info",
+                _ => "ok",
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<32} {:>14} {:>14} {:>9}  {}",
+            d.key,
+            fmt(d.baseline),
+            fmt(d.fresh),
+            change,
+            status
+        );
+    }
+    out
+}
+
+/// Loads, diffs and renders two summary files; returns the report and
+/// whether any gated metric regressed.
+///
+/// # Errors
+///
+/// Propagates file-read and parse failures with the offending path.
+pub fn diff_files(
+    baseline_path: &str,
+    fresh_path: &str,
+    threshold: f64,
+) -> Result<(String, bool), String> {
+    let load = |path: &str| -> Result<BTreeMap<String, BenchValue>, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+        parse_flat_json(&text).map_err(|e| format!("could not parse {path}: {e}"))
+    };
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    let deltas = compare(&baseline, &fresh, threshold);
+    let regressed = deltas.iter().any(|d| d.regressed);
+    let mut report = render(&deltas);
+    let _ = writeln!(
+        report,
+        "\nthreshold ±{:.0}% on gated metrics: {}",
+        threshold * 100.0,
+        if regressed {
+            "REGRESSION detected"
+        } else {
+            "no regression"
+        }
+    );
+    Ok((report, regressed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(wall: f64, nps: f64) -> BTreeMap<String, BenchValue> {
+        parse_flat_json(&format!(
+            "{{\"bench\": \"repro_all\", \"wall_seconds\": {wall}, \
+             \"newton_iterations_per_second\": {nps}, \"mc_runs\": 120}}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn parser_reads_flat_object() {
+        let m = parse_flat_json("{\"a\": 1.5, \"b\": \"x\", \"c\": -2e3}").unwrap();
+        assert_eq!(m["a"], BenchValue::Num(1.5));
+        assert_eq!(m["b"], BenchValue::Str("x".to_string()));
+        assert_eq!(m["c"], BenchValue::Num(-2000.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_flat_json("[1, 2]").is_err());
+        assert!(parse_flat_json("{\"a\" 1}").is_err());
+        assert!(parse_flat_json("{\"a\": nope}").is_err());
+        assert!(parse_flat_json("{\"a\": 1").is_err());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let deltas = compare(&summary(10.0, 1000.0), &summary(11.0, 950.0), 0.25);
+        assert!(!deltas.iter().any(|d| d.regressed));
+    }
+
+    #[test]
+    fn slow_wall_time_regresses() {
+        let deltas = compare(&summary(10.0, 1000.0), &summary(14.0, 1000.0), 0.25);
+        let wall = deltas.iter().find(|d| d.key == "wall_seconds").unwrap();
+        assert!(wall.regressed);
+    }
+
+    #[test]
+    fn throughput_drop_regresses_but_gain_does_not() {
+        let drop = compare(&summary(10.0, 1000.0), &summary(10.0, 600.0), 0.25);
+        assert!(drop.iter().any(|d| d.regressed));
+        let gain = compare(&summary(10.0, 1000.0), &summary(10.0, 2000.0), 0.25);
+        assert!(!gain.iter().any(|d| d.regressed));
+    }
+
+    #[test]
+    fn workload_counters_are_informational() {
+        assert_eq!(direction_for("mc_runs"), Direction::Informational);
+        assert_eq!(direction_for("wall_seconds"), Direction::LowerIsBetter);
+        assert_eq!(
+            direction_for("mc_runs_per_second"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_for("mc_convergence_failures"),
+            Direction::LowerIsBetter
+        );
+    }
+
+    #[test]
+    fn missing_metrics_never_gate() {
+        let mut fresh = summary(10.0, 1000.0);
+        fresh.insert("brand_new_per_second".to_string(), BenchValue::Num(5.0));
+        let deltas = compare(&summary(10.0, 1000.0), &fresh, 0.25);
+        let new = deltas
+            .iter()
+            .find(|d| d.key == "brand_new_per_second")
+            .unwrap();
+        assert!(!new.regressed);
+        assert_eq!(new.baseline, None);
+    }
+}

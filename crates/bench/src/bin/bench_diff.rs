@@ -1,0 +1,46 @@
+//! Compares two `BENCH_telemetry.json` throughput summaries.
+//!
+//! ```text
+//! cargo run -p oxterm-bench --bin bench_diff -- BASELINE FRESH [--threshold=0.25]
+//! ```
+//!
+//! Prints per-metric deltas and exits nonzero when a gated metric (wall
+//! time, `*_per_second` throughput, failure counts) moved past the
+//! threshold in the bad direction. Workload-size counters are shown but
+//! never gate. Typical use: stash the committed baseline, rerun
+//! `repro_all`, then diff — or let `repro_all --check-bench` do all three.
+
+use oxterm_bench::bench_diff::{diff_files, DEFAULT_THRESHOLD};
+
+fn main() {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut paths = Vec::new();
+    for a in std::env::args().skip(1) {
+        if let Some(t) = a.strip_prefix("--threshold=") {
+            match t.parse::<f64>() {
+                Ok(v) if v > 0.0 => threshold = v,
+                _ => {
+                    eprintln!("bench_diff: bad --threshold value {t:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(a);
+        }
+    }
+    let [baseline, fresh] = paths.as_slice() else {
+        eprintln!("usage: bench_diff BASELINE FRESH [--threshold=0.25]");
+        std::process::exit(2);
+    };
+    match diff_files(baseline, fresh, threshold) {
+        Ok((report, regressed)) => {
+            println!("== bench diff: {baseline} -> {fresh} ==\n");
+            print!("{report}");
+            std::process::exit(i32::from(regressed));
+        }
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -7,9 +7,11 @@
 
 use oxterm_bench::chart::{xy_chart, Scale};
 use oxterm_bench::table::{eng, Table};
+use oxterm_bench::telemetry_cli;
 use oxterm_mlc::program::{program_cell_circuit, CircuitProgramOptions};
 
 fn main() {
+    let (_args, tel_cli) = telemetry_cli::init("fig10");
     println!("== Fig 10: terminated RESET transient, IrefR = 10 µA ==\n");
     let opts = CircuitProgramOptions::paper_fig10();
     let term = program_cell_circuit(&opts, Some(10e-6)).expect("transient converges");
@@ -104,4 +106,5 @@ fn main() {
     println!("{}", t.render());
     println!("shape check: the terminated pulse stops ~µs in, pinning R near the target;");
     println!("the standard pulse runs its full width and blows far past every MLC level.");
+    tel_cli.finish();
 }

@@ -36,11 +36,18 @@ struct Check {
 }
 
 fn main() {
-    let (args, tel_cli) = telemetry_cli::init("repro_all");
+    let (mut args, tel_cli) = telemetry_cli::init("repro_all");
     // The checklist always runs instrumented — it doubles as the perf
     // probe behind BENCH_telemetry.json (a no-op if --telemetry already
     // installed the handle).
     Telemetry::install(Telemetry::enabled());
+    // `--check-bench`: snapshot the committed baseline before this run
+    // overwrites it, then gate the exit status on the throughput diff.
+    let check_bench = args.iter().any(|a| a == "--check-bench");
+    args.retain(|a| a != "--check-bench");
+    let baseline = check_bench
+        .then(|| std::fs::read_to_string("BENCH_telemetry.json").ok())
+        .flatten();
     let t_start = std::time::Instant::now();
     let runs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(120);
     println!("== oxterm reproduction checklist ({runs} MC runs where applicable) ==\n");
@@ -209,8 +216,51 @@ fn main() {
     );
 
     write_bench_summary(t_start.elapsed().as_secs_f64());
+    let bench_ok = check_bench_baseline(check_bench, baseline.as_deref());
     tel_cli.finish();
-    std::process::exit(if all_pass { 0 } else { 1 });
+    std::process::exit(if all_pass && bench_ok { 0 } else { 1 });
+}
+
+/// `--check-bench`: diffs the fresh summary against the pre-run baseline.
+/// Returns `false` on a gated throughput regression.
+fn check_bench_baseline(requested: bool, baseline: Option<&str>) -> bool {
+    use oxterm_bench::bench_diff::{compare, parse_flat_json, render, DEFAULT_THRESHOLD};
+    if !requested {
+        return true;
+    }
+    let Some(baseline) = baseline else {
+        println!("\n--check-bench: no committed BENCH_telemetry.json baseline; skipping diff");
+        return true;
+    };
+    let parsed = parse_flat_json(baseline).and_then(|base| {
+        let fresh = std::fs::read_to_string("BENCH_telemetry.json")
+            .map_err(|e| format!("could not re-read fresh summary: {e}"))?;
+        Ok((base, parse_flat_json(&fresh)?))
+    });
+    match parsed {
+        Ok((base, fresh)) => {
+            let deltas = compare(&base, &fresh, DEFAULT_THRESHOLD);
+            let regressed = deltas.iter().any(|d| d.regressed);
+            println!(
+                "\n== bench check (threshold ±{:.0}%) ==\n",
+                DEFAULT_THRESHOLD * 100.0
+            );
+            print!("{}", render(&deltas));
+            println!(
+                "\nbench check: {}",
+                if regressed {
+                    "REGRESSION vs committed baseline"
+                } else {
+                    "no regression vs committed baseline"
+                }
+            );
+            !regressed
+        }
+        Err(e) => {
+            eprintln!("--check-bench: {e}");
+            false
+        }
+    }
 }
 
 /// Writes `BENCH_telemetry.json`: the headline throughput figures the perf

@@ -34,6 +34,7 @@
 //! The library half hosts the shared Monte Carlo campaign
 //! ([`campaigns`]) and terminal rendering helpers ([`chart`], [`table`]).
 
+pub mod bench_diff;
 pub mod campaigns;
 pub mod chart;
 pub mod table;

@@ -1,4 +1,5 @@
-//! Shared `--telemetry[=json]` handling for the experiment binaries.
+//! Shared `--telemetry`, `--trace` and `--progress` handling for the
+//! experiment binaries.
 //!
 //! Usage in a `src/bin/` target:
 //!
@@ -9,36 +10,104 @@
 //! tel_cli.finish();
 //! ```
 //!
-//! `init` installs an enabled process-global [`Telemetry`] when the flag is
-//! present (it must run before any instrumented work) and strips the flag
-//! from the argument list so positional arguments keep their meaning.
-//! `finish` prints the run report and, for `--telemetry=json`, writes it to
-//! `results/telemetry_<name>.json`.
+//! `init` installs the enabled process-global [`Telemetry`] and/or
+//! [`Tracer`] when the flags are present (it must run before any
+//! instrumented work) and strips the flags from the argument list so
+//! positional arguments keep their meaning. `finish` prints the run report
+//! and writes the requested artifacts.
+//!
+//! Flags:
+//!
+//! * `--telemetry` — print the ASCII run report at exit.
+//! * `--telemetry=json` — also write `results/telemetry_<name>.json`.
+//! * `--telemetry=json:PATH` — same, to an explicit path.
+//! * `--trace` — record a flight-recorder trace and write Chrome
+//!   trace-event JSON to `results/trace_<name>.json` (open it at
+//!   <https://ui.perfetto.dev>), plus an ASCII timeline on stdout.
+//! * `--trace=PATH` — same, to an explicit path.
+//! * `--progress` — live Monte Carlo campaign status lines on stderr.
 
-use oxterm_telemetry::Telemetry;
+use oxterm_telemetry::{Telemetry, TraceSnapshot, TraceSpan, Tracer, Track};
 
 /// How the binary was asked to report telemetry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TelemetryMode {
     /// No flag: telemetry stays disabled (zero-overhead path).
     Off,
     /// `--telemetry`: print the ASCII report at exit.
     Table,
-    /// `--telemetry=json`: print the report and write the JSON file.
-    Json,
+    /// `--telemetry=json[:PATH]`: print the report and write the JSON file
+    /// (to `PATH` when given, else `results/telemetry_<name>.json`).
+    Json {
+        /// Explicit output path, if one was supplied after the colon.
+        path: Option<String>,
+    },
+}
+
+/// Flags recognised by [`init_from`], split from the positional arguments.
+///
+/// Pure parse result — applying the side effects (installing the global
+/// handles) is [`init_from`]'s job, so tests can exercise the grammar
+/// without mutating process state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedFlags {
+    /// Telemetry reporting mode.
+    pub mode: TelemetryMode,
+    /// `Some(explicit_path)` when `--trace[=PATH]` was present.
+    pub trace: Option<Option<String>>,
+    /// Whether `--progress` was present.
+    pub progress: bool,
+    /// Remaining (positional) arguments, in order.
+    pub rest: Vec<String>,
+}
+
+/// Splits recognised flags from positional arguments without side effects.
+pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
+    let mut parsed = ParsedFlags {
+        mode: TelemetryMode::Off,
+        trace: None,
+        progress: false,
+        rest: Vec::new(),
+    };
+    for a in args {
+        if a == "--telemetry" {
+            parsed.mode = TelemetryMode::Table;
+        } else if a == "--telemetry=json" {
+            parsed.mode = TelemetryMode::Json { path: None };
+        } else if let Some(path) = a.strip_prefix("--telemetry=json:") {
+            parsed.mode = TelemetryMode::Json {
+                path: Some(path.to_string()),
+            };
+        } else if a == "--trace" {
+            parsed.trace = Some(None);
+        } else if let Some(path) = a.strip_prefix("--trace=") {
+            parsed.trace = Some(Some(path.to_string()));
+        } else if a == "--progress" {
+            parsed.progress = true;
+        } else {
+            parsed.rest.push(a);
+        }
+    }
+    parsed
 }
 
 /// Parsed telemetry CLI state; call [`TelemetryCli::finish`] at exit.
 #[derive(Debug)]
 pub struct TelemetryCli {
     mode: TelemetryMode,
+    /// Trace output path (resolved; `None` when tracing is off).
+    trace_to: Option<String>,
     name: &'static str,
+    /// Whole-binary span on the bench track, opened at `init` so every
+    /// trace has at least one lane framing the run.
+    bench_span: TraceSpan,
 }
 
-/// Parses `std::env::args`, installs global telemetry if requested, and
-/// returns the remaining (non-flag) arguments plus the CLI state.
+/// Parses `std::env::args`, installs global telemetry/tracing if requested,
+/// and returns the remaining (non-flag) arguments plus the CLI state.
 ///
-/// `name` keys the JSON output file: `results/telemetry_<name>.json`.
+/// `name` keys the default output files: `results/telemetry_<name>.json`
+/// and `results/trace_<name>.json`.
 pub fn init(name: &'static str) -> (Vec<String>, TelemetryCli) {
     init_from(name, std::env::args().skip(1))
 }
@@ -48,41 +117,62 @@ pub fn init_from(
     name: &'static str,
     args: impl Iterator<Item = String>,
 ) -> (Vec<String>, TelemetryCli) {
-    let mut mode = TelemetryMode::Off;
-    let mut rest = Vec::new();
-    for a in args {
-        match a.as_str() {
-            "--telemetry" => mode = TelemetryMode::Table,
-            "--telemetry=json" => mode = TelemetryMode::Json,
-            _ => rest.push(a),
-        }
-    }
-    if mode != TelemetryMode::Off {
+    let parsed = parse_flags(args);
+    if parsed.mode != TelemetryMode::Off {
         Telemetry::install(Telemetry::enabled());
     }
-    (rest, TelemetryCli { mode, name })
+    let trace_to = parsed.trace.map(|explicit| {
+        Tracer::install(Tracer::enabled());
+        explicit.unwrap_or_else(|| format!("results/trace_{name}.json"))
+    });
+    if parsed.progress {
+        oxterm_telemetry::progress::set_enabled(true);
+    }
+    let mut bench_span = Tracer::global().span(Track::Bench, name);
+    bench_span.arg(oxterm_telemetry::Arg::u64(
+        "positional_args",
+        parsed.rest.len() as u64,
+    ));
+    (
+        parsed.rest,
+        TelemetryCli {
+            mode: parsed.mode,
+            trace_to,
+            name,
+            bench_span,
+        },
+    )
 }
 
 impl TelemetryCli {
     /// The parsed mode.
-    pub fn mode(&self) -> TelemetryMode {
-        self.mode
+    pub fn mode(&self) -> &TelemetryMode {
+        &self.mode
     }
 
-    /// Prints the run report (and writes the JSON artifact in
-    /// [`TelemetryMode::Json`]). No-op when telemetry is off.
-    pub fn finish(&self) {
+    /// Writes the trace artifacts (Chrome JSON + ASCII timeline), prints
+    /// the run report, and writes the telemetry JSON artifact if asked.
+    /// No-op when neither flag was given.
+    pub fn finish(mut self) {
+        self.bench_span.finish();
+        if let Some(path) = self.trace_to.take() {
+            let snapshot = Tracer::global().snapshot();
+            record_drops(Telemetry::global(), &snapshot);
+            write_trace(&path, &snapshot);
+            println!("\n== trace timeline ({}) ==\n", self.name);
+            println!("{}", snapshot.to_ascii(100));
+        }
         if self.mode == TelemetryMode::Off {
             return;
         }
         let report = Telemetry::global().report();
         println!("\n== telemetry ({}) ==\n", self.name);
         println!("{}", report.to_table());
-        if self.mode == TelemetryMode::Json {
-            let path = format!("results/telemetry_{}.json", self.name);
-            match std::fs::create_dir_all("results")
-                .and_then(|()| std::fs::write(&path, report.to_json()))
-            {
+        if let TelemetryMode::Json { path } = &self.mode {
+            let path = path
+                .clone()
+                .unwrap_or_else(|| format!("results/telemetry_{}.json", self.name));
+            match ensure_parent(&path).and_then(|()| std::fs::write(&path, report.to_json())) {
                 Ok(()) => println!("telemetry report written to {path}"),
                 Err(e) => eprintln!("could not write {path}: {e}"),
             }
@@ -90,30 +180,98 @@ impl TelemetryCli {
     }
 }
 
+/// Folds per-track-class drop counts into the telemetry report so ring
+/// overflow is visible in the RunReport, never silent.
+fn record_drops(tel: &Telemetry, snapshot: &TraceSnapshot) {
+    if !tel.is_enabled() {
+        return;
+    }
+    for (class, n) in &snapshot.dropped {
+        if *n > 0 {
+            tel.add(&format!("trace.dropped.{class}"), *n);
+        }
+    }
+}
+
+fn write_trace(path: &str, snapshot: &TraceSnapshot) {
+    match ensure_parent(path).and_then(|()| std::fs::write(path, snapshot.to_chrome_json())) {
+        Ok(()) => println!(
+            "trace written to {path} ({} events, {} dropped) — open at https://ui.perfetto.dev",
+            snapshot.events.len(),
+            snapshot.total_dropped(),
+        ),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn ensure_parent(path: &str) -> std::io::Result<()> {
+    match std::path::Path::new(path).parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => std::fs::create_dir_all(dir),
+        _ => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> ParsedFlags {
+        parse_flags(args.iter().map(|s| (*s).to_string()))
+    }
+
     #[test]
     fn flag_is_stripped_and_positionals_survive() {
-        let (rest, cli) = init_from(
-            "t",
-            ["120".to_string(), "--telemetry".to_string()].into_iter(),
-        );
-        assert_eq!(rest, vec!["120".to_string()]);
-        assert_eq!(cli.mode(), TelemetryMode::Table);
+        let p = parse(&["120", "--telemetry"]);
+        assert_eq!(p.rest, vec!["120".to_string()]);
+        assert_eq!(p.mode, TelemetryMode::Table);
     }
 
     #[test]
     fn no_flag_means_off() {
-        let (rest, cli) = init_from("t", ["7".to_string()].into_iter());
-        assert_eq!(rest, vec!["7".to_string()]);
-        assert_eq!(cli.mode(), TelemetryMode::Off);
+        let p = parse(&["7"]);
+        assert_eq!(p.rest, vec!["7".to_string()]);
+        assert_eq!(p.mode, TelemetryMode::Off);
+        assert_eq!(p.trace, None);
+        assert!(!p.progress);
     }
 
     #[test]
     fn json_variant_parses() {
-        let (_, cli) = init_from("t", ["--telemetry=json".to_string()].into_iter());
-        assert_eq!(cli.mode(), TelemetryMode::Json);
+        let p = parse(&["--telemetry=json"]);
+        assert_eq!(p.mode, TelemetryMode::Json { path: None });
+    }
+
+    #[test]
+    fn json_path_variant_parses() {
+        let p = parse(&["--telemetry=json:out/run.json"]);
+        assert_eq!(
+            p.mode,
+            TelemetryMode::Json {
+                path: Some("out/run.json".to_string())
+            }
+        );
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        assert_eq!(parse(&["--trace"]).trace, Some(None));
+        assert_eq!(
+            parse(&["--trace=results/t.json"]).trace,
+            Some(Some("results/t.json".to_string()))
+        );
+    }
+
+    #[test]
+    fn progress_flag_parses_alongside_others() {
+        let p = parse(&["--progress", "500", "--trace", "--telemetry"]);
+        assert!(p.progress);
+        assert_eq!(p.trace, Some(None));
+        assert_eq!(p.mode, TelemetryMode::Table);
+        assert_eq!(p.rest, vec!["500".to_string()]);
+    }
+
+    #[test]
+    fn parent_creation_handles_bare_filenames() {
+        assert!(ensure_parent("bare.json").is_ok());
     }
 }

@@ -24,7 +24,7 @@ use oxterm_rram::params::{standard_normal, InstanceVariation, OxramParams};
 use oxterm_spice::analysis::tran::{run_transient, TranOptions};
 use oxterm_spice::circuit::Circuit;
 use oxterm_spice::waveform::CrossDir;
-use oxterm_telemetry::Telemetry;
+use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
 use rand::Rng;
 
 use crate::levels::LevelAllocation;
@@ -83,7 +83,10 @@ pub fn program_cell_fast(
     cond: &ProgramConditions,
 ) -> Result<ProgramOutcome, MlcError> {
     Telemetry::global().incr("mlc.program.fast_ops");
+    let mut span = Tracer::global().span(Track::Program, "program_fast");
+    span.arg(Arg::u64("code", u64::from(code)));
     let level = alloc.level(code)?;
+    span.arg(Arg::f64("i_ref_a", level.i_ref));
     let set = simulate_set(params, inst, &cond.set)?;
     let reset_cond = ResetConditions {
         i_ref: level.i_ref,
@@ -186,7 +189,10 @@ pub fn program_cell_mc<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<ProgramOutcome, MlcError> {
     Telemetry::global().incr("mlc.program.mc_ops");
+    let mut span = Tracer::global().span(Track::Program, "program_mc");
+    span.arg(Arg::u64("code", u64::from(code)));
     let level = alloc.level(code)?;
+    span.arg(Arg::f64("i_ref_a", level.i_ref));
     let (inst, mut cond, i_ref_factor) = var.sample(params, cond, rng);
     let set = simulate_set(params, &inst, &cond.set)?;
     cond.reset.i_ref = level.i_ref * i_ref_factor;
@@ -284,6 +290,12 @@ pub fn program_cell_circuit(
     let tel = Telemetry::global();
     tel.incr("mlc.program.circuit_ops");
     let _op_span = tel.span("mlc.program.circuit_seconds");
+    // The programming pulse as one span on the program track; the
+    // comparator-trip / chop instants from the termination monitor land
+    // inside it, and the simulated latency rides in the args.
+    let mut pulse_span = Tracer::global().span(Track::Program, "program_circuit");
+    pulse_span.arg(Arg::f64("i_ref_a", i_ref.unwrap_or(0.0)));
+    pulse_span.arg(Arg::f64("pulse_width_s", opts.pulse_width));
     let mut c = Circuit::new();
     let sl = c.node("sl");
     let wl = c.node("wl");
@@ -353,6 +365,11 @@ pub fn program_cell_circuit(
     });
     // Cross-check: latency should match the current crossing.
     let _ = i_cell.first_crossing(i_ref.unwrap_or(0.0), CrossDir::Falling);
+
+    if let Some(lat) = latency {
+        pulse_span.arg(Arg::f64("latency_sim_s", lat));
+    }
+    pulse_span.arg(Arg::f64("r_read_ohms", r_read));
 
     Ok(CircuitProgramOutcome {
         r_read_ohms: r_read,

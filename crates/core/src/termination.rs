@@ -18,7 +18,7 @@ use oxterm_devices::passive::Capacitor;
 use oxterm_devices::sources::{CurrentSource, SourceWave, VoltageSource};
 use oxterm_spice::analysis::tran::{MonitorAction, TranSample};
 use oxterm_spice::circuit::{Circuit, ElementId, NodeId};
-use oxterm_telemetry::Telemetry;
+use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
 
 /// Options for the behavioral termination monitor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +75,7 @@ pub fn behavioral_monitor(
     // Resolved once at monitor construction; the per-sample path pays one
     // branch when telemetry is disabled.
     let tel = Telemetry::global().clone();
+    let tracer = Tracer::global().clone();
     let monitor = move |sample: &TranSample<'_>, circuit: &mut Circuit| -> MonitorAction {
         if let Some(tc) = chopped_at {
             if sample.time >= tc + opts.hold_after_chop {
@@ -89,6 +90,11 @@ pub fn behavioral_monitor(
         if !armed {
             if i >= opts.arm_current {
                 armed = true;
+                tracer.instant(
+                    Track::Program,
+                    "comparator_armed",
+                    &[Arg::f64("t_sim_s", sample.time), Arg::f64("i_cell_a", i)],
+                );
             }
             i_prev = i;
             return MonitorAction::Continue;
@@ -100,6 +106,14 @@ pub fn behavioral_monitor(
         // Crossing detected. Refine the step if it was coarse.
         if sample.dt > opts.dt_fine * 1.5 && i_prev > opts.i_ref {
             tel.incr("mlc.termination.bisections");
+            tracer.instant(
+                Track::Program,
+                "bisection",
+                &[
+                    Arg::f64("t_sim_s", sample.time),
+                    Arg::f64("dt_s", sample.dt),
+                ],
+            );
             return MonitorAction::RedoWithDt(opts.dt_fine);
         }
         chopped_at = Some(sample.time);
@@ -115,8 +129,27 @@ pub fn behavioral_monitor(
                 (opts.i_ref - i) / opts.i_ref,
             );
         }
+        // The paper's headline instant: the comparator observed
+        // `Icell < IrefR` and the SL pulse gets chopped right here.
+        tracer.instant(
+            Track::Program,
+            "comparator_trip",
+            &[
+                Arg::f64("t_sim_s", sample.time),
+                Arg::f64("i_cell_a", i),
+                Arg::f64("i_ref_a", opts.i_ref),
+            ],
+        );
         if let Ok(vs) = circuit.device_mut::<VoltageSource>(sl_source) {
             vs.force_end_at(sample.time, 0.0, opts.chop_fall);
+            tracer.instant(
+                Track::Program,
+                "chop",
+                &[
+                    Arg::f64("t_sim_s", sample.time),
+                    Arg::f64("fall_s", opts.chop_fall),
+                ],
+            );
         }
         MonitorAction::Continue
     };

@@ -1,11 +1,13 @@
 //! Deterministic parallel Monte Carlo runner.
 
-use oxterm_telemetry::Telemetry;
+use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+use crate::progress::CampaignProgress;
 
 /// A Monte Carlo campaign: `runs` independent evaluations of a closure.
 ///
@@ -72,8 +74,8 @@ impl MonteCarlo {
         F: Fn(usize, &mut StdRng) -> T + Sync,
     {
         // One global-handle lookup per campaign; the per-run timing path
-        // only exists when telemetry was installed, so a disabled build
-        // pays a single `None` check per run.
+        // only exists when telemetry, tracing or progress was turned on, so
+        // a disabled build pays a single branch per run.
         let tel = Telemetry::global();
         tel.incr("mc.engine.campaigns");
         tel.add("mc.engine.runs", self.runs as u64);
@@ -82,21 +84,35 @@ impl MonteCarlo {
         let h_busy = tel.histogram("mc.engine.worker_busy_seconds");
 
         let threads = self.resolved_threads().min(self.runs.max(1));
+        let tracer = Tracer::global().clone();
+        let mut trace_campaign = tracer.span(Track::Mc, "campaign");
+        trace_campaign.arg(Arg::u64("runs", self.runs as u64));
+        trace_campaign.arg(Arg::u64("seed", self.seed));
+        trace_campaign.arg(Arg::u64("threads", threads as u64));
+        let progress = CampaignProgress::start(self.runs, threads);
+        let timed = h_run.is_some() || progress.is_enabled();
+
         if threads <= 1 {
             let out = (0..self.runs)
                 .map(|i| {
                     let mut rng = self.rng_for_run(i);
-                    match &h_run {
-                        Some(h) => {
-                            let t0 = Instant::now();
-                            let value = f(i, &mut rng);
-                            h.record(t0.elapsed().as_secs_f64());
-                            value
+                    let mut run_span = tracer.span(Track::McWorker(0), "run");
+                    run_span.arg(Arg::u64("run", i as u64));
+                    if timed {
+                        let t0 = Instant::now();
+                        let value = f(i, &mut rng);
+                        let dt = t0.elapsed().as_secs_f64();
+                        if let Some(h) = &h_run {
+                            h.record(dt);
                         }
-                        None => f(i, &mut rng),
+                        progress.tick(dt);
+                        value
+                    } else {
+                        f(i, &mut rng)
                     }
                 })
                 .collect();
+            progress.finish();
             campaign_span.finish();
             return out;
         }
@@ -105,8 +121,14 @@ impl MonteCarlo {
         let slots = Mutex::new(&mut slots);
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
+            for w in 0..threads {
+                // Shared state is captured by reference; only the worker
+                // index moves into the closure (it names the trace track).
+                let f = &f;
+                let (tracer, progress) = (&tracer, &progress);
+                let (h_run, h_busy) = (&h_run, &h_busy);
+                let (slots, cursor) = (&slots, &cursor);
+                scope.spawn(move || {
                     let mut busy = 0.0f64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -114,25 +136,31 @@ impl MonteCarlo {
                             break;
                         }
                         let mut rng = self.rng_for_run(i);
-                        let value = match &h_run {
-                            Some(h) => {
-                                let t0 = Instant::now();
-                                let value = f(i, &mut rng);
-                                let dt = t0.elapsed().as_secs_f64();
+                        let mut run_span = tracer.span(Track::McWorker(w as u16), "run");
+                        run_span.arg(Arg::u64("run", i as u64));
+                        let value = if timed {
+                            let t0 = Instant::now();
+                            let value = f(i, &mut rng);
+                            let dt = t0.elapsed().as_secs_f64();
+                            if let Some(h) = h_run {
                                 h.record(dt);
-                                busy += dt;
-                                value
                             }
-                            None => f(i, &mut rng),
+                            busy += dt;
+                            progress.tick(dt);
+                            value
+                        } else {
+                            f(i, &mut rng)
                         };
+                        drop(run_span);
                         slots.lock()[i] = Some(value);
                     }
-                    if let Some(h) = &h_busy {
+                    if let Some(h) = h_busy {
                         h.record(busy);
                     }
                 });
             }
         });
+        progress.finish();
         campaign_span.finish();
         slots
             .into_inner()
@@ -154,15 +182,34 @@ impl MonteCarlo {
         E: Send + std::fmt::Display,
         F: Fn(usize, &mut StdRng) -> Result<T, E> + Sync,
     {
-        let out = self.run(f);
+        // The wrapper feeds the live progress line its failure count the
+        // moment a run errors; the closure stays opaque to `run` otherwise.
+        let out = self.run(|i, rng| {
+            let r = f(i, rng);
+            if r.is_err() {
+                crate::progress::note_failure();
+            }
+            r
+        });
         let tel = Telemetry::global();
-        if tel.is_enabled() {
+        let tracer = Tracer::global();
+        if tel.is_enabled() || tracer.is_enabled() {
             for (i, r) in out.iter().enumerate() {
                 if let Err(e) = r {
-                    tel.incr("mc.engine.convergence_failures");
-                    tel.note(
-                        "mc.engine.failed_run",
-                        format!("run {i} seed {:#018x}: {e}", self.seed_for_run(i)),
+                    if tel.is_enabled() {
+                        tel.incr("mc.engine.convergence_failures");
+                        tel.note(
+                            "mc.engine.failed_run",
+                            format!("run {i} seed {:#018x}: {e}", self.seed_for_run(i)),
+                        );
+                    }
+                    tracer.instant(
+                        Track::Mc,
+                        "run_failed",
+                        &[
+                            Arg::u64("run", i as u64),
+                            Arg::u64("seed", self.seed_for_run(i)),
+                        ],
                     );
                 }
             }

@@ -26,4 +26,7 @@ pub mod convergence;
 pub mod corners;
 pub mod dist;
 pub mod engine;
+pub mod progress;
 pub mod sweep;
+
+pub use engine::MonteCarlo;

@@ -1,0 +1,156 @@
+//! Live campaign progress reporting.
+//!
+//! When enabled (`--progress` on the bench CLIs, or `OXTERM_PROGRESS=1`),
+//! the Monte Carlo engine prints a throttled status line to stderr while a
+//! campaign runs: runs done/total, throughput, ETA, worker utilization and
+//! the live convergence-failure count. The reporter is allocation-free on
+//! the per-run path and costs one atomic increment plus a `try_lock` per
+//! tick; when disabled it is a single branch.
+//!
+//! Failure counting is process-global ([`note_failure`]) because the
+//! fallible closure handed to [`MonteCarlo::try_run`] is opaque to the
+//! engine mid-flight. [`CampaignProgress::start`] resets the counter, which
+//! is correct for the sequential campaigns the bench binaries run.
+//!
+//! [`MonteCarlo::try_run`]: crate::MonteCarlo::try_run
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Minimum wall time between status lines.
+const THROTTLE: Duration = Duration::from_millis(500);
+
+static FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// Records one failed run for the live status line.
+///
+/// Called by [`MonteCarlo::try_run`] the moment a run returns `Err`, so the
+/// failure count on the progress line is current rather than post-hoc.
+///
+/// [`MonteCarlo::try_run`]: crate::MonteCarlo::try_run
+pub fn note_failure() {
+    FAILURES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Per-campaign progress state shared across worker threads.
+#[derive(Debug)]
+pub struct CampaignProgress {
+    enabled: bool,
+    total: usize,
+    threads: usize,
+    done: AtomicUsize,
+    busy_ns: AtomicU64,
+    started: Instant,
+    last_print: Mutex<Instant>,
+}
+
+impl CampaignProgress {
+    /// Starts tracking a campaign of `total` runs on `threads` workers.
+    ///
+    /// Resets the global failure counter; reporting is active only when the
+    /// process-wide progress switch is on.
+    pub fn start(total: usize, threads: usize) -> Self {
+        FAILURES.store(0, Ordering::Relaxed);
+        let now = Instant::now();
+        CampaignProgress {
+            enabled: oxterm_telemetry::progress::enabled(),
+            total,
+            threads: threads.max(1),
+            done: AtomicUsize::new(0),
+            busy_ns: AtomicU64::new(0),
+            started: now,
+            // Backdate so the first completed run may print immediately.
+            last_print: Mutex::new(now.checked_sub(THROTTLE).unwrap_or(now)),
+        }
+    }
+
+    /// Whether status lines will be printed (callers use this to decide
+    /// whether per-run timing is worth taking).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one completed run taking `run_seconds` of worker time.
+    ///
+    /// Pass `0.0` when the caller did not time the run; utilization then
+    /// reads low rather than wrong.
+    pub fn tick(&self, run_seconds: f64) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if run_seconds > 0.0 {
+            self.busy_ns
+                .fetch_add((run_seconds * 1e9) as u64, Ordering::Relaxed);
+        }
+        // Throttled print: whichever worker wins the try_lock checks the
+        // clock; everyone else skips without blocking.
+        if let Some(mut last) = self.last_print.try_lock() {
+            if last.elapsed() >= THROTTLE {
+                *last = Instant::now();
+                drop(last);
+                self.print_line(done, false);
+            }
+        }
+    }
+
+    /// Prints the final status line (always, if enabled), flushing the
+    /// counts the throttle may have swallowed.
+    pub fn finish(&self) {
+        if !self.enabled {
+            return;
+        }
+        self.print_line(self.done.load(Ordering::Relaxed), true);
+    }
+
+    fn print_line(&self, done: usize, last: bool) {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = done as f64 / elapsed;
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            100.0 * done as f64 / self.total as f64
+        };
+        let eta = if done == 0 || done >= self.total {
+            0.0
+        } else {
+            (self.total - done) as f64 / rate
+        };
+        let busy = self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
+        let util = 100.0 * busy / (elapsed * self.threads as f64);
+        let failures = FAILURES.load(Ordering::Relaxed);
+        let tag = if last { "done" } else { "eta" };
+        let eta_s = if last { elapsed } else { eta };
+        eprintln!(
+            "mc: {done}/{total} ({pct:.1}%) | {rate:.1} runs/s | {tag} {eta_s:.1}s | \
+             util {util:.0}% | failures {failures}",
+            total = self.total,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_progress_is_inert() {
+        // The process-wide switch defaults to off in tests, so ticks must
+        // be no-ops and the counters must stay untouched by printing.
+        let p = CampaignProgress::start(10, 4);
+        assert!(!p.is_enabled());
+        p.tick(0.5);
+        p.finish();
+        assert_eq!(p.done.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn failures_reset_per_campaign() {
+        note_failure();
+        note_failure();
+        assert!(FAILURES.load(Ordering::Relaxed) >= 2);
+        let _p = CampaignProgress::start(5, 1);
+        assert_eq!(FAILURES.load(Ordering::Relaxed), 0);
+    }
+}

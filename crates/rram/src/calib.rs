@@ -19,7 +19,7 @@ use oxterm_numerics::roots::{newton_bisect, RootOptions};
 use crate::model;
 use crate::params::{InstanceVariation, OxramParams};
 use crate::RramError;
-use oxterm_telemetry::Telemetry;
+use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
 
 /// Conditions for a current-terminated RESET operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,6 +112,10 @@ pub fn simulate_reset_termination(
     }
     let tel = Telemetry::global();
     tel.incr("rram.termination.runs");
+    // One span per fast-path terminated RESET: the Monte Carlo volume
+    // driver, so the trace shows what each worker is chewing on.
+    let mut trace_span = Tracer::global().span(Track::Program, "reset_fast");
+    trace_span.arg(Arg::f64("i_ref_a", cond.i_ref));
     let mut rho = cond.rho_start;
     let mut t = 0.0;
     let mut energy = 0.0;
@@ -142,6 +146,8 @@ pub fn simulate_reset_termination(
                     (cond.i_ref - i) / cond.i_ref,
                 );
             }
+            trace_span.arg(Arg::u64("steps", steps));
+            trace_span.arg(Arg::f64("latency_sim_s", latency.max(0.0)));
             return Ok(TerminationOutcome {
                 rho_final: rho,
                 r_read_ohms: model::read_resistance(params, inst, rho, cond.v_read),
@@ -152,6 +158,11 @@ pub fn simulate_reset_termination(
         }
         if t >= cond.t_max {
             tel.incr("rram.termination.not_terminated");
+            Tracer::global().instant(
+                Track::Program,
+                "not_terminated",
+                &[Arg::f64("i_ref_a", cond.i_ref), Arg::f64("i_final_a", i)],
+            );
             return Err(RramError::NotTerminated {
                 i_ref: cond.i_ref,
                 t_max: cond.t_max,

@@ -1,6 +1,6 @@
 //! DC operating-point analysis with gmin and source stepping fallbacks.
 
-use oxterm_telemetry::Telemetry;
+use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
 
 use crate::analysis::{newton_solve, NewtonOutcome};
 use crate::circuit::Circuit;
@@ -75,6 +75,9 @@ pub fn solve_op_from(
     if gmin_ok {
         if let Ok(out) = newton_solve(circuit, &x, &state, AnalysisKind::Dc, 1.0, sim.gmin, sim) {
             tel.incr("spice.op.gmin_recoveries");
+            // Convergence-aid escalation: the direct solve failed and gmin
+            // stepping rescued it — worth a mark on the solver timeline.
+            Tracer::global().instant(Track::Solver, "gmin_recovery", &[]);
             return Ok(Solution::new(out.x, nn));
         }
     }
@@ -99,6 +102,11 @@ pub fn solve_op_from(
                 last_err = e.to_string();
                 if failures > 40 || step < 1e-6 {
                     tel.incr("spice.op.failures");
+                    Tracer::global().instant(
+                        Track::Solver,
+                        "op_failure",
+                        &[Arg::u64("failures", failures as u64)],
+                    );
                     return Err(SpiceError::NoConvergence {
                         analysis: "op",
                         time: 0.0,
@@ -111,5 +119,6 @@ pub fn solve_op_from(
         }
     }
     tel.incr("spice.op.source_recoveries");
+    Tracer::global().instant(Track::Solver, "source_recovery", &[]);
     Ok(Solution::new(x, nn))
 }

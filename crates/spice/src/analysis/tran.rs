@@ -7,7 +7,7 @@
 //! rejection via [`MonitorAction::RedoWithDt`] lets monitors bisect onto a
 //! crossing with sub-step precision.
 
-use oxterm_telemetry::Telemetry;
+use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
 
 use crate::analysis::{newton_solve, op::solve_op, NewtonOutcome};
 use crate::circuit::{Circuit, ElementId, NodeId};
@@ -175,6 +175,12 @@ pub fn run_transient(
     let c_rej_dv = tel.counter("spice.tran.steps_rejected_dv");
     let c_redo = tel.counter("spice.tran.monitor_redos");
     let h_iters = tel.histogram("spice.tran.newton_iters");
+    // Flight recorder: the whole run is one span on the solver track;
+    // every accepted step, rejection, and monitor redo is an instant
+    // carrying the *simulated* time in its args.
+    let tracer = Tracer::global();
+    let mut tran_span = tracer.span(Track::Solver, "tran");
+    tran_span.arg(Arg::f64("t_stop_s", opts.t_stop));
     let op = solve_op(circuit, &OpOptions { sim })?;
     let mut state = circuit.initial_state();
     prime_states(circuit, op.as_slice(), &mut state, opts);
@@ -240,6 +246,11 @@ pub fn run_transient(
                     if let Some(c) = &c_rej_newton {
                         c.incr();
                     }
+                    tracer.instant(
+                        Track::Solver,
+                        "reject_newton",
+                        &[Arg::f64("t_sim_s", t + dt_try), Arg::f64("dt_s", dt_try)],
+                    );
                     dt_try *= 0.5;
                     if dt_try < opts.dt_min {
                         return Err(SpiceError::TimestepTooSmall {
@@ -262,6 +273,11 @@ pub fn run_transient(
                 if let Some(c) = &c_rej_dv {
                     c.incr();
                 }
+                tracer.instant(
+                    Track::Solver,
+                    "reject_dv",
+                    &[Arg::f64("t_sim_s", t + dt_try), Arg::f64("dv", dv)],
+                );
                 dt_try *= 0.5;
                 continue;
             }
@@ -289,6 +305,11 @@ pub fn run_transient(
                 if let Some(c) = &c_redo {
                     c.incr();
                 }
+                tracer.instant(
+                    Track::Solver,
+                    "monitor_redo",
+                    &[Arg::f64("t_sim_s", t + dt_try), Arg::f64("dt_redo_s", d)],
+                );
                 let d = if d >= dt_try { dt_try * 0.5 } else { d };
                 dt_try = d.max(opts.dt_min);
                 continue;
@@ -308,6 +329,15 @@ pub fn run_transient(
             if let Some(h) = &h_iters {
                 h.record(iters as f64);
             }
+            tracer.instant(
+                Track::Solver,
+                "step",
+                &[
+                    Arg::f64("t_sim_s", t),
+                    Arg::f64("dt_s", dt_try),
+                    Arg::u64("newton_iters", iters as u64),
+                ],
+            );
 
             // Step-size adaptation.
             dt = if iters <= 10 {
@@ -318,12 +348,18 @@ pub fn run_transient(
 
             if action == MonitorAction::Stop {
                 result.stopped_early = true;
+                tran_span.arg(Arg::u64("steps_accepted", accepted as u64));
+                tran_span.arg(Arg::f64("t_end_sim_s", t));
+                tran_span.finish();
                 run_span.finish();
                 return Ok(result);
             }
             break;
         }
     }
+    tran_span.arg(Arg::u64("steps_accepted", accepted as u64));
+    tran_span.arg(Arg::f64("t_end_sim_s", t));
+    tran_span.finish();
     run_span.finish();
     Ok(result)
 }

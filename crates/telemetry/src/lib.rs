@@ -19,6 +19,14 @@
 //! `spice.newton.iterations` or `mc.engine.run_seconds` (see DESIGN.md,
 //! "Observability").
 //!
+//! Aggregates answer *how much*; the flight recorder in [`trace`] answers
+//! *when*: a bounded ring of timestamped [`TraceEvent`]s (spans and
+//! instants per [`Track`]) exportable to Chrome trace-event JSON for
+//! Perfetto or an ASCII timeline ([`trace_export`]). [`Tracer`] mirrors
+//! the [`Telemetry`] handle pattern — disabled is one branch, installed
+//! per process. [`progress`] owns the opt-in switch for live Monte Carlo
+//! campaign progress on stderr.
+//!
 //! # Handles
 //!
 //! [`Telemetry`] is a cheap `Arc` wrapper, cloned freely into workers.
@@ -47,9 +55,12 @@
 mod counter;
 mod histogram;
 mod json;
+pub mod progress;
 mod registry;
 mod report;
 mod span;
+pub mod trace;
+pub mod trace_export;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
@@ -57,6 +68,7 @@ pub use json::JsonWriter;
 pub use registry::Registry;
 pub use report::RunReport;
 pub use span::Span;
+pub use trace::{Arg, ArgValue, EventKind, TraceEvent, TraceSnapshot, TraceSpan, Tracer, Track};
 
 use std::sync::{Arc, OnceLock};
 

@@ -1,0 +1,583 @@
+//! Flight-recorder event tracing.
+//!
+//! Where the metric registry answers *how much* (counts, quantiles), the
+//! tracer answers *when*: a bounded, mutex-sharded ring buffer of
+//! timestamped structured events that can be replayed as a timeline after
+//! the run. The design constraints mirror [`crate::Telemetry`]:
+//!
+//! 1. **Free when off.** A disabled [`Tracer`] is a `None`; every emit is
+//!    one branch and allocates nothing (argument lists are borrowed stack
+//!    slices, only copied to the heap once a recorder is known to exist).
+//! 2. **Bounded when on.** Events land in one of a fixed set of
+//!    mutex-sharded rings (threads hash to shards, so Monte Carlo workers
+//!    rarely contend); each ring drops its *oldest* event on overflow —
+//!    flight-recorder semantics — and every drop is counted per track so
+//!    the run report can state exactly what was lost.
+//! 3. **Structured at the end.** [`Tracer::snapshot`] merges the shards
+//!    into a time-sorted [`TraceSnapshot`] that exports to Chrome
+//!    trace-event JSON (Perfetto / `chrome://tracing`) or an ASCII
+//!    timeline (see [`crate::trace_export`]).
+//!
+//! Events carry two clocks: `ts_ns`/`dur_ns` are *wall* nanoseconds since
+//! the tracer was created (what the viewer's x-axis shows), while the
+//! *simulated* time of solver/termination events rides in [`TraceEvent::args`]
+//! (`t_sim_s`), so a viewer can correlate "2.6 µs into the RESET pulse"
+//! with "0.8 ms into the process".
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of independent ring shards; threads hash onto these, so up to
+/// this many emitters record without lock contention.
+const N_SHARDS: usize = 16;
+
+/// Default total event capacity of an enabled tracer.
+const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Logical timeline an event belongs to; one viewer track each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// Transient/Newton solver: timestep accepts and rejections,
+    /// convergence-aid escalations.
+    Solver,
+    /// Write termination and MLC programming: pulse spans, comparator
+    /// trips, chops, bisection steps, per-level program ops.
+    Program,
+    /// Monte Carlo engine lifecycle (campaign spans, failed-run seeds).
+    Mc,
+    /// One Monte Carlo worker thread (run spans).
+    McWorker(u16),
+    /// Device-model events (state clamps, overflow guards).
+    Model,
+    /// Experiment-binary top level.
+    Bench,
+}
+
+impl Track {
+    /// Stable class name: what drop accounting and the ASCII renderer key
+    /// on. All workers share the `mc.worker` class.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Track::Solver => "solver",
+            Track::Program => "program",
+            Track::Mc => "mc",
+            Track::McWorker(_) => "mc.worker",
+            Track::Model => "model",
+            Track::Bench => "bench",
+        }
+    }
+
+    /// Display label (workers are numbered).
+    pub fn label(&self) -> String {
+        match self {
+            Track::McWorker(w) => format!("mc.worker{w}"),
+            t => t.class().to_string(),
+        }
+    }
+
+    /// Stable Chrome-trace thread id for this track.
+    pub fn tid(&self) -> u32 {
+        match self {
+            Track::Bench => 1,
+            Track::Solver => 2,
+            Track::Program => 3,
+            Track::Model => 4,
+            Track::Mc => 5,
+            Track::McWorker(w) => 16 + u32::from(*w),
+        }
+    }
+
+    fn class_index(&self) -> usize {
+        match self {
+            Track::Solver => 0,
+            Track::Program => 1,
+            Track::Mc => 2,
+            Track::McWorker(_) => 3,
+            Track::Model => 4,
+            Track::Bench => 5,
+        }
+    }
+}
+
+/// The track classes in [`Track::class_index`] order.
+pub(crate) const TRACK_CLASSES: [&str; 6] =
+    ["solver", "program", "mc", "mc.worker", "model", "bench"];
+
+/// A typed event-argument value (no serde; maps onto JSON directly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// A float (simulated times, currents, …). Non-finite serializes as
+    /// `null`.
+    F64(f64),
+    /// An unsigned integer (indices, seeds, counts).
+    U64(u64),
+}
+
+/// One named event argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arg {
+    /// Argument key (static so the emit path never allocates for keys).
+    pub key: &'static str,
+    /// Argument value.
+    pub value: ArgValue,
+}
+
+impl Arg {
+    /// A float argument.
+    pub const fn f64(key: &'static str, value: f64) -> Self {
+        Arg {
+            key,
+            value: ArgValue::F64(value),
+        }
+    }
+
+    /// An unsigned-integer argument.
+    pub const fn u64(key: &'static str, value: u64) -> Self {
+        Arg {
+            key,
+            value: ArgValue::U64(value),
+        }
+    }
+}
+
+/// What shape of event this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration (`ts_ns` .. `ts_ns + dur_ns`), from a scoped
+    /// [`TraceSpan`].
+    Span,
+    /// A point in time (`dur_ns == 0`).
+    Instant,
+}
+
+/// One recorded flight-recorder event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Start time: wall nanoseconds since the tracer was created.
+    pub ts_ns: u64,
+    /// Duration in wall nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// The timeline this event belongs to.
+    pub track: Track,
+    /// Event name (static: emitters never allocate for names).
+    pub name: &'static str,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Structured arguments (e.g. `t_sim_s` carrying simulated time).
+    pub args: Vec<Arg>,
+}
+
+/// One bounded drop-oldest ring.
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent) -> Option<Track> {
+        let mut dropped = None;
+        if self.buf.len() >= self.cap {
+            dropped = self.buf.pop_front().map(|old| old.track);
+        }
+        self.buf.push_back(ev);
+        dropped
+    }
+}
+
+/// The enabled recorder state shared by all clones of a [`Tracer`].
+#[derive(Debug)]
+pub struct TraceSink {
+    origin: Instant,
+    shards: Vec<Mutex<Ring>>,
+    /// Dropped-event counts per track class ([`TRACK_CLASSES`] order).
+    dropped: [AtomicU64; 6],
+    emitted: AtomicU64,
+}
+
+/// Assigns each thread a stable shard index round-robin.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+impl TraceSink {
+    fn new(capacity: usize) -> Self {
+        let per_shard = (capacity / N_SHARDS).max(64);
+        TraceSink {
+            origin: Instant::now(),
+            shards: (0..N_SHARDS)
+                .map(|_| {
+                    Mutex::new(Ring {
+                        buf: VecDeque::with_capacity(per_shard.min(1024)),
+                        cap: per_shard,
+                    })
+                })
+                .collect(),
+            dropped: Default::default(),
+            emitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Wall nanoseconds since the tracer was created.
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[shard_index()];
+        let dropped = shard.lock().expect("trace shard lock").push(ev);
+        if let Some(track) = dropped {
+            self.dropped[track.class_index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time merge of every shard, time-sorted; what the exporters
+/// consume.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// All retained events, sorted by `ts_ns` (ties keep shard order).
+    pub events: Vec<TraceEvent>,
+    /// Dropped-event counts per track class, only classes that lost
+    /// events, in [`TRACK_CLASSES`] order.
+    pub dropped: Vec<(&'static str, u64)>,
+    /// Total events ever emitted (retained + dropped).
+    pub emitted: u64,
+}
+
+impl TraceSnapshot {
+    /// Total events lost to ring overflow.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The distinct tracks present, in a stable order.
+    pub fn tracks(&self) -> Vec<Track> {
+        let mut tracks: Vec<Track> = Vec::new();
+        for ev in &self.events {
+            if !tracks.contains(&ev.track) {
+                tracks.push(ev.track);
+            }
+        }
+        tracks.sort_by_key(|t| t.tid());
+        tracks
+    }
+
+    /// End of the observed window: max `ts + dur` over all events (ns).
+    pub fn end_ns(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.ts_ns + e.dur_ns)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// A cheap, cloneable tracing handle; `None` inside means disabled and
+/// every emit is a no-op costing one branch.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TraceSink>>,
+}
+
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+static DISABLED: Tracer = Tracer { inner: None };
+
+impl Tracer {
+    /// A disabled handle: all emits are no-ops.
+    pub const fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A fresh enabled recorder with the default event capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A fresh enabled recorder bounded at roughly `capacity` events
+    /// (split across shards, min 64 per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            inner: Some(Arc::new(TraceSink::new(capacity))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The process-global tracer used by library emit points. Disabled
+    /// until a binary calls [`Tracer::install`] before starting work.
+    #[inline]
+    pub fn global() -> &'static Tracer {
+        GLOBAL.get().unwrap_or(&DISABLED)
+    }
+
+    /// Installs `tracer` as the process-global handle. First call wins;
+    /// returns `false` if one was already installed.
+    pub fn install(tracer: Tracer) -> bool {
+        GLOBAL.set(tracer).is_ok()
+    }
+
+    /// Emits an instant event. `args` is borrowed: nothing is copied (or
+    /// allocated) unless this handle is enabled.
+    #[inline]
+    pub fn instant(&self, track: Track, name: &'static str, args: &[Arg]) {
+        if let Some(sink) = &self.inner {
+            let ts_ns = sink.now_ns();
+            sink.push(TraceEvent {
+                ts_ns,
+                dur_ns: 0,
+                track,
+                name,
+                kind: EventKind::Instant,
+                args: args.to_vec(),
+            });
+        }
+    }
+
+    /// Starts a scoped span; the event is recorded when the guard drops
+    /// (or at [`TraceSpan::finish`]). Disabled handles return an inert
+    /// guard without allocating.
+    #[inline]
+    pub fn span(&self, track: Track, name: &'static str) -> TraceSpan {
+        match &self.inner {
+            Some(sink) => TraceSpan {
+                inner: Some(SpanInner {
+                    sink: Arc::clone(sink),
+                    track,
+                    name,
+                    start_ns: sink.now_ns(),
+                    args: Vec::new(),
+                }),
+            },
+            None => TraceSpan { inner: None },
+        }
+    }
+
+    /// Merges every shard into a time-sorted snapshot. The recorder keeps
+    /// running; this copies, it does not drain.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let Some(sink) = &self.inner else {
+            return TraceSnapshot::default();
+        };
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for shard in &sink.shards {
+            events.extend(shard.lock().expect("trace shard lock").buf.iter().cloned());
+        }
+        events.sort_by_key(|e| e.ts_ns);
+        let dropped = TRACK_CLASSES
+            .iter()
+            .enumerate()
+            .filter_map(|(i, class)| {
+                let n = sink.dropped[i].load(Ordering::Relaxed);
+                (n > 0).then_some((*class, n))
+            })
+            .collect();
+        TraceSnapshot {
+            events,
+            dropped,
+            emitted: sink.emitted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    sink: Arc<TraceSink>,
+    track: Track,
+    name: &'static str,
+    start_ns: u64,
+    args: Vec<Arg>,
+}
+
+/// RAII guard for a span event; records on drop.
+#[derive(Debug)]
+#[must_use = "a span records when dropped; binding to _ drops immediately"]
+pub struct TraceSpan {
+    inner: Option<SpanInner>,
+}
+
+impl TraceSpan {
+    /// An inert span (what a disabled tracer hands out).
+    pub const fn noop() -> Self {
+        TraceSpan { inner: None }
+    }
+
+    /// Whether this span will record on drop.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches an argument to the eventual span event (no-op when
+    /// inert). Args attached late still export — the event is only built
+    /// at drop.
+    #[inline]
+    pub fn arg(&mut self, arg: Arg) {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push(arg);
+        }
+    }
+
+    /// Ends the span now instead of at scope exit.
+    pub fn finish(mut self) {
+        self.record_now();
+    }
+
+    fn record_now(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let end = inner.sink.now_ns();
+            inner.sink.push(TraceEvent {
+                ts_ns: inner.start_ns,
+                dur_ns: end.saturating_sub(inner.start_ns),
+                track: inner.track,
+                name: inner.name,
+                kind: EventKind::Span,
+                args: inner.args,
+            });
+        }
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.record_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_a_full_noop() {
+        let tr = Tracer::disabled();
+        assert!(!tr.is_enabled());
+        tr.instant(Track::Solver, "x", &[Arg::f64("a", 1.0)]);
+        let mut s = tr.span(Track::Program, "y");
+        assert!(!s.is_active());
+        s.arg(Arg::u64("b", 2));
+        drop(s);
+        let snap = tr.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.emitted, 0);
+        assert_eq!(snap.total_dropped(), 0);
+    }
+
+    #[test]
+    fn instants_and_spans_are_recorded_in_time_order() {
+        let tr = Tracer::enabled();
+        tr.instant(Track::Solver, "first", &[]);
+        {
+            let mut s = tr.span(Track::Program, "work");
+            s.arg(Arg::f64("t_sim_s", 2.6e-6));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        tr.instant(Track::Model, "last", &[Arg::u64("n", 3)]);
+        let snap = tr.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.emitted, 3);
+        for w in snap.events.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+        let span = snap
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Span)
+            .unwrap();
+        assert_eq!(span.name, "work");
+        assert!(span.dur_ns >= 1_000_000, "dur {}", span.dur_ns);
+        assert_eq!(span.args, vec![Arg::f64("t_sim_s", 2.6e-6)]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_per_track() {
+        // Tiny capacity: 64 per shard min; one thread uses one shard.
+        let tr = Tracer::with_capacity(0);
+        for i in 0..100u64 {
+            tr.instant(Track::Solver, "step", &[Arg::u64("i", i)]);
+        }
+        tr.instant(Track::Model, "clamp", &[]);
+        let snap = tr.snapshot();
+        // 101 events into a 64-slot shard: 37 oldest dropped.
+        assert_eq!(snap.events.len(), 64);
+        assert_eq!(snap.emitted, 101);
+        assert_eq!(snap.dropped, vec![("solver", 37)]);
+        // The survivors are the *newest*: the first retained solver event
+        // is i = 37 and the model instant survived at the tail.
+        let first = snap
+            .events
+            .iter()
+            .find(|e| e.track == Track::Solver)
+            .unwrap();
+        assert_eq!(first.args, vec![Arg::u64("i", 37)]);
+        assert!(snap.events.iter().any(|e| e.track == Track::Model));
+    }
+
+    #[test]
+    fn concurrent_emitters_lose_nothing_under_capacity() {
+        let tr = Tracer::enabled();
+        std::thread::scope(|scope| {
+            for w in 0..8u16 {
+                let tr = tr.clone();
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        tr.instant(Track::McWorker(w), "run", &[Arg::u64("i", i)]);
+                    }
+                });
+            }
+        });
+        let snap = tr.snapshot();
+        assert_eq!(snap.events.len(), 4000);
+        assert_eq!(snap.total_dropped(), 0);
+        // All eight worker tracks present, time-sorted.
+        assert_eq!(snap.tracks().len(), 8, "tracks: {:?}", snap.tracks());
+        for w in snap.events.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn track_identities_are_stable_and_distinct() {
+        let tracks = [
+            Track::Bench,
+            Track::Solver,
+            Track::Program,
+            Track::Model,
+            Track::Mc,
+            Track::McWorker(0),
+            Track::McWorker(7),
+        ];
+        let mut tids: Vec<u32> = tracks.iter().map(Track::tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), tracks.len());
+        assert_eq!(Track::McWorker(3).label(), "mc.worker3");
+        assert_eq!(Track::McWorker(3).class(), "mc.worker");
+        assert_eq!(Track::Solver.label(), "solver");
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let tr = Tracer::enabled();
+        let other = tr.clone();
+        tr.instant(Track::Bench, "a", &[]);
+        other.instant(Track::Bench, "b", &[]);
+        assert_eq!(tr.snapshot().events.len(), 2);
+    }
+
+    #[test]
+    fn global_defaults_to_disabled() {
+        // Never install in unit tests: the global is process-wide.
+        assert!(!Tracer::global().is_enabled() || GLOBAL.get().is_some());
+    }
+}

@@ -1,0 +1,289 @@
+//! Trace exporters: Chrome trace-event JSON and an ASCII timeline.
+//!
+//! The JSON form follows the Chrome trace-event format (the "JSON Array
+//! Format" wrapped in an object), which loads directly in Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`: complete events
+//! (`"ph":"X"`) for spans, thread-scoped instants (`"ph":"i"`), and
+//! `thread_name` metadata mapping each [`Track`] onto its own timeline
+//! row. Timestamps are microseconds (floats), straight from the event's
+//! wall-clock `ts_ns`; simulated time stays in `args`.
+//!
+//! The ASCII form is the terminal-only triage view: one lane per track
+//! over the observed wall window, `=` where a span covers the column,
+//! `o` where an instant lands, plus a key-event list and the dropped
+//! counts (never silently truncated).
+
+use crate::json::JsonWriter;
+use crate::trace::{ArgValue, EventKind, TraceEvent, TraceSnapshot};
+
+impl TraceSnapshot {
+    /// Serializes the snapshot as Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.string("displayTimeUnit", "ns");
+        w.begin_array_key("traceEvents");
+        // Metadata: name the process and one "thread" per track.
+        meta_event(&mut w, 0, "process_name", "oxterm");
+        for track in self.tracks() {
+            meta_event(&mut w, track.tid(), "thread_name", &track.label());
+        }
+        for ev in &self.events {
+            event_json(&mut w, ev);
+        }
+        w.end_array();
+        // Extra top-level data is allowed by the format; record the drop
+        // accounting so a viewed trace is honest about truncation.
+        w.begin_object_key("otherData");
+        w.u64("emitted", self.emitted);
+        w.u64("dropped", self.total_dropped());
+        for (class, n) in &self.dropped {
+            w.u64(&format!("dropped.{class}"), *n);
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Renders the snapshot as an ASCII timeline, `width` columns of
+    /// lane (clamped to at least 20).
+    pub fn to_ascii(&self, width: usize) -> String {
+        let width = width.max(20);
+        let mut out = String::new();
+        if self.events.is_empty() {
+            out.push_str("trace: no events recorded\n");
+            return out;
+        }
+        let end_ns = self.end_ns().max(1);
+        out.push_str(&format!(
+            "trace: {} events on {} tracks over {} wall ({} emitted, {} dropped)\n",
+            self.events.len(),
+            self.tracks().len(),
+            fmt_ns(end_ns),
+            self.emitted,
+            self.total_dropped(),
+        ));
+        let tracks = self.tracks();
+        let label_w = tracks
+            .iter()
+            .map(|t| t.label().len())
+            .max()
+            .unwrap_or(0)
+            .max("track".len());
+        let col_ns = (end_ns as f64 / width as f64).max(1.0);
+        for track in &tracks {
+            let mut lane = vec![' '; width];
+            let mut n_events = 0usize;
+            for ev in self.events.iter().filter(|e| e.track == *track) {
+                n_events += 1;
+                let c0 = ((ev.ts_ns as f64 / col_ns) as usize).min(width - 1);
+                match ev.kind {
+                    EventKind::Span => {
+                        let c1 = (((ev.ts_ns + ev.dur_ns) as f64 / col_ns) as usize).min(width - 1);
+                        for cell in lane.iter_mut().take(c1 + 1).skip(c0) {
+                            if *cell == ' ' {
+                                *cell = '=';
+                            }
+                        }
+                    }
+                    EventKind::Instant => lane[c0] = 'o',
+                }
+            }
+            out.push_str(&format!(
+                "{:<label_w$} |{}| {} ev\n",
+                track.label(),
+                lane.iter().collect::<String>(),
+                n_events,
+            ));
+        }
+        out.push_str(&format!(
+            "{:<label_w$} |{:<width$}|\n",
+            "",
+            format!(
+                "0 .. {} (1 col = {})",
+                fmt_ns(end_ns),
+                fmt_ns(col_ns as u64)
+            ),
+        ));
+        // Key instants: comparator trips and friends, oldest first.
+        let instants: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Instant)
+            .collect();
+        if !instants.is_empty() {
+            out.push_str("key instants:\n");
+            let shown = instants.len().min(12);
+            for ev in &instants[..shown] {
+                out.push_str(&format!(
+                    "  o {:<10} {:<18} @ {:>10}{}\n",
+                    ev.track.label(),
+                    ev.name,
+                    fmt_ns(ev.ts_ns),
+                    fmt_args(&ev.args),
+                ));
+            }
+            if instants.len() > shown {
+                out.push_str(&format!("  ... {} more instants\n", instants.len() - shown));
+            }
+        }
+        for (class, n) in &self.dropped {
+            out.push_str(&format!(
+                "dropped: {n} events lost on track class '{class}' (ring overflow)\n"
+            ));
+        }
+        out
+    }
+}
+
+fn meta_event(w: &mut JsonWriter, tid: u32, kind: &str, name: &str) {
+    w.begin_object();
+    w.string("ph", "M");
+    w.string("name", kind);
+    w.u64("pid", 1);
+    w.u64("tid", u64::from(tid));
+    w.begin_object_key("args");
+    w.string("name", name);
+    w.end_object();
+    w.end_object();
+}
+
+fn event_json(w: &mut JsonWriter, ev: &TraceEvent) {
+    w.begin_object();
+    w.string("name", ev.name);
+    w.string("cat", ev.track.class());
+    w.u64("pid", 1);
+    w.u64("tid", u64::from(ev.track.tid()));
+    w.f64("ts", ev.ts_ns as f64 / 1e3);
+    match ev.kind {
+        EventKind::Span => {
+            w.string("ph", "X");
+            w.f64("dur", ev.dur_ns as f64 / 1e3);
+        }
+        EventKind::Instant => {
+            w.string("ph", "i");
+            w.string("s", "t");
+        }
+    }
+    if !ev.args.is_empty() {
+        w.begin_object_key("args");
+        for arg in &ev.args {
+            match arg.value {
+                ArgValue::F64(v) => w.f64(arg.key, v),
+                ArgValue::U64(v) => w.u64(arg.key, v),
+            };
+        }
+        w.end_object();
+    }
+    w.end_object();
+}
+
+fn fmt_args(args: &[crate::trace::Arg]) -> String {
+    if args.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = args
+        .iter()
+        .map(|a| match a.value {
+            ArgValue::F64(v) => format!("{}={v:.4e}", a.key),
+            ArgValue::U64(v) => format!("{}={v}", a.key),
+        })
+        .collect();
+    format!("  [{}]", parts.join(", "))
+}
+
+/// Engineering-style wall-time formatting for the timeline.
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Arg, Tracer, Track};
+
+    fn sample() -> TraceSnapshot {
+        let tr = Tracer::enabled();
+        {
+            let mut s = tr.span(Track::Program, "reset_pulse");
+            s.arg(Arg::f64("i_ref_a", 10e-6));
+            tr.instant(
+                Track::Program,
+                "comparator_trip",
+                &[Arg::f64("t_sim_s", 2.6e-6)],
+            );
+            tr.instant(Track::Solver, "step", &[Arg::u64("iters", 3)]);
+        }
+        tr.snapshot()
+    }
+
+    #[test]
+    fn chrome_json_has_events_metadata_and_drop_accounting() {
+        let json = sample().to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains(r#""traceEvents":["#), "{json}");
+        // Thread-name metadata for both tracks.
+        assert!(json.contains(r#""name":"solver""#), "{json}");
+        assert!(json.contains(r#""name":"program""#), "{json}");
+        // Span exports as a complete event, instant as thread-scoped "i".
+        assert!(json.contains(r#""ph":"X""#), "{json}");
+        assert!(json.contains(r#""ph":"i""#), "{json}");
+        assert!(json.contains(r#""s":"t""#), "{json}");
+        assert!(json.contains(r#""comparator_trip""#), "{json}");
+        assert!(json.contains(r#""t_sim_s":2.6e-6"#), "{json}");
+        assert!(
+            json.contains(r#""otherData":{"emitted":3,"dropped":0}"#),
+            "{json}"
+        );
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn ascii_timeline_lists_every_track_and_drop() {
+        let tr = Tracer::with_capacity(0); // 64-slot shard
+        for i in 0..200u64 {
+            tr.instant(Track::Solver, "step", &[Arg::u64("i", i)]);
+        }
+        drop(tr.span(Track::Bench, "main"));
+        let text = tr.snapshot().to_ascii(60);
+        assert!(text.contains("solver"), "{text}");
+        assert!(text.contains("bench"), "{text}");
+        assert!(
+            text.contains("dropped: 137 events lost on track class 'solver'"),
+            "{text}"
+        );
+        assert!(text.contains("key instants:"), "{text}");
+        assert!(text.contains("more instants"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_cleanly() {
+        let snap = TraceSnapshot::default();
+        assert!(snap.to_ascii(60).contains("no events"));
+        let json = snap.to_chrome_json();
+        assert!(json.contains(r#""traceEvents":["#), "{json}");
+    }
+
+    #[test]
+    fn span_and_instant_timestamps_are_consistent() {
+        let snap = sample();
+        let end = snap.end_ns();
+        for ev in &snap.events {
+            assert!(ev.ts_ns + ev.dur_ns <= end);
+            if ev.kind == EventKind::Instant {
+                assert_eq!(ev.dur_ns, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The flight recorder under real workloads: Monte Carlo workers recording
+//! on separate tracks through the process-global tracer, a full circuit
+//! programming operation producing a multi-track timeline with the
+//! comparator trip inside the pulse span, and the Chrome trace-event JSON
+//! export holding up to structural validation.
+//!
+//! This binary owns its process, so installing the global [`Tracer`] here
+//! is fine (mirroring `tests/telemetry.rs`). The sink is shared by every
+//! test in the binary, so assertions use lower bounds or search for their
+//! own events rather than asserting exact totals.
+
+use oxterm_mc::engine::MonteCarlo;
+use oxterm_mlc::program::{program_cell_circuit, CircuitProgramOptions};
+use oxterm_telemetry::{EventKind, Tracer, Track};
+
+/// Installs an enabled global tracer exactly once and returns it.
+fn global() -> &'static Tracer {
+    Tracer::install(Tracer::enabled());
+    Tracer::global()
+}
+
+#[test]
+fn mc_workers_record_runs_on_separate_tracks() {
+    let tracer = global();
+    let campaign = MonteCarlo::new(64, 0x7ACE).with_threads(4);
+    // Each run takes ~1 ms so the atomic cursor actually spreads work over
+    // the pool (instant runs let one worker drain it before the rest spawn).
+    let out: Vec<u64> = campaign.run(|i, _| {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        i as u64
+    });
+    assert_eq!(out.len(), 64);
+
+    let snap = tracer.snapshot();
+    // The campaign span exists on the MC track and carries its shape. The
+    // sink is shared with the other tests' campaigns, so key on the seed.
+    let campaign_ev = snap
+        .events
+        .iter()
+        .find(|e| {
+            e.track == Track::Mc
+                && e.name == "campaign"
+                && e.kind == EventKind::Span
+                && e.args
+                    .iter()
+                    .any(|a| a.key == "seed" && a.value == oxterm_telemetry::ArgValue::U64(0x7ACE))
+        })
+        .expect("campaign span recorded");
+    assert!(campaign_ev
+        .args
+        .iter()
+        .any(|a| a.key == "runs" && a.value == oxterm_telemetry::ArgValue::U64(64)));
+    assert!(campaign_ev
+        .args
+        .iter()
+        .any(|a| a.key == "threads" && a.value == oxterm_telemetry::ArgValue::U64(4)));
+
+    // Run spans land on worker tracks; the atomic cursor spreads 64 runs
+    // over 4 workers, so at least two distinct worker tracks fire.
+    let worker_tracks: std::collections::BTreeSet<u16> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "run" && e.kind == EventKind::Span)
+        .filter_map(|e| match e.track {
+            Track::McWorker(w) => Some(w),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        worker_tracks.len() >= 2,
+        "expected multiple worker tracks, got {worker_tracks:?}"
+    );
+    let run_spans = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "run" && matches!(e.track, Track::McWorker(_)))
+        .count();
+    assert!(run_spans >= 64, "only {run_spans} run spans recorded");
+
+    // This campaign's 64 run spans all sit inside its span window (other
+    // tests' campaigns may interleave, so count containment, not totality).
+    let c0 = campaign_ev.ts_ns;
+    let c1 = campaign_ev.ts_ns + campaign_ev.dur_ns;
+    let contained = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "run" && matches!(e.track, Track::McWorker(_)))
+        .filter(|e| e.ts_ns >= c0 && e.ts_ns + e.dur_ns <= c1)
+        .count();
+    assert!(
+        contained >= 64,
+        "only {contained} run spans inside campaign"
+    );
+}
+
+#[test]
+fn failed_runs_emit_seed_instants_on_the_mc_track() {
+    let tracer = global();
+    let campaign = MonteCarlo::new(12, 0xFA11).with_threads(2);
+    let out: Vec<Result<usize, String>> = campaign.try_run(|i, _| {
+        if i == 5 {
+            Err("synthetic divergence".to_string())
+        } else {
+            Ok(i)
+        }
+    });
+    assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+    let snap = tracer.snapshot();
+    let failed = snap
+        .events
+        .iter()
+        .find(|e| {
+            e.track == Track::Mc
+                && e.name == "run_failed"
+                && e.args
+                    .iter()
+                    .any(|a| a.key == "run" && a.value == oxterm_telemetry::ArgValue::U64(5))
+        })
+        .expect("run_failed instant for run 5");
+    // The instant quotes the derived seed so the run can be replayed.
+    assert!(failed
+        .args
+        .iter()
+        .any(|a| a.key == "seed"
+            && a.value == oxterm_telemetry::ArgValue::U64(campaign.seed_for_run(5))));
+}
+
+#[test]
+fn circuit_program_produces_a_multi_track_timeline_with_trip_inside_pulse() {
+    let tracer = global();
+    let opts = CircuitProgramOptions::paper_fig10();
+    let out = program_cell_circuit(&opts, Some(10e-6)).expect("transient converges");
+    assert!(out.latency_s.is_some(), "termination fired");
+
+    let snap = tracer.snapshot();
+    let tracks = snap.tracks();
+    for want in [Track::Solver, Track::Program, Track::Model] {
+        assert!(tracks.contains(&want), "missing {want:?} in {tracks:?}");
+    }
+
+    // The comparator trip instant lies inside a program_circuit pulse span.
+    let trip = snap
+        .events
+        .iter()
+        .find(|e| e.name == "comparator_trip" && e.kind == EventKind::Instant)
+        .expect("comparator_trip recorded");
+    let inside = snap.events.iter().any(|e| {
+        e.name == "program_circuit"
+            && e.kind == EventKind::Span
+            && e.ts_ns <= trip.ts_ns
+            && trip.ts_ns <= e.ts_ns + e.dur_ns
+    });
+    assert!(inside, "trip at {} ns outside every pulse span", trip.ts_ns);
+
+    // Solver steps carry both clocks: wall ts plus simulated time in args.
+    let step = snap
+        .events
+        .iter()
+        .find(|e| e.track == Track::Solver && e.name == "step")
+        .expect("solver step instants recorded");
+    assert!(step.args.iter().any(|a| a.key == "t_sim_s"));
+}
+
+#[test]
+fn snapshot_timestamps_are_sane_and_sorted() {
+    let tracer = global();
+    // Make sure there is at least something in the sink.
+    tracer.instant(Track::Bench, "marker", &[]);
+    let snap = tracer.snapshot();
+    assert!(!snap.events.is_empty());
+    let end = snap.end_ns();
+    for w in snap.events.windows(2) {
+        assert!(w[0].ts_ns <= w[1].ts_ns, "events not time-sorted");
+    }
+    for ev in &snap.events {
+        assert!(ev.ts_ns + ev.dur_ns <= end);
+        if ev.kind == EventKind::Instant {
+            assert_eq!(ev.dur_ns, 0);
+        }
+    }
+    assert!(snap.emitted >= snap.events.len() as u64);
+}
+
+#[test]
+fn chrome_json_export_is_structurally_valid() {
+    let tracer = global();
+    tracer.instant(Track::Bench, "golden_marker", &[]);
+    let snap = tracer.snapshot();
+    let json = snap.to_chrome_json();
+    validate_json_structure(&json);
+
+    // Every recorded track gets thread_name metadata with its tid.
+    for track in snap.tracks() {
+        let meta = format!(
+            r#""ph":"M","name":"thread_name","pid":1,"tid":{},"args":{{"name":"{}"}}"#,
+            track.tid(),
+            track.label()
+        );
+        assert!(json.contains(&meta), "missing metadata for {track:?}");
+    }
+    // The ts sequence of the exported events is nondecreasing (µs floats).
+    let mut last = f64::NEG_INFINITY;
+    let mut seen = 0usize;
+    for chunk in json.split(r#""ts":"#).skip(1) {
+        let end = chunk
+            .find([',', '}'])
+            .expect("ts value terminated by , or }");
+        let ts: f64 = chunk[..end].parse().expect("ts parses as a float");
+        assert!(ts >= 0.0);
+        assert!(ts >= last, "ts went backwards: {last} -> {ts}");
+        last = ts;
+        seen += 1;
+    }
+    assert_eq!(seen, snap.events.len(), "one ts per exported event");
+    // Drop accounting is present even when nothing was dropped.
+    assert!(json.contains(r#""otherData":{"emitted":"#));
+}
+
+/// Minimal structural JSON validation: balanced brackets outside strings,
+/// no trailing garbage — enough to catch emitter bugs without a parser
+/// dependency.
+fn validate_json_structure(json: &str) {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut max_depth = 0i64;
+    for c in json.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced close bracket");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_string, "unterminated string");
+    assert_eq!(depth, 0, "unbalanced brackets");
+    assert!(
+        max_depth >= 3,
+        "expected nested events, got depth {max_depth}"
+    );
+    assert!(json.starts_with('{') && json.ends_with('}'));
+}
