@@ -33,6 +33,8 @@
 //! let _ = handles;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod array;
 pub mod bias;
 pub mod cell;

@@ -94,16 +94,36 @@ pub fn parse_flat_json(s: &str) -> Result<BTreeMap<String, BenchValue>, String> 
         skip_ws(&mut i);
         let value = if b.get(i) == Some(&b'"') {
             BenchValue::Str(parse_string(&mut i)?)
+        } else if matches!(b.get(i), Some(b'{') | Some(b'[')) {
+            return Err(format!(
+                "unsupported nested value for key {key:?} at byte {i}; \
+                 the summary must stay a flat object"
+            ));
         } else {
             let start = i;
             while i < b.len() && !matches!(b[i], b',' | b'}') && !b[i].is_ascii_whitespace() {
                 i += 1;
             }
             let tok = &s[start..i];
-            BenchValue::Num(
-                tok.parse::<f64>()
-                    .map_err(|e| format!("bad number {tok:?} at byte {start}: {e}"))?,
-            )
+            // `f64::from_str` happily accepts "NaN"/"inf", and bools/null
+            // would otherwise be folded into a confusing number error —
+            // reject both explicitly so a malformed summary never half-parses.
+            if matches!(tok, "true" | "false" | "null") {
+                return Err(format!(
+                    "unsupported value {tok:?} for key {key:?} at byte {start}; \
+                     only strings and finite numbers are allowed"
+                ));
+            }
+            let v = tok
+                .parse::<f64>()
+                .map_err(|e| format!("bad number {tok:?} at byte {start}: {e}"))?;
+            if !v.is_finite() {
+                return Err(format!(
+                    "non-finite number {tok:?} for key {key:?} at byte {start}; \
+                     summary metrics must be finite"
+                ));
+            }
+            BenchValue::Num(v)
         };
         map.insert(key, value);
         skip_ws(&mut i);
@@ -298,6 +318,25 @@ mod tests {
     #[test]
     fn empty_object_parses() {
         assert!(parse_flat_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_non_finite_numbers() {
+        for bad in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+            let err = parse_flat_json(&format!("{{\"wall_seconds\": {bad}}}")).expect_err(bad);
+            assert!(err.contains("non-finite"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_unsupported_value_types() {
+        for bad in ["true", "false", "null"] {
+            let err = parse_flat_json(&format!("{{\"ok\": {bad}}}")).expect_err(bad);
+            assert!(err.contains("unsupported value"), "{bad}: {err}");
+        }
+        let nested = parse_flat_json("{\"a\": {\"b\": 1}}").expect_err("nested object");
+        assert!(nested.contains("nested"), "{nested}");
+        assert!(parse_flat_json("{\"a\": [1, 2]}").is_err());
     }
 
     #[test]

@@ -10,35 +10,18 @@
 use oxterm_bench::table::{eng, Table};
 use oxterm_bench::telemetry_cli;
 use oxterm_devices::mosfet::Mosfet;
-use oxterm_devices::sources::{CurrentSource, SourceWave, VoltageSource};
 use oxterm_mc::corners::Corner;
-use oxterm_mlc::termination::{TerminationCircuit, TerminationSizing};
+use oxterm_mlc::termination::{comparator_testbench, TerminationSizing};
 use oxterm_spice::analysis::op::{solve_op, OpOptions};
-use oxterm_spice::circuit::Circuit;
 use oxterm_telemetry::Telemetry;
 
 /// Comparator output at the given corner for an injected cell current.
 fn out_at_corner(corner: Corner, i_cell: f64, i_ref: f64) -> f64 {
     let shifts = corner.shifts();
-    let mut c = Circuit::new();
-    let vdd = c.node("vdd");
-    let bl = c.node("bl");
-    c.add(VoltageSource::new(
-        "vdd",
-        vdd,
-        Circuit::gnd(),
-        SourceWave::dc(3.3),
-    ));
-    let stage =
-        TerminationCircuit::build(&mut c, "t", bl, vdd, i_ref, &TerminationSizing::default());
-    c.add(CurrentSource::new(
-        "icell",
-        Circuit::gnd(),
-        bl,
-        SourceWave::dc(i_cell),
-    ));
+    // The same netlist the termination tests and the lint corpus build.
+    let (mut c, stage) = comparator_testbench(i_cell, i_ref, &TerminationSizing::default());
     // Apply the global corner to every transistor in the stage.
-    for name in ["t_m1", "t_m2", "t_m3", "t_m4", "t_i1p", "t_i1n"] {
+    for name in ["t0_m1", "t0_m2", "t0_m3", "t0_m4", "t0_i1p", "t0_i1n"] {
         let id = c.find_device(name).expect("stage device exists");
         let m: &mut Mosfet = c.device_mut(id).expect("is a mosfet");
         let is_pmos = matches!(

@@ -34,6 +34,8 @@
 //! The library half hosts the shared Monte Carlo campaign
 //! ([`campaigns`]) and terminal rendering helpers ([`chart`], [`table`]).
 
+#![forbid(unsafe_code)]
+
 pub mod bench_diff;
 pub mod campaigns;
 pub mod chart;

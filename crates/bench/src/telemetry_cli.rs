@@ -26,8 +26,26 @@
 //!   <https://ui.perfetto.dev>), plus an ASCII timeline on stdout.
 //! * `--trace=PATH` — same, to an explicit path.
 //! * `--progress` — live Monte Carlo campaign status lines on stderr.
+//! * `--lint` — run the netlint preflight over this binary's corpus slice
+//!   before the experiment; findings go to stderr and the counts land in
+//!   the telemetry report (`netlint.findings.deny` / `.warn`).
+//! * `--lint=deny` — same, with warn rules promoted to deny; the process
+//!   exits with status 2 before simulating anything if a finding remains.
 
+use oxterm_netlint::{corpus, lint_entry, LintConfig, LintOptions};
 use oxterm_telemetry::{Telemetry, TraceSnapshot, TraceSpan, Tracer, Track};
+
+/// Whether (and how strictly) the netlint preflight runs before the
+/// experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintMode {
+    /// No flag: the experiment starts immediately.
+    Off,
+    /// `--lint`: lint, report, and continue even on findings.
+    Warn,
+    /// `--lint=deny`: warn rules promoted to deny; abort on any finding.
+    Deny,
+}
 
 /// How the binary was asked to report telemetry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +75,8 @@ pub struct ParsedFlags {
     pub trace: Option<Option<String>>,
     /// Whether `--progress` was present.
     pub progress: bool,
+    /// Netlint preflight mode (`--lint[=deny]`).
+    pub lint: LintMode,
     /// Remaining (positional) arguments, in order.
     pub rest: Vec<String>,
 }
@@ -67,6 +87,7 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
         mode: TelemetryMode::Off,
         trace: None,
         progress: false,
+        lint: LintMode::Off,
         rest: Vec::new(),
     };
     for a in args {
@@ -84,6 +105,10 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
             parsed.trace = Some(Some(path.to_string()));
         } else if a == "--progress" {
             parsed.progress = true;
+        } else if a == "--lint" {
+            parsed.lint = LintMode::Warn;
+        } else if a == "--lint=deny" {
+            parsed.lint = LintMode::Deny;
         } else {
             parsed.rest.push(a);
         }
@@ -121,6 +146,7 @@ pub fn init_from(
     if parsed.mode != TelemetryMode::Off {
         Telemetry::install(Telemetry::enabled());
     }
+    lint_preflight(name, parsed.lint);
     let trace_to = parsed.trace.map(|explicit| {
         Tracer::install(Tracer::enabled());
         explicit.unwrap_or_else(|| format!("results/trace_{name}.json"))
@@ -177,6 +203,45 @@ impl TelemetryCli {
                 Err(e) => eprintln!("could not write {path}: {e}"),
             }
         }
+    }
+}
+
+/// Runs the netlint preflight over the corpus slice keyed by the binary
+/// name, folds the finding counts into the telemetry report, and — in
+/// deny mode — refuses to start the experiment on a dirty netlist.
+fn lint_preflight(name: &str, mode: LintMode) {
+    if mode == LintMode::Off {
+        return;
+    }
+    let mut config = LintConfig::new();
+    if mode == LintMode::Deny {
+        config = config.deny_warnings();
+    }
+    let opts = LintOptions {
+        config,
+        ..LintOptions::default()
+    };
+    let entries = corpus::for_experiment(name);
+    let (mut deny, mut warn) = (0usize, 0usize);
+    for entry in &entries {
+        let report = lint_entry(entry, &opts);
+        deny += report.deny_count();
+        warn += report.warn_count();
+        if !report.findings.is_empty() {
+            eprint!("{}", report.to_text());
+        }
+    }
+    let tel = Telemetry::global();
+    tel.add("netlint.netlists", entries.len() as u64);
+    tel.add("netlint.findings.deny", deny as u64);
+    tel.add("netlint.findings.warn", warn as u64);
+    eprintln!(
+        "netlint({name}): {} netlist(s), {deny} deny finding(s), {warn} warn finding(s)",
+        entries.len()
+    );
+    if mode == LintMode::Deny && deny > 0 {
+        eprintln!("netlint({name}): refusing to run with deny findings (--lint=deny)");
+        std::process::exit(2);
     }
 }
 
@@ -273,5 +338,14 @@ mod tests {
     #[test]
     fn parent_creation_handles_bare_filenames() {
         assert!(ensure_parent("bare.json").is_ok());
+    }
+
+    #[test]
+    fn lint_flags_parse() {
+        assert_eq!(parse(&["7"]).lint, LintMode::Off);
+        let p = parse(&["--lint", "7"]);
+        assert_eq!(p.lint, LintMode::Warn);
+        assert_eq!(p.rest, vec!["7".to_string()]);
+        assert_eq!(parse(&["--lint=deny"]).lint, LintMode::Deny);
     }
 }

@@ -114,8 +114,11 @@ impl LevelAllocation {
     /// The paper's Table 2: 16 levels (4 bits/cell), ISO-ΔI, 6–36 µA in
     /// 2 µA steps.
     pub fn paper_qlc() -> Self {
-        LevelAllocation::new(16, 6e-6, 36e-6, AllocationScheme::IsoDeltaI, |_| 0.0)
-            .expect("static parameters are valid")
+        match LevelAllocation::new(16, 6e-6, 36e-6, AllocationScheme::IsoDeltaI, |_| 0.0) {
+            Ok(alloc) => alloc,
+            // The ISO-ΔI constructor cannot fail on these static parameters.
+            Err(_) => unreachable!("paper QLC allocation parameters are valid"),
+        }
     }
 
     /// The allocation scheme used.

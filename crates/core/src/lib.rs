@@ -50,6 +50,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod levels;
 pub mod margins;

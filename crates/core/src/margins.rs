@@ -163,7 +163,7 @@ pub fn analyze(samples: &[LevelSamples]) -> Result<MarginReport, MlcError> {
             full_range,
         });
     }
-    levels.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"));
+    levels.sort_by(|a, b| a.mean.total_cmp(&b.mean));
     let margins = levels
         .windows(2)
         .map(|w| AdjacentMargin {

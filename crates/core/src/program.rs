@@ -270,32 +270,33 @@ pub struct CircuitProgramOutcome {
     pub rho: oxterm_spice::waveform::Waveform,
 }
 
-/// Programs one 1T-1R cell at circuit level with the behavioral write
-/// termination, returning the Fig 10-style waveforms.
+/// Handles into a circuit built by [`build_program_circuit`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramCircuitHandles {
+    /// SL driver node.
+    pub sl: oxterm_spice::circuit::NodeId,
+    /// The OxRAM cell element (for `rho` state access).
+    pub rram: oxterm_spice::circuit::ElementId,
+    /// The 0 V sense source whose branch carries the cell current.
+    pub sense: oxterm_spice::circuit::ElementId,
+    /// The SL pulse driver (the source the termination chops).
+    pub vsl: oxterm_spice::circuit::ElementId,
+}
+
+/// Builds the circuit-level programming testbench without running it.
 ///
 /// Topology: SL pulse driver → access transistor → OxRAM → bit line with
 /// paper-scale parasitics → 0 V sense source (the termination's current
-/// input).
-///
-/// Set `i_ref` to `None` to run the *standard* (non-terminated) pulse — the
-/// paper's baseline in Fig 10.
+/// input). Shared by [`program_cell_circuit`] and the pre-simulation lint
+/// corpus, so what gets linted is exactly what gets simulated.
 ///
 /// # Errors
 ///
-/// Propagates transient-analysis failures.
-pub fn program_cell_circuit(
+/// Returns [`MlcError::Spice`] if the freshly built cell handle cannot be
+/// resolved (unreachable in practice).
+pub fn build_program_circuit(
     opts: &CircuitProgramOptions,
-    i_ref: Option<f64>,
-) -> Result<CircuitProgramOutcome, MlcError> {
-    let tel = Telemetry::global();
-    tel.incr("mlc.program.circuit_ops");
-    let _op_span = tel.span("mlc.program.circuit_seconds");
-    // The programming pulse as one span on the program track; the
-    // comparator-trip / chop instants from the termination monitor land
-    // inside it, and the simulated latency rides in the args.
-    let mut pulse_span = Tracer::global().span(Track::Program, "program_circuit");
-    pulse_span.arg(Arg::f64("i_ref_a", i_ref.unwrap_or(0.0)));
-    pulse_span.arg(Arg::f64("pulse_width_s", opts.pulse_width));
+) -> Result<(Circuit, ProgramCircuitHandles), MlcError> {
     let mut c = Circuit::new();
     let sl = c.node("sl");
     let wl = c.node("wl");
@@ -327,12 +328,57 @@ pub fn program_cell_circuit(
         Circuit::gnd(),
         SourceWave::pulse(opts.v_sl, 20e-9, 10e-9, opts.pulse_width, 10e-9),
     ));
+    Ok((
+        c,
+        ProgramCircuitHandles {
+            sl,
+            rram: cell.rram,
+            sense,
+            vsl,
+        },
+    ))
+}
 
+/// The transient options [`program_cell_circuit`] runs with — exposed so the
+/// lint pass can check them against the built circuit.
+pub fn program_tran_options(opts: &CircuitProgramOptions) -> TranOptions {
     let t_stop = opts.pulse_width + 200e-9;
-    let tran_opts = TranOptions {
+    TranOptions {
         dt_max: Some(opts.dt_max),
         ..TranOptions::for_duration(t_stop)
-    };
+    }
+}
+
+/// Programs one 1T-1R cell at circuit level with the behavioral write
+/// termination, returning the Fig 10-style waveforms.
+///
+/// Set `i_ref` to `None` to run the *standard* (non-terminated) pulse — the
+/// paper's baseline in Fig 10.
+///
+/// # Errors
+///
+/// Propagates transient-analysis failures.
+pub fn program_cell_circuit(
+    opts: &CircuitProgramOptions,
+    i_ref: Option<f64>,
+) -> Result<CircuitProgramOutcome, MlcError> {
+    let tel = Telemetry::global();
+    tel.incr("mlc.program.circuit_ops");
+    let _op_span = tel.span("mlc.program.circuit_seconds");
+    // The programming pulse as one span on the program track; the
+    // comparator-trip / chop instants from the termination monitor land
+    // inside it, and the simulated latency rides in the args.
+    let mut pulse_span = Tracer::global().span(Track::Program, "program_circuit");
+    pulse_span.arg(Arg::f64("i_ref_a", i_ref.unwrap_or(0.0)));
+    pulse_span.arg(Arg::f64("pulse_width_s", opts.pulse_width));
+    let (mut c, handles) = build_program_circuit(opts)?;
+    let ProgramCircuitHandles {
+        sl,
+        rram,
+        sense,
+        vsl,
+    } = handles;
+    let tran_opts = program_tran_options(opts);
 
     let (result, fired) = match i_ref {
         Some(i_ref) => {
@@ -345,7 +391,7 @@ pub fn program_cell_circuit(
 
     let i_cell = result.branch_trace(&c, sense, 0)?;
     let v_sl_wave = result.node_trace(sl);
-    let rho = result.state_trace(&c, cell.rram, 0)?;
+    let rho = result.state_trace(&c, rram, 0)?;
     // Energy delivered by the SL driver: ∫ v·(−i_branch) dt.
     let i_sl = result.branch_trace(&c, vsl, 0)?.map(|i| -i);
     let energy = v_sl_wave.pointwise_mul(&i_sl).integral();

@@ -43,8 +43,14 @@ impl MlcReader {
                 v_read,
                 ..ResetConditions::paper_defaults(level.i_ref)
             };
-            let out = simulate_reset_termination(params, &inst, &cond)
-                .expect("allocation inside the programmable window");
+            let out = match simulate_reset_termination(params, &inst, &cond) {
+                Ok(out) => out,
+                Err(e) => panic!(
+                    "allocation must be inside the programmable window \
+                     (level {} at {:.3e} A): {e}",
+                    level.code, level.i_ref
+                ),
+            };
             nominal_r.push(out.r_read_ohms);
         }
         let nominal_i: Vec<f64> = nominal_r.iter().map(|r| v_read / r).collect();

@@ -1,7 +1,59 @@
-//! State-of-the-art MLC comparison (paper Table 4).
+//! State-of-the-art MLC comparison (paper Table 4) and the safe-operating
+//! envelope of the reproduced design.
 //!
 //! Static survey rows from the paper plus the row this work (and this
-//! reproduction) adds.
+//! reproduction) adds, and [`SoaLimits`] — the electrical bounds (rail,
+//! ISO-ΔI reference-current ladder, device geometry) that the
+//! pre-simulation lint pass checks every netlist against.
+
+/// Safe-operating-area limits of the paper's 0.13 µm 3.3 V process and its
+/// ISO-ΔI QLC ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoaLimits {
+    /// Supply rail (V): no source may drive beyond ±this.
+    pub v_rail: f64,
+    /// Lower edge of the programmable reference-current window (A).
+    pub i_ref_min: f64,
+    /// Upper edge of the programmable reference-current window (A).
+    pub i_ref_max: f64,
+    /// ISO-ΔI ladder pitch (A).
+    pub i_ref_step: f64,
+    /// Relative tolerance for window/grid membership checks.
+    pub rel_tol: f64,
+    /// Minimum MOSFET channel length (m) for the process.
+    pub l_min: f64,
+    /// Minimum MOSFET channel width (m) for the process.
+    pub w_min: f64,
+}
+
+impl SoaLimits {
+    /// The paper's envelope: 3.3 V rail, IrefR ∈ [6, 36] µA on a 2 µA
+    /// grid, 0.13 µm minimum geometry.
+    pub fn paper() -> Self {
+        SoaLimits {
+            v_rail: 3.3,
+            i_ref_min: 6e-6,
+            i_ref_max: 36e-6,
+            i_ref_step: 2e-6,
+            rel_tol: 1e-6,
+            l_min: 0.13e-6,
+            w_min: 0.15e-6,
+        }
+    }
+
+    /// Whether `i_ref` lies inside the programmable window (inclusive,
+    /// with relative tolerance).
+    pub fn i_ref_in_window(&self, i_ref: f64) -> bool {
+        let slack = self.rel_tol * self.i_ref_max;
+        i_ref >= self.i_ref_min - slack && i_ref <= self.i_ref_max + slack
+    }
+
+    /// Whether `i_ref` sits on the ISO-ΔI grid (within relative tolerance).
+    pub fn i_ref_on_grid(&self, i_ref: f64) -> bool {
+        let steps = (i_ref - self.i_ref_min) / self.i_ref_step;
+        (steps - steps.round()).abs() <= self.rel_tol * self.i_ref_max / self.i_ref_step
+    }
+}
 
 /// How the MLC levels are programmed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

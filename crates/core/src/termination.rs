@@ -390,6 +390,37 @@ impl TerminationCircuit {
     }
 }
 
+/// Builds the standard comparator DC/transient testbench: a 3.3 V supply,
+/// the Fig 7a termination stage at `i_ref`, and an ideal current source
+/// injecting `i_cell` into the bit-line input.
+///
+/// Shared by the ablation experiments, the termination unit tests, and the
+/// pre-simulation lint corpus, so they all exercise the same netlist.
+pub fn comparator_testbench(
+    i_cell: f64,
+    i_ref: f64,
+    sizing: &TerminationSizing,
+) -> (Circuit, TerminationCircuit) {
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let bl = c.node("bl");
+    c.add(VoltageSource::new(
+        "vdd",
+        vdd,
+        Circuit::gnd(),
+        SourceWave::dc(3.3),
+    ));
+    let term = TerminationCircuit::build(&mut c, "t0", bl, vdd, i_ref, sizing);
+    // Inject the "cell current" into the BL node.
+    c.add(CurrentSource::new(
+        "icell",
+        Circuit::gnd(),
+        bl,
+        SourceWave::dc(i_cell),
+    ));
+    (c, term)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,24 +430,7 @@ mod tests {
     /// DC check: drive the BL input with a known current and verify the
     /// comparator output flips around IrefR.
     fn comparator_out(i_cell: f64, i_ref: f64) -> f64 {
-        let mut c = Circuit::new();
-        let vdd = c.node("vdd");
-        let bl = c.node("bl");
-        c.add(VoltageSource::new(
-            "vdd",
-            vdd,
-            Circuit::gnd(),
-            SourceWave::dc(3.3),
-        ));
-        let term =
-            TerminationCircuit::build(&mut c, "t0", bl, vdd, i_ref, &TerminationSizing::default());
-        // Inject the "cell current" into the BL node.
-        c.add(CurrentSource::new(
-            "icell",
-            Circuit::gnd(),
-            bl,
-            SourceWave::dc(i_cell),
-        ));
+        let (c, term) = comparator_testbench(i_cell, i_ref, &TerminationSizing::default());
         let sol = solve_op(&c, &OpOptions::default()).unwrap();
         sol.v(term.out)
     }

@@ -10,7 +10,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext};
+use oxterm_spice::device::{Device, StampContext, StampTopology};
 
 /// A linear voltage-controlled voltage source:
 /// `v(p) − v(n) = gain · (v(cp) − v(cn))`.
@@ -75,6 +75,22 @@ impl Device for Vcvs {
         ctx.mat(br, un, -1.0);
         ctx.mat(br, ucp, -self.gain);
         ctx.mat(br, ucn, self.gain);
+    }
+
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.p, self.n, self.cp, self.cn]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        // The output branch constrains v(p) − v(n); control pins only sense.
+        Some(StampTopology {
+            voltage_edges: vec![(self.p, self.n)],
+            ..StampTopology::default()
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -166,6 +182,23 @@ impl Device for Comparator {
         ctx.mat(br, ucp, -dv);
         ctx.mat(br, ucn, dv);
         ctx.rhs(br, v_out - dv * v_diff);
+    }
+
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.out, self.cp, self.cn]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        // The output branch pins v(out) to ground through the branch
+        // equation; the inputs are high-impedance sensors.
+        Some(StampTopology {
+            voltage_edges: vec![(self.out, oxterm_spice::circuit::Circuit::gnd())],
+            ..StampTopology::default()
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -3,7 +3,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext};
+use oxterm_spice::device::{Device, StampContext, StampTopology};
 
 use crate::VT_300K;
 
@@ -88,6 +88,21 @@ impl Device for Diode {
         let v = ctx.v(self.p) - ctx.v(self.n);
         let (i, g) = self.i_g(v);
         ctx.stamp_nonlinear_branch(self.p, self.n, i, g, v);
+    }
+
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.p, self.n]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        Some(StampTopology {
+            dc_conductances: vec![(self.p, self.n)],
+            ..StampTopology::default()
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

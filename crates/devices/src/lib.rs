@@ -42,6 +42,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod behavioral;
 pub mod diode;
 pub mod mosfet;

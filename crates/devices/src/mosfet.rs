@@ -24,7 +24,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext};
+use oxterm_spice::device::{Device, StampContext, StampTopology};
 use oxterm_telemetry::Telemetry;
 
 use crate::VT_300K;
@@ -396,6 +396,22 @@ impl Device for Mosfet {
         ctx.stamp_current(self.d, self.s, i_eq);
         // Convergence aid: a tiny fixed drain-source conductance.
         ctx.stamp_conductance(self.d, self.s, self.gds_min);
+    }
+
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.d, self.g, self.s, self.b]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        // The gate is capacitive only — no DC conduction path through it.
+        Some(StampTopology {
+            dc_conductances: vec![(self.d, self.s), (self.d, self.b), (self.s, self.b)],
+            ..StampTopology::default()
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

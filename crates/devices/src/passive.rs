@@ -3,7 +3,9 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{AnalysisKind, Device, IntegrationMethod, StampContext, UpdateContext};
+use oxterm_spice::device::{
+    AnalysisKind, Device, IntegrationMethod, StampContext, StampTopology, UpdateContext,
+};
 
 /// A linear resistor.
 ///
@@ -70,6 +72,21 @@ impl Device for Resistor {
 
     fn stamp(&self, ctx: &mut StampContext<'_>) {
         ctx.stamp_conductance(self.a, self.b, 1.0 / self.ohms);
+    }
+
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.a, self.b]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        Some(StampTopology {
+            dc_conductances: vec![(self.a, self.b)],
+            ..StampTopology::default()
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -164,6 +181,19 @@ impl Device for Capacitor {
         };
         state[STATE_V] = v;
         state[STATE_I] = i;
+    }
+
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.a, self.b]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        // Open at DC: connects nothing conductively.
+        Some(StampTopology::default())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

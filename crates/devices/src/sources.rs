@@ -9,7 +9,7 @@ use std::any::Any;
 
 use oxterm_numerics::interp::Pwl;
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext, UpdateContext};
+use oxterm_spice::device::{Device, StampContext, StampTopology, UpdateContext};
 
 /// A time-domain source waveform.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +98,32 @@ impl SourceWave {
                 }
             }
             SourceWave::Pwl(p) => p.eval(t),
+        }
+    }
+
+    /// Largest magnitude the waveform ever reaches (rail/SOA checks).
+    pub fn peak_abs(&self) -> f64 {
+        match self {
+            SourceWave::Dc(v) => v.abs(),
+            SourceWave::Pulse { v0, v1, .. } => v0.abs().max(v1.abs()),
+            SourceWave::Pwl(p) => p.points().iter().map(|&(_, y)| y.abs()).fold(0.0, f64::max),
+        }
+    }
+
+    /// Shortest transition edge in the waveform (s): the fastest feature a
+    /// transient run must resolve. `None` for DC sources.
+    pub fn min_edge(&self) -> Option<f64> {
+        match self {
+            SourceWave::Dc(_) => None,
+            SourceWave::Pulse { rise, fall, .. } => Some(rise.min(*fall)),
+            SourceWave::Pwl(p) => p
+                .points()
+                .windows(2)
+                .map(|w| w[1].0 - w[0].0)
+                .filter(|dt| *dt > 0.0)
+                .fold(None, |acc: Option<f64>, dt| {
+                    Some(acc.map_or(dt, |a| a.min(dt)))
+                }),
         }
     }
 
@@ -229,6 +255,21 @@ impl Device for VoltageSource {
         bps
     }
 
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.p, self.n]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        Some(StampTopology {
+            voltage_edges: vec![(self.p, self.n)],
+            ..StampTopology::default()
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
@@ -278,6 +319,21 @@ impl Device for CurrentSource {
 
     fn breakpoints(&self) -> Vec<f64> {
         self.wave.breakpoints()
+    }
+
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.from, self.to]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        Some(StampTopology {
+            current_injections: vec![(self.from, self.to)],
+            ..StampTopology::default()
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

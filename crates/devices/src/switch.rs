@@ -8,7 +8,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext};
+use oxterm_spice::device::{Device, StampContext, StampTopology};
 
 /// Switch parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +113,22 @@ impl Device for VSwitch {
         // i ≈ g·v + dg·v·(vc − vc0); the vccs stamps dg·v·vc, so subtract
         // dg·v·vc0 as an equivalent current.
         ctx.stamp_current(self.p, self.n, -dg * v * vc);
+    }
+
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.p, self.n, self.cp, self.cn]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        // g_off > 0, so p–n always conducts; the control pins only sense.
+        Some(StampTopology {
+            dc_conductances: vec![(self.p, self.n)],
+            ..StampTopology::default()
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -7,3 +7,5 @@
 //! cargo run --release -p oxterm-examples --example nn_weights
 //! cargo run --release -p oxterm-examples --example endurance_cycling
 //! ```
+
+#![forbid(unsafe_code)]

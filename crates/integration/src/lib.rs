@@ -4,3 +4,5 @@
 //! ```text
 //! cargo test -p oxterm-integration
 //! ```
+
+#![forbid(unsafe_code)]

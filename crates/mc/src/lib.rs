@@ -22,6 +22,8 @@
 //! assert!((mean - 5.0).abs() < 0.02);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod convergence;
 pub mod corners;
 pub mod dist;

@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dense;
 pub mod interp;
 pub mod optimize;

@@ -3,7 +3,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext, UpdateContext};
+use oxterm_spice::device::{Device, StampContext, StampTopology, UpdateContext};
 use rand::Rng;
 
 use crate::model;
@@ -144,6 +144,21 @@ impl Device for OxramCell {
         let v = ctx.v(self.te) - ctx.v(self.be);
         let inst = self.effective_variation();
         state[0] = model::advance_state(&self.params, &inst, state[0], v, dt);
+    }
+
+    fn terminals(&self) -> Vec<NodeId> {
+        vec![self.te, self.be]
+    }
+
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        Some(StampTopology {
+            dc_conductances: vec![(self.te, self.be)],
+            ..StampTopology::default()
+        })
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -79,9 +79,9 @@ impl TranResult {
         self.times.is_empty()
     }
 
-    /// Final simulated time.
+    /// Final simulated time (successful runs always record `t = 0`).
     pub fn end_time(&self) -> f64 {
-        *self.times.last().expect("run records at least t = 0")
+        self.times.last().copied().unwrap_or(0.0)
     }
 
     /// Voltage trace of a node.
@@ -135,14 +135,14 @@ impl TranResult {
     /// The solution at the final accepted point.
     pub fn final_solution(&self) -> Solution {
         Solution::new(
-            self.data.last().expect("at least t = 0").clone(),
+            self.data.last().cloned().unwrap_or_default(),
             self.n_node_unknowns,
         )
     }
 
     /// The device-state vector at the final accepted point.
     pub fn final_state(&self) -> &[f64] {
-        self.states.last().expect("at least t = 0")
+        self.states.last().map(Vec::as_slice).unwrap_or(&[])
     }
 }
 

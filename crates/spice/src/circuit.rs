@@ -18,6 +18,12 @@ impl NodeId {
         self.0 == 0
     }
 
+    /// Dense index of this node (`0` is ground) — stable for the lifetime
+    /// of the circuit and usable as a slice index by analysis passes.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
     /// The MNA unknown index of this node, or `None` for ground.
     pub(crate) fn unknown(self) -> Option<usize> {
         if self.0 == 0 {
@@ -173,6 +179,17 @@ impl Circuit {
         self.elements.len()
     }
 
+    /// Iterates over the registered devices in insertion order (static
+    /// analysis and reporting; simulation goes through the stamp path).
+    pub fn devices(&self) -> impl Iterator<Item = &dyn Device> + '_ {
+        self.elements.iter().map(|e| e.device.as_ref())
+    }
+
+    /// Iterates over every node id, ground first.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_names.len()).map(NodeId)
+    }
+
     /// Whether any registered device is nonlinear.
     pub fn has_nonlinear(&self) -> bool {
         self.elements.iter().any(|e| e.device.is_nonlinear())
@@ -277,7 +294,7 @@ impl Circuit {
             .flat_map(|e| e.device.breakpoints())
             .filter(|t| t.is_finite() && *t > 0.0)
             .collect();
-        bps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        bps.sort_by(|a, b| a.total_cmp(b));
         bps.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
         bps
     }
@@ -360,6 +377,9 @@ mod tests {
             state.fill(7.0);
         }
         fn stamp(&self, _ctx: &mut StampContext<'_>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
         }

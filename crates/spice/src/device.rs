@@ -88,6 +88,34 @@ impl MnaSink for TripletSink<'_> {
     }
 }
 
+/// Structural description of a device's DC stamp pattern, consumed by the
+/// pre-simulation static analysis pass (`oxterm-netlint`).
+///
+/// The lint builds a union-find over [`dc_conductances`] and
+/// [`voltage_edges`] to find nodes without a DC path to ground, a bipartite
+/// check over [`voltage_edges`] alone to find voltage-source loops, and
+/// uses [`current_injections`] to find current-source cutsets (nodes whose
+/// only attachments inject current but stamp no conductance — a structural
+/// singularity the solver would only discover as a garbage solution held up
+/// by `gmin`).
+///
+/// [`dc_conductances`]: StampTopology::dc_conductances
+/// [`voltage_edges`]: StampTopology::voltage_edges
+/// [`current_injections`]: StampTopology::current_injections
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StampTopology {
+    /// Node pairs with a conductive DC path stamped between them (resistor
+    /// body, MOSFET channel, diode junction, …). Capacitors and MOSFET
+    /// gates contribute nothing here: they are open at DC.
+    pub dc_conductances: Vec<(NodeId, NodeId)>,
+    /// Ideal voltage constraints (branch equations) between node pairs —
+    /// independent voltage sources and VCVS/comparator outputs.
+    pub voltage_edges: Vec<(NodeId, NodeId)>,
+    /// RHS-only current injections between node pairs; these provide *no*
+    /// DC conductance.
+    pub current_injections: Vec<(NodeId, NodeId)>,
+}
+
 /// Everything a device sees while stamping one Newton iteration.
 pub struct StampContext<'a> {
     pub(crate) sink: &'a mut dyn MnaSink,
@@ -310,6 +338,28 @@ pub trait Device: fmt::Debug + Send {
     fn breakpoints(&self) -> Vec<f64> {
         Vec::new()
     }
+
+    /// The terminal nodes this device attaches to, for static analysis.
+    ///
+    /// The default (empty) marks the connectivity as unknown; such devices
+    /// are invisible to the netlist lint's topology checks.
+    fn terminals(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// Structural DC stamp pattern, for static analysis.
+    ///
+    /// `None` means unknown: the lint conservatively treats every pair of
+    /// [`Device::terminals`] as DC-connected so unknown devices never
+    /// produce false floating-node findings.
+    fn stamp_topology(&self) -> Option<StampTopology> {
+        None
+    }
+
+    /// Shared [`Any`] access for read-only parameter inspection (the static
+    /// analysis pass downcasts to concrete device types to validate their
+    /// parameters against PDK and safe-operating-area bounds).
+    fn as_any(&self) -> &dyn Any;
 
     /// Mutable [`Any`] access for monitor-driven parameter changes.
     fn as_any_mut(&mut self) -> &mut dyn Any;

@@ -35,6 +35,7 @@
 //! impl Device for G {
 //!     fn name(&self) -> &str { &self.name }
 //!     fn stamp(&self, ctx: &mut StampContext<'_>) { ctx.stamp_conductance(self.a, self.b, self.g); }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
 //!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
 //! }
 //! #[derive(Debug)]
@@ -45,6 +46,7 @@
 //!         let i = self.i * ctx.source_factor();
 //!         ctx.stamp_current(self.from, self.to, i);
 //!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
 //!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
 //! }
 //!
@@ -59,6 +61,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod circuit;

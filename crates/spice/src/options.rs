@@ -81,11 +81,16 @@ impl TranOptions {
         }
     }
 
-    pub(crate) fn resolved_dt_init(&self) -> f64 {
+    /// The initial step the engine will actually use (`dt_init` or the
+    /// `t_stop / 1000` default).
+    pub fn resolved_dt_init(&self) -> f64 {
         self.dt_init.unwrap_or(self.t_stop / 1000.0)
     }
 
-    pub(crate) fn resolved_dt_max(&self) -> f64 {
+    /// The step ceiling the engine will actually use (`dt_max` or the
+    /// `t_stop / 50` default). Exposed so pre-simulation lint can compare
+    /// it against the shortest source edge.
+    pub fn resolved_dt_max(&self) -> f64 {
         self.dt_max.unwrap_or(self.t_stop / 50.0)
     }
 }

@@ -63,9 +63,10 @@ impl Waveform {
         self.t.iter().cloned().zip(self.y.iter().cloned())
     }
 
-    /// Last sampled value.
+    /// Last sampled value (`NaN` for an empty waveform, which constructed
+    /// waveforms never are).
     pub fn last(&self) -> f64 {
-        *self.y.last().expect("non-empty")
+        self.y.last().copied().unwrap_or(f64::NAN)
     }
 
     /// Linear interpolation at time `t` (clamped at the ends).

@@ -50,6 +50,7 @@
 //! println!("{}", report.to_table());
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod counter;
