@@ -12,6 +12,12 @@ use oxterm_mlc::margins::analyze;
 
 fn main() {
     let (args, tel_cli) = telemetry_cli::init("fig11");
+    if tel_cli.probes_requested() {
+        eprintln!(
+            "fig11: --probes applies to circuit-level transients; the MC fast path \
+             has no probe signals — ignoring (use --artifacts-dir for failed-run bundles)"
+        );
+    }
     let runs = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
     println!("== Fig 11: HRS box plots, {runs} MC runs × 16 compliance currents ==\n");
     let campaign = paper_qlc_campaign(runs);

@@ -13,6 +13,12 @@ use oxterm_numerics::stats::{box_stats, summary};
 
 fn main() {
     let (args, tel_cli) = telemetry_cli::init("fig13");
+    if tel_cli.probes_requested() {
+        eprintln!(
+            "fig13: --probes applies to circuit-level transients; the MC fast path \
+             has no probe signals — ignoring (use --artifacts-dir for failed-run bundles)"
+        );
+    }
     let runs = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
     println!("== Fig 13: energy/cell and RST latency, {runs} MC runs × 16 levels ==\n");
     let campaign = paper_qlc_campaign(runs);

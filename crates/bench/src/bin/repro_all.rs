@@ -20,10 +20,11 @@ use oxterm_bench::table::{eng, Table};
 use oxterm_bench::telemetry_cli;
 use oxterm_mlc::levels::LevelAllocation;
 use oxterm_mlc::margins::analyze;
-use oxterm_mlc::program::{program_cell_circuit, CircuitProgramOptions};
+use oxterm_mlc::program::{program_cell_circuit_probed, CircuitProgramOptions};
 use oxterm_mlc::projection::{project, ProjectionConfig};
 use oxterm_rram::calib::{simulate_reset_termination, CalibrationTarget, ResetConditions};
 use oxterm_rram::params::{InstanceVariation, OxramParams};
+use oxterm_spice::probe::ProbePlan;
 use oxterm_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -36,7 +37,7 @@ struct Check {
 }
 
 fn main() {
-    let (mut args, tel_cli) = telemetry_cli::init("repro_all");
+    let (mut args, mut tel_cli) = telemetry_cli::init("repro_all");
     // The checklist always runs instrumented — it doubles as the perf
     // probe behind BENCH_telemetry.json (a no-op if --telemetry already
     // installed the handle).
@@ -74,10 +75,16 @@ fn main() {
         pass: worst_err < 0.06,
     });
 
-    // Fig 10 anchors (circuit level).
-    let fig10 = program_cell_circuit(&CircuitProgramOptions::paper_fig10(), Some(10e-6));
+    // Fig 10 anchors (circuit level). `--probes` attaches to this check —
+    // the only circuit transient in the checklist.
+    let plan = tel_cli
+        .probe_plan("v(sl),v(bl_sense),i(vsense)")
+        .unwrap_or_else(ProbePlan::none);
+    let fig10 =
+        program_cell_circuit_probed(&CircuitProgramOptions::paper_fig10(), Some(10e-6), &plan);
     match fig10 {
         Ok(out) => {
+            tel_cli.record_probes(&out.probes);
             let lat = out.latency_s.unwrap_or(f64::NAN);
             checks.push(Check {
                 name: "Fig 10: terminated RST @ 10 µA",

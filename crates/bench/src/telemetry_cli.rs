@@ -31,8 +31,18 @@
 //!   the telemetry report (`netlint.findings.deny` / `.warn`).
 //! * `--lint=deny` — same, with warn rules promoted to deny; the process
 //!   exits with status 2 before simulating anything if a finding remains.
+//! * `--probes[=SPEC]` — capture the named node voltages / branch currents
+//!   during the experiment's transients (comma list, e.g.
+//!   `v(sl),v(bl_sense),i(vsense)`; the bare flag uses the binary's default
+//!   spec). Each probe is written to `results/probe_<name>_<label>.csv`,
+//!   and with `--trace` the probes additionally appear as Perfetto counter
+//!   tracks in the trace file.
+//! * `--artifacts-dir[=PATH]` — write a post-mortem JSON bundle for every
+//!   Newton/op/transient non-convergence and every failed Monte Carlo run
+//!   (default directory `results/artifacts_<name>`).
 
 use oxterm_netlint::{corpus, lint_entry, LintConfig, LintOptions};
+use oxterm_spice::probe::{ProbeCapture, ProbePlan};
 use oxterm_telemetry::{Telemetry, TraceSnapshot, TraceSpan, Tracer, Track};
 
 /// Whether (and how strictly) the netlint preflight runs before the
@@ -77,6 +87,11 @@ pub struct ParsedFlags {
     pub progress: bool,
     /// Netlint preflight mode (`--lint[=deny]`).
     pub lint: LintMode,
+    /// `Some(explicit_spec)` when `--probes[=SPEC]` was present (`None`
+    /// inside means "use the binary's default spec").
+    pub probes: Option<Option<String>>,
+    /// `Some(explicit_dir)` when `--artifacts-dir[=PATH]` was present.
+    pub artifacts_dir: Option<Option<String>>,
     /// Remaining (positional) arguments, in order.
     pub rest: Vec<String>,
 }
@@ -88,6 +103,8 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
         trace: None,
         progress: false,
         lint: LintMode::Off,
+        probes: None,
+        artifacts_dir: None,
         rest: Vec::new(),
     };
     for a in args {
@@ -109,6 +126,14 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
             parsed.lint = LintMode::Warn;
         } else if a == "--lint=deny" {
             parsed.lint = LintMode::Deny;
+        } else if a == "--probes" {
+            parsed.probes = Some(None);
+        } else if let Some(spec) = a.strip_prefix("--probes=") {
+            parsed.probes = Some(Some(spec.to_string()));
+        } else if a == "--artifacts-dir" {
+            parsed.artifacts_dir = Some(None);
+        } else if let Some(dir) = a.strip_prefix("--artifacts-dir=") {
+            parsed.artifacts_dir = Some(Some(dir.to_string()));
         } else {
             parsed.rest.push(a);
         }
@@ -123,6 +148,11 @@ pub struct TelemetryCli {
     /// Trace output path (resolved; `None` when tracing is off).
     trace_to: Option<String>,
     name: &'static str,
+    /// The `--probes[=SPEC]` request, if present.
+    probes: Option<Option<String>>,
+    /// Probe captures handed back by the experiment (CSV + counter-track
+    /// emission happens in [`TelemetryCli::finish`]).
+    captures: Vec<ProbeCapture>,
     /// Whole-binary span on the bench track, opened at `init` so every
     /// trace has at least one lane framing the run.
     bench_span: TraceSpan,
@@ -154,6 +184,12 @@ pub fn init_from(
     if parsed.progress {
         oxterm_telemetry::progress::set_enabled(true);
     }
+    if let Some(dir) = &parsed.artifacts_dir {
+        let dir = dir
+            .clone()
+            .unwrap_or_else(|| format!("results/artifacts_{name}"));
+        oxterm_telemetry::postmortem::set_artifacts_dir(dir);
+    }
     let mut bench_span = Tracer::global().span(Track::Bench, name);
     bench_span.arg(oxterm_telemetry::Arg::u64(
         "positional_args",
@@ -165,6 +201,8 @@ pub fn init_from(
             mode: parsed.mode,
             trace_to,
             name,
+            probes: parsed.probes,
+            captures: Vec::new(),
             bench_span,
         },
     )
@@ -176,15 +214,57 @@ impl TelemetryCli {
         &self.mode
     }
 
+    /// The probe plan requested by `--probes[=SPEC]`, or `None` when the
+    /// flag was absent. `default_spec` is the binary's canonical signal
+    /// set, used when the flag carries no explicit spec.
+    ///
+    /// A malformed spec is a configuration error: the message goes to
+    /// stderr and the process exits with status 2 before simulating
+    /// anything.
+    pub fn probe_plan(&self, default_spec: &str) -> Option<ProbePlan> {
+        let spec = self.probes.as_ref()?;
+        let spec = spec.as_deref().unwrap_or(default_spec);
+        match ProbePlan::parse(spec) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("{}: bad --probes spec {spec:?}: {e}", self.name);
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Whether `--probes[=SPEC]` was given at all — binaries without a
+    /// circuit-level transient use this to acknowledge (and decline) the
+    /// flag instead of silently swallowing it.
+    pub fn probes_requested(&self) -> bool {
+        self.probes.is_some()
+    }
+
+    /// Hands a finished probe capture back for emission at
+    /// [`TelemetryCli::finish`]: one CSV per probe, plus Perfetto counter
+    /// tracks merged into the trace file when `--trace` is active.
+    /// Call once per probed transient; empty captures are ignored.
+    pub fn record_probes(&mut self, capture: &ProbeCapture) {
+        if !capture.is_empty() {
+            self.captures.push(capture.clone());
+        }
+    }
+
     /// Writes the trace artifacts (Chrome JSON + ASCII timeline), prints
     /// the run report, and writes the telemetry JSON artifact if asked.
     /// No-op when neither flag was given.
     pub fn finish(mut self) {
+        self.write_probe_csvs();
         self.bench_span.finish();
         if let Some(path) = self.trace_to.take() {
             let snapshot = Tracer::global().snapshot();
             record_drops(Telemetry::global(), &snapshot);
-            write_trace(&path, &snapshot);
+            let counters: Vec<_> = self
+                .captures
+                .iter()
+                .flat_map(ProbeCapture::counter_tracks)
+                .collect();
+            write_trace(&path, &snapshot, &counters);
             println!("\n== trace timeline ({}) ==\n", self.name);
             println!("{}", snapshot.to_ascii(100));
         }
@@ -204,6 +284,44 @@ impl TelemetryCli {
             }
         }
     }
+
+    /// One CSV per captured probe: `results/probe_<name>_<label>.csv`
+    /// (with a capture index inserted when the experiment recorded more
+    /// than one probed transient).
+    fn write_probe_csvs(&self) {
+        let many = self.captures.len() > 1;
+        for (ci, capture) in self.captures.iter().enumerate() {
+            for trace in &capture.traces {
+                let label = sanitize_label(&trace.label);
+                let path = if many {
+                    format!("results/probe_{}_{ci}_{label}.csv", self.name)
+                } else {
+                    format!("results/probe_{}_{label}.csv", self.name)
+                };
+                match ensure_parent(&path).and_then(|()| std::fs::write(&path, trace.to_csv())) {
+                    Ok(()) => println!(
+                        "probe {} written to {path} ({} samples kept of {} offered, \
+                         {} decimation pass(es))",
+                        trace.label,
+                        trace.samples.len(),
+                        trace.offered,
+                        trace.compactions,
+                    ),
+                    Err(e) => eprintln!("could not write {path}: {e}"),
+                }
+            }
+        }
+    }
+}
+
+/// Maps a probe label to a filename-safe stem: `v(bl_sense)` → `v_bl_sense`.
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect::<String>()
+        .trim_matches('_')
+        .to_string()
 }
 
 /// Runs the netlint preflight over the corpus slice keyed by the binary
@@ -258,11 +376,14 @@ fn record_drops(tel: &Telemetry, snapshot: &TraceSnapshot) {
     }
 }
 
-fn write_trace(path: &str, snapshot: &TraceSnapshot) {
-    match ensure_parent(path).and_then(|()| std::fs::write(path, snapshot.to_chrome_json())) {
+fn write_trace(path: &str, snapshot: &TraceSnapshot, counters: &[oxterm_telemetry::CounterTrack]) {
+    let json = snapshot.to_chrome_json_with_counters(counters);
+    match ensure_parent(path).and_then(|()| std::fs::write(path, json)) {
         Ok(()) => println!(
-            "trace written to {path} ({} events, {} dropped) — open at https://ui.perfetto.dev",
+            "trace written to {path} ({} events, {} counter track(s), {} dropped) — \
+             open at https://ui.perfetto.dev",
             snapshot.events.len(),
+            counters.len(),
             snapshot.total_dropped(),
         ),
         Err(e) => eprintln!("could not write {path}: {e}"),
@@ -338,6 +459,29 @@ mod tests {
     #[test]
     fn parent_creation_handles_bare_filenames() {
         assert!(ensure_parent("bare.json").is_ok());
+    }
+
+    #[test]
+    fn probe_and_artifacts_flags_parse() {
+        let p = parse(&["--probes", "7"]);
+        assert_eq!(p.probes, Some(None));
+        assert_eq!(p.rest, vec!["7".to_string()]);
+        let p = parse(&["--probes=v(sl),i(vsense)"]);
+        assert_eq!(p.probes, Some(Some("v(sl),i(vsense)".to_string())));
+        assert_eq!(parse(&["--artifacts-dir"]).artifacts_dir, Some(None));
+        assert_eq!(
+            parse(&["--artifacts-dir=out/am"]).artifacts_dir,
+            Some(Some("out/am".to_string()))
+        );
+        let off = parse(&["7"]);
+        assert_eq!(off.probes, None);
+        assert_eq!(off.artifacts_dir, None);
+    }
+
+    #[test]
+    fn probe_labels_sanitize_to_filename_stems() {
+        assert_eq!(sanitize_label("v(bl_sense)"), "v_bl_sense");
+        assert_eq!(sanitize_label("i(vsense:0)"), "i_vsense_0");
     }
 
     #[test]

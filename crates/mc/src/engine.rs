@@ -1,5 +1,6 @@
 //! Deterministic parallel Monte Carlo runner.
 
+use oxterm_telemetry::postmortem::{self, PostmortemReport};
 use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -176,6 +177,15 @@ impl MonteCarlo {
     /// `mc.engine.convergence_failures` counter and one
     /// `mc.engine.failed_run` note per failure carrying the run index and
     /// derived seed, so any failing run can be replayed in isolation.
+    ///
+    /// When post-mortem capture is active
+    /// ([`oxterm_telemetry::postmortem::is_active`]), every failed run also
+    /// produces one artifact bundle: the solver-level diagnostics the run
+    /// stashed (residual history, worst-residual unknowns, timestep tail,
+    /// probe tails) enriched with the run index and derived replay seed —
+    /// or a minimal `mc_run` bundle for failures that never reached a
+    /// solver. Artifact paths flow into the live progress line and into
+    /// the telemetry run report.
     pub fn try_run<T, E, F>(&self, f: F) -> Vec<Result<T, E>>
     where
         T: Send,
@@ -185,9 +195,21 @@ impl MonteCarlo {
         // The wrapper feeds the live progress line its failure count the
         // moment a run errors; the closure stays opaque to `run` otherwise.
         let out = self.run(|i, rng| {
+            let diag = postmortem::is_active();
+            if diag {
+                // Drain any stale report a previous (recovered) run left
+                // on this worker thread.
+                let _ = postmortem::take_last();
+            }
             let r = f(i, rng);
-            if r.is_err() {
-                crate::progress::note_failure();
+            if let Err(e) = &r {
+                let seed = self.seed_for_run(i);
+                let artifact = if diag {
+                    self.bundle_failure(i, seed, &e.to_string())
+                } else {
+                    None
+                };
+                crate::progress::note_failure(seed, artifact);
             }
             r
         });
@@ -215,6 +237,27 @@ impl MonteCarlo {
             }
         }
         out
+    }
+
+    /// Turns one failed run's stashed solver diagnostics (or nothing, for
+    /// failures that never reached a solver) into a post-mortem artifact
+    /// carrying the run index and replay seed. Returns the artifact path
+    /// if one was written.
+    fn bundle_failure(&self, run_index: usize, seed: u64, error: &str) -> Option<String> {
+        let mut report = postmortem::take_last()
+            .unwrap_or_else(|| PostmortemReport::new("mc_run", error.to_string()));
+        report.run_index = Some(run_index as u64);
+        report.seed = Some(seed);
+        if report.error.is_empty() {
+            report.error = error.to_string();
+        }
+        // A solver-terminal site may already have written this report to
+        // disk; rewrite the same file with the run/seed enrichment rather
+        // than producing a second artifact for the same failure.
+        match report.artifact_path.clone() {
+            Some(path) => postmortem::write_at(&path, &report),
+            None => postmortem::write_report(&mut report),
+        }
     }
 }
 

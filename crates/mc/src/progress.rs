@@ -23,14 +23,46 @@ const THROTTLE: Duration = Duration::from_millis(500);
 
 static FAILURES: AtomicU64 = AtomicU64::new(0);
 
-/// Records one failed run for the live status line.
+/// The most recent failure's replay seed and artifact path, for the status
+/// line — a hung overnight campaign is then debuggable from stderr alone.
+#[derive(Debug)]
+struct LastFailure {
+    seed: u64,
+    artifact: Option<String>,
+}
+
+static LAST_FAILURE: Mutex<Option<LastFailure>> = Mutex::new(None);
+
+/// Records one failed run for the live status line: `seed` is the derived
+/// replay seed of the failing run, `artifact` the post-mortem artifact
+/// path if one was written.
 ///
 /// Called by [`MonteCarlo::try_run`] the moment a run returns `Err`, so the
 /// failure count on the progress line is current rather than post-hoc.
 ///
 /// [`MonteCarlo::try_run`]: crate::MonteCarlo::try_run
-pub fn note_failure() {
+pub fn note_failure(seed: u64, artifact: Option<String>) {
     FAILURES.fetch_add(1, Ordering::Relaxed);
+    *LAST_FAILURE.lock() = Some(LastFailure { seed, artifact });
+}
+
+/// Status-line suffix describing the most recent failure (empty while no
+/// run has failed).
+fn last_failure_suffix(failures: u64) -> String {
+    if failures == 0 {
+        return String::new();
+    }
+    match &*LAST_FAILURE.lock() {
+        Some(LastFailure {
+            seed,
+            artifact: Some(path),
+        }) => format!(" (last seed {seed:#018x} -> {path})"),
+        Some(LastFailure {
+            seed,
+            artifact: None,
+        }) => format!(" (last seed {seed:#018x})"),
+        None => String::new(),
+    }
 }
 
 /// Per-campaign progress state shared across worker threads.
@@ -52,6 +84,7 @@ impl CampaignProgress {
     /// process-wide progress switch is on.
     pub fn start(total: usize, threads: usize) -> Self {
         FAILURES.store(0, Ordering::Relaxed);
+        *LAST_FAILURE.lock() = None;
         let now = Instant::now();
         CampaignProgress {
             enabled: oxterm_telemetry::progress::enabled(),
@@ -124,8 +157,9 @@ impl CampaignProgress {
         let eta_s = if last { elapsed } else { eta };
         eprintln!(
             "mc: {done}/{total} ({pct:.1}%) | {rate:.1} runs/s | {tag} {eta_s:.1}s | \
-             util {util:.0}% | failures {failures}",
+             util {util:.0}% | failures {failures}{last_failure}",
             total = self.total,
+            last_failure = last_failure_suffix(failures),
         );
     }
 }
@@ -145,12 +179,33 @@ mod tests {
         assert_eq!(p.done.load(Ordering::Relaxed), 0);
     }
 
+    /// Serializes tests that touch the process-global failure state.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn failures_reset_per_campaign() {
-        note_failure();
-        note_failure();
+        let _guard = TEST_LOCK.lock();
+        note_failure(0x123, None);
+        note_failure(0x456, Some("results/postmortem_tran_0.json".into()));
         assert!(FAILURES.load(Ordering::Relaxed) >= 2);
         let _p = CampaignProgress::start(5, 1);
         assert_eq!(FAILURES.load(Ordering::Relaxed), 0);
+        assert!(LAST_FAILURE.lock().is_none());
+    }
+
+    #[test]
+    fn last_failure_suffix_names_seed_and_artifact() {
+        let _guard = TEST_LOCK.lock();
+        note_failure(0xABC, None);
+        let s = last_failure_suffix(1);
+        assert!(s.contains("0x0000000000000abc"), "{s}");
+        note_failure(0xDEF, Some("results/postmortem_tran_3.json".into()));
+        let s = last_failure_suffix(2);
+        assert!(s.contains("0x0000000000000def"), "{s}");
+        assert!(s.contains("results/postmortem_tran_3.json"), "{s}");
+        // Reset so other tests see a clean slate; zero failures shows
+        // nothing regardless of the stored record.
+        assert_eq!(last_failure_suffix(0), "");
+        *LAST_FAILURE.lock() = None;
     }
 }

@@ -89,6 +89,13 @@ pub(crate) struct NewtonOutcome {
 }
 
 /// Damped Newton–Raphson at fixed `kind`/`source_factor`/`gshunt`.
+///
+/// When post-mortem capture is active
+/// ([`oxterm_telemetry::postmortem::is_active`]), a failed solve stashes a
+/// diagnostic report — per-iteration residual ∞-norm history plus the
+/// top-K worst-residual unknowns named via `Circuit::unknown_name` — for a
+/// terminal failure site to enrich and write. Inactive capture costs one
+/// relaxed atomic load per solve.
 pub(crate) fn newton_solve(
     circuit: &Circuit,
     x0: &[f64],
@@ -103,18 +110,32 @@ pub(crate) fn newton_solve(
     let linear = !circuit.has_nonlinear();
     let tel = Telemetry::global();
     tel.incr("spice.newton.solves");
+    let time = match kind {
+        AnalysisKind::Dc => 0.0,
+        AnalysisKind::Tran { time, .. } => time,
+    };
+    let diag_on = oxterm_telemetry::postmortem::is_active();
+    let mut residual_history: Vec<f64> = Vec::new();
+    let mut ratios: Vec<f64> = Vec::new();
     let mut x = x0.to_vec();
     let mut worst = f64::INFINITY;
     for iter in 0..opts.max_newton_iters {
         let x_new = assemble_and_solve(circuit, &x, state, kind, source_factor, gshunt, opts)?;
         if x_new.iter().any(|v| !v.is_finite()) {
             tel.incr("spice.newton.failures");
+            if diag_on {
+                crate::postmortem::stash_newton_failure(
+                    circuit,
+                    time,
+                    "non-finite solution vector",
+                    &residual_history,
+                    &ratios,
+                    &x,
+                );
+            }
             return Err(SpiceError::NoConvergence {
                 analysis: "newton",
-                time: match kind {
-                    AnalysisKind::Dc => 0.0,
-                    AnalysisKind::Tran { time, .. } => time,
-                },
+                time,
                 detail: "non-finite solution vector".into(),
             });
         }
@@ -124,14 +145,24 @@ pub(crate) fn newton_solve(
         }
         let mut converged = true;
         worst = 0.0;
+        if diag_on {
+            ratios.clear();
+        }
         for i in 0..n {
             let atol = if i < nn { opts.vntol } else { opts.abstol };
             let tol = atol + opts.reltol * x_new[i].abs().max(x[i].abs());
             let err = (x_new[i] - x[i]).abs();
-            worst = worst.max(err / tol);
+            let ratio = err / tol;
+            worst = worst.max(ratio);
             if err > tol {
                 converged = false;
             }
+            if diag_on {
+                ratios.push(ratio);
+            }
+        }
+        if diag_on && residual_history.len() < crate::postmortem::MAX_RESIDUAL_HISTORY {
+            residual_history.push(worst);
         }
         if converged {
             tel.record("spice.newton.iterations", (iter + 1) as f64);
@@ -156,15 +187,23 @@ pub(crate) fn newton_solve(
     }
     tel.incr("spice.newton.failures");
     tel.record("spice.newton.final_residual", worst);
+    let detail = format!(
+        "{} iterations, worst error {worst:.2} × tolerance",
+        opts.max_newton_iters
+    );
+    if diag_on {
+        crate::postmortem::stash_newton_failure(
+            circuit,
+            time,
+            &detail,
+            &residual_history,
+            &ratios,
+            &x,
+        );
+    }
     Err(SpiceError::NoConvergence {
         analysis: "newton",
-        time: match kind {
-            AnalysisKind::Dc => 0.0,
-            AnalysisKind::Tran { time, .. } => time,
-        },
-        detail: format!(
-            "{} iterations, worst error {worst:.2} × tolerance",
-            opts.max_newton_iters
-        ),
+        time,
+        detail,
     })
 }

@@ -49,13 +49,22 @@ pub fn solve_op_from(
     let sim = &opts.sim;
     let tel = Telemetry::global();
     tel.incr("spice.op.solves");
+    // Convergence-aid escalation record, kept only while post-mortem
+    // capture is active (one relaxed load when off).
+    let diag_on = oxterm_telemetry::postmortem::is_active();
+    let mut escalations: Vec<String> = Vec::new();
 
     // 1. Direct Newton.
-    if let Ok(NewtonOutcome { x, .. }) =
-        newton_solve(circuit, &x0, &state, AnalysisKind::Dc, 1.0, sim.gmin, sim)
-    {
-        tel.incr("spice.op.direct");
-        return Ok(Solution::new(x, nn));
+    match newton_solve(circuit, &x0, &state, AnalysisKind::Dc, 1.0, sim.gmin, sim) {
+        Ok(NewtonOutcome { x, .. }) => {
+            tel.incr("spice.op.direct");
+            return Ok(Solution::new(x, nn));
+        }
+        Err(e) => {
+            if diag_on {
+                escalations.push(format!("direct Newton failed: {e}"));
+            }
+        }
     }
 
     // 2. Gmin stepping.
@@ -65,20 +74,32 @@ pub fn solve_op_from(
     while gshunt > sim.gmin * 1.01 {
         match newton_solve(circuit, &x, &state, AnalysisKind::Dc, 1.0, gshunt, sim) {
             Ok(out) => x = out.x,
-            Err(_) => {
+            Err(e) => {
                 gmin_ok = false;
+                if diag_on {
+                    escalations.push(format!("gmin stepping failed at gshunt {gshunt:.1e}: {e}"));
+                }
                 break;
             }
         }
         gshunt *= 0.1;
     }
     if gmin_ok {
-        if let Ok(out) = newton_solve(circuit, &x, &state, AnalysisKind::Dc, 1.0, sim.gmin, sim) {
-            tel.incr("spice.op.gmin_recoveries");
-            // Convergence-aid escalation: the direct solve failed and gmin
-            // stepping rescued it — worth a mark on the solver timeline.
-            Tracer::global().instant(Track::Solver, "gmin_recovery", &[]);
-            return Ok(Solution::new(out.x, nn));
+        match newton_solve(circuit, &x, &state, AnalysisKind::Dc, 1.0, sim.gmin, sim) {
+            Ok(out) => {
+                tel.incr("spice.op.gmin_recoveries");
+                // Convergence-aid escalation: the direct solve failed and gmin
+                // stepping rescued it — worth a mark on the solver timeline.
+                Tracer::global().instant(Track::Solver, "gmin_recovery", &[]);
+                return Ok(Solution::new(out.x, nn));
+            }
+            Err(e) => {
+                if diag_on {
+                    escalations.push(format!(
+                        "gmin stepping converged but the final solve at gmin failed: {e}"
+                    ));
+                }
+            }
         }
     }
 
@@ -107,12 +128,19 @@ pub fn solve_op_from(
                         "op_failure",
                         &[Arg::u64("failures", failures as u64)],
                     );
+                    let detail =
+                        format!("direct, gmin and source stepping all failed (last: {last_err})");
+                    if diag_on {
+                        escalations.push(format!(
+                            "source stepping abandoned after {failures} failed solves \
+                             at factor {factor:.3}, step {step:.1e}"
+                        ));
+                        crate::postmortem::record_op_failure(&detail, escalations);
+                    }
                     return Err(SpiceError::NoConvergence {
                         analysis: "op",
                         time: 0.0,
-                        detail: format!(
-                            "direct, gmin and source stepping all failed (last: {last_err})"
-                        ),
+                        detail,
                     });
                 }
             }

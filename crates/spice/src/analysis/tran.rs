@@ -12,6 +12,8 @@ use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
 use crate::analysis::{newton_solve, op::solve_op, NewtonOutcome};
 use crate::circuit::{Circuit, ElementId, NodeId};
 use crate::device::{AnalysisKind, UpdateContext};
+use crate::postmortem::{record_tran_failure, TimestepRing, PROBE_TAIL_LEN};
+use crate::probe::{ProbeCapture, ProbeRecorder};
 use crate::solution::Solution;
 use crate::waveform::Waveform;
 use crate::SpiceError;
@@ -60,6 +62,9 @@ pub struct TranResult {
     n_node_unknowns: usize,
     /// Whether a monitor ended the run before `t_stop`.
     pub stopped_early: bool,
+    /// Signal probes captured during the run (empty unless
+    /// [`TranOptions::probes`] named any).
+    pub probes: ProbeCapture,
 }
 
 impl TranResult {
@@ -181,9 +186,22 @@ pub fn run_transient(
     let tracer = Tracer::global();
     let mut tran_span = tracer.span(Track::Solver, "tran");
     tran_span.arg(Arg::f64("t_stop_s", opts.t_stop));
+    // Resolve probes before any solving: probing a missing node/device is
+    // a configuration error and should fail fast.
+    let mut probes = if opts.probes.is_empty() {
+        ProbeRecorder::default()
+    } else {
+        ProbeRecorder::resolve(&opts.probes, circuit)?
+    };
+    // Timestep history for post-mortem artifacts: a bounded Copy-write
+    // ring, kept only while capture is active.
+    let mut ts_ring = oxterm_telemetry::postmortem::is_active().then(TimestepRing::new);
     let op = solve_op(circuit, &OpOptions { sim })?;
     let mut state = circuit.initial_state();
     prime_states(circuit, op.as_slice(), &mut state, opts);
+    if !probes.is_empty() {
+        probes.record(0.0, op.as_slice(), tracer.now_ns());
+    }
 
     let mut result = TranResult {
         times: vec![0.0],
@@ -191,6 +209,7 @@ pub fn run_transient(
         states: vec![state.clone()],
         n_node_unknowns: nn,
         stopped_early: false,
+        probes: ProbeCapture::default(),
     };
 
     let breakpoints = circuit.breakpoints();
@@ -208,10 +227,20 @@ pub fn run_transient(
 
     while t < opts.t_stop - t_eps {
         if accepted >= opts.max_steps {
-            return Err(SpiceError::StepLimit {
+            let err = SpiceError::StepLimit {
                 time: t,
                 max_steps: opts.max_steps,
-            });
+            };
+            record_tran_failure(
+                circuit,
+                &err,
+                t,
+                false,
+                ts_ring.as_ref(),
+                &x,
+                probes.tails(PROBE_TAIL_LEN),
+            );
+            return Err(err);
         }
         // Propose a step, clipped to breakpoints and the stop time.
         let mut dt_try = dt.min(dt_max).min(opts.t_stop - t);
@@ -229,10 +258,20 @@ pub fn run_transient(
         loop {
             attempts += 1;
             if attempts > attempt_budget {
-                return Err(SpiceError::StepLimit {
+                let err = SpiceError::StepLimit {
                     time: t,
                     max_steps: opts.max_steps,
-                });
+                };
+                record_tran_failure(
+                    circuit,
+                    &err,
+                    t,
+                    false,
+                    ts_ring.as_ref(),
+                    &x,
+                    probes.tails(PROBE_TAIL_LEN),
+                );
+                return Err(err);
             }
             let kind = AnalysisKind::Tran {
                 time: t + dt_try,
@@ -253,10 +292,22 @@ pub fn run_transient(
                     );
                     dt_try *= 0.5;
                     if dt_try < opts.dt_min {
-                        return Err(SpiceError::TimestepTooSmall {
+                        let err = SpiceError::TimestepTooSmall {
                             time: t,
                             dt: dt_try,
-                        });
+                        };
+                        // The Newton failure that collapsed the step just
+                        // stashed its diagnostics; fold them in.
+                        record_tran_failure(
+                            circuit,
+                            &err,
+                            t,
+                            true,
+                            ts_ring.as_ref(),
+                            &x,
+                            probes.tails(PROBE_TAIL_LEN),
+                        );
+                        return Err(err);
                     }
                     continue;
                 }
@@ -323,6 +374,12 @@ pub fn run_transient(
             result.data.push(x.clone());
             result.states.push(state.clone());
             accepted += 1;
+            if let Some(ring) = &mut ts_ring {
+                ring.push(t, dt_try, iters as u32);
+            }
+            if !probes.is_empty() {
+                probes.record(t, &x, tracer.now_ns());
+            }
             if let Some(c) = &c_accept {
                 c.incr();
             }
@@ -348,6 +405,7 @@ pub fn run_transient(
 
             if action == MonitorAction::Stop {
                 result.stopped_early = true;
+                result.probes = probes.into_capture();
                 tran_span.arg(Arg::u64("steps_accepted", accepted as u64));
                 tran_span.arg(Arg::f64("t_end_sim_s", t));
                 tran_span.finish();
@@ -357,6 +415,7 @@ pub fn run_transient(
             break;
         }
     }
+    result.probes = probes.into_capture();
     tran_span.arg(Arg::u64("steps_accepted", accepted as u64));
     tran_span.arg(Arg::f64("t_end_sim_s", t));
     tran_span.finish();

@@ -269,6 +269,31 @@ impl Circuit {
         Ok(self.n_nodes() - 1 + el.branch_offset + k)
     }
 
+    /// Human-readable name of an MNA unknown, for diagnostics: `v(node)`
+    /// for node voltages, `i(device)` (or `i(device:k)` for multi-branch
+    /// devices) for branch currents, `?(u)` for out-of-range indices.
+    ///
+    /// This is the map convergence diagnostics use to point at circuit
+    /// structure instead of raw vector indices.
+    pub fn unknown_name(&self, u: usize) -> String {
+        let nn = self.n_nodes() - 1;
+        if u < nn {
+            return format!("v({})", self.node_names[u + 1]);
+        }
+        let b = u - nn;
+        for el in &self.elements {
+            if b >= el.branch_offset && b < el.branch_offset + el.n_branches {
+                let k = b - el.branch_offset;
+                return if el.n_branches > 1 {
+                    format!("i({}:{k})", el.device.name())
+                } else {
+                    format!("i({})", el.device.name())
+                };
+            }
+        }
+        format!("?({u})")
+    }
+
     /// The range of a device's state slice within the circuit-wide state
     /// vector.
     ///
@@ -435,6 +460,38 @@ mod tests {
         assert!(c.branch_unknown(d2, 1).is_err());
         let st = c.initial_state();
         assert_eq!(st, vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn unknown_names_cover_nodes_and_branches() {
+        let mut c = Circuit::new();
+        c.node("sl");
+        c.node("bl");
+        let d1 = c.add(Dummy {
+            name: "vsense".into(),
+            branches: 1,
+            state: 0,
+        });
+        let d2 = c.add(Dummy {
+            name: "xfer".into(),
+            branches: 2,
+            state: 0,
+        });
+        assert_eq!(c.unknown_name(0), "v(sl)");
+        assert_eq!(c.unknown_name(1), "v(bl)");
+        assert_eq!(
+            c.unknown_name(c.branch_unknown(d1, 0).unwrap()),
+            "i(vsense)"
+        );
+        assert_eq!(
+            c.unknown_name(c.branch_unknown(d2, 0).unwrap()),
+            "i(xfer:0)"
+        );
+        assert_eq!(
+            c.unknown_name(c.branch_unknown(d2, 1).unwrap()),
+            "i(xfer:1)"
+        );
+        assert_eq!(c.unknown_name(99), "?(99)");
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Solver-side builders for failure post-mortem reports.
+//!
+//! The generic report type, the thread-local hand-off and the artifact
+//! writer live in [`oxterm_telemetry::postmortem`] — the only layer allowed
+//! to touch disk (`cargo xtask lint` bans `std::fs` writes in solver
+//! crates). This module maps solver state onto those reports:
+//!
+//! * [`newton_solve`](crate::analysis) **stashes** a report per failed
+//!   attempt (thread-local only — attempts may be retried or escalated),
+//!   carrying the per-iteration residual history and the top-K
+//!   worst-residual unknowns named via [`Circuit::unknown_name`];
+//! * terminal failure sites — `solve_op` after all fallbacks, transient
+//!   analysis on `TimestepTooSmall`/`StepLimit` — take the stashed report,
+//!   enrich it (escalation ladder, timestep tail, last accepted solution,
+//!   probe tails) and **record** it, which writes one artifact per failure
+//!   when an artifacts directory is configured;
+//! * the Monte Carlo engine further enriches recorded reports with the
+//!   failed run's index and replay seed (see `oxterm-mc`).
+//!
+//! Everything here is gated on [`postmortem::is_active`]: with capture off
+//! (the default) the solver pays one relaxed atomic load per failure path
+//! and nothing on success paths.
+
+use oxterm_telemetry::postmortem::{
+    self, PostmortemReport, ProbeTail, TimestepRecord, WorstUnknown,
+};
+
+use crate::circuit::Circuit;
+
+/// How many worst-residual unknowns a report names.
+pub const TOP_K: usize = 5;
+
+/// Cap on the per-iteration residual history kept per attempt.
+pub const MAX_RESIDUAL_HISTORY: usize = 512;
+
+/// Cap on the named last-solution entries embedded in an artifact.
+pub const SOLUTION_CAP: usize = 64;
+
+/// How many trailing samples of each probe an artifact embeds.
+pub const PROBE_TAIL_LEN: usize = 32;
+
+/// Capacity of the transient timestep-history ring.
+pub const TIMESTEP_RING_CAP: usize = 64;
+
+/// Fixed-capacity ring of the most recent accepted transient steps.
+///
+/// Pushes are a `Copy` write — no allocation after construction — so the
+/// accept path stays cheap while diagnostics are active.
+#[derive(Debug, Clone)]
+pub struct TimestepRing {
+    buf: Vec<TimestepRecord>,
+    head: usize,
+}
+
+impl TimestepRing {
+    /// An empty ring with [`TIMESTEP_RING_CAP`] slots pre-allocated.
+    pub fn new() -> Self {
+        TimestepRing {
+            buf: Vec::with_capacity(TIMESTEP_RING_CAP),
+            head: 0,
+        }
+    }
+
+    /// Records one accepted step, evicting the oldest past capacity.
+    pub fn push(&mut self, t: f64, dt: f64, newton_iters: u32) {
+        let rec = TimestepRecord {
+            t,
+            dt,
+            newton_iters,
+        };
+        if self.buf.len() < TIMESTEP_RING_CAP {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % TIMESTEP_RING_CAP;
+        }
+    }
+
+    /// The retained steps, oldest first.
+    pub fn to_vec(&self) -> Vec<TimestepRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+impl Default for TimestepRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Names the [`TOP_K`] unknowns with the largest `err/tol` ratios.
+pub(crate) fn worst_unknowns(
+    circuit: &Circuit,
+    ratios: &[f64],
+    values: &[f64],
+) -> Vec<WorstUnknown> {
+    let mut idx: Vec<usize> = (0..ratios.len()).collect();
+    idx.sort_by(|a, b| ratios[*b].total_cmp(&ratios[*a]));
+    idx.truncate(TOP_K);
+    idx.into_iter()
+        .map(|i| WorstUnknown {
+            name: circuit.unknown_name(i),
+            residual_x_tol: ratios[i],
+            value: values.get(i).copied().unwrap_or(f64::NAN),
+        })
+        .collect()
+}
+
+/// Names the first [`SOLUTION_CAP`] unknowns of a solution vector.
+pub(crate) fn named_solution(circuit: &Circuit, x: &[f64]) -> Vec<(String, f64)> {
+    x.iter()
+        .take(SOLUTION_CAP)
+        .enumerate()
+        .map(|(i, v)| (circuit.unknown_name(i), *v))
+        .collect()
+}
+
+/// Stashes a Newton-attempt failure (thread-local only; see module docs).
+pub(crate) fn stash_newton_failure(
+    circuit: &Circuit,
+    time: f64,
+    detail: &str,
+    residual_history: &[f64],
+    ratios: &[f64],
+    iterate: &[f64],
+) {
+    if !postmortem::is_active() {
+        return;
+    }
+    let mut r = PostmortemReport::new("newton", detail);
+    r.sim_time = time;
+    r.residual_history = residual_history.to_vec();
+    r.worst_unknowns = worst_unknowns(circuit, ratios, iterate);
+    r.last_solution = named_solution(circuit, iterate);
+    postmortem::stash(r);
+}
+
+/// Records a terminal operating-point failure: folds the stashed Newton
+/// diagnostics (if any) under the escalation ladder and writes the
+/// artifact.
+pub(crate) fn record_op_failure(detail: &str, escalations: Vec<String>) {
+    if !postmortem::is_active() {
+        return;
+    }
+    let mut r = postmortem::take_last()
+        .filter(|r| r.kind == "newton")
+        .unwrap_or_default();
+    r.kind = "op".into();
+    r.error = detail.into();
+    r.sim_time = 0.0;
+    r.escalations = escalations;
+    postmortem::record(r);
+}
+
+/// Records a terminal transient failure (`TimestepTooSmall`, `StepLimit`).
+///
+/// `with_newton_diag` keeps the stashed Newton residual history /
+/// worst-unknowns (true for convergence collapses, false for step-budget
+/// exhaustion, where the last stash would be stale).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_tran_failure(
+    circuit: &Circuit,
+    error: &crate::SpiceError,
+    time: f64,
+    with_newton_diag: bool,
+    timesteps: Option<&TimestepRing>,
+    last_accepted: &[f64],
+    probe_tails: Vec<(String, Vec<(f64, f64)>)>,
+) {
+    if !postmortem::is_active() {
+        return;
+    }
+    let stashed = postmortem::take_last().filter(|r| r.kind == "newton");
+    let mut r = if with_newton_diag {
+        stashed.unwrap_or_default()
+    } else {
+        PostmortemReport::default()
+    };
+    r.kind = "tran".into();
+    r.error = error.to_string();
+    r.sim_time = time;
+    if let Some(ring) = timesteps {
+        r.timestep_tail = ring.to_vec();
+    }
+    r.last_solution = named_solution(circuit, last_accepted);
+    r.probe_tails = probe_tails
+        .into_iter()
+        .map(|(label, samples)| ProbeTail { label, samples })
+        .collect();
+    postmortem::record(r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestep_ring_keeps_newest_in_order() {
+        let mut ring = TimestepRing::new();
+        for i in 0..(TIMESTEP_RING_CAP + 10) {
+            ring.push(i as f64 * 1e-9, 1e-9, i as u32);
+        }
+        let v = ring.to_vec();
+        assert_eq!(v.len(), TIMESTEP_RING_CAP);
+        // Oldest retained is step 10; newest is the last pushed.
+        assert_eq!(v[0].newton_iters, 10);
+        assert_eq!(
+            v.last().unwrap().newton_iters,
+            (TIMESTEP_RING_CAP + 10 - 1) as u32
+        );
+        for w in v.windows(2) {
+            assert!(w[0].t < w[1].t);
+        }
+    }
+
+    #[test]
+    fn worst_unknowns_are_ranked_and_named() {
+        let mut c = Circuit::new();
+        c.node("a");
+        c.node("b");
+        c.node("c");
+        let ratios = [0.5, 9.0, 3.0];
+        let values = [1.0, 2.0, 3.0];
+        let worst = worst_unknowns(&c, &ratios, &values);
+        assert_eq!(worst.len(), 3);
+        assert_eq!(worst[0].name, "v(b)");
+        assert_eq!(worst[0].residual_x_tol, 9.0);
+        assert_eq!(worst[0].value, 2.0);
+        assert_eq!(worst[1].name, "v(c)");
+        assert_eq!(worst[2].name, "v(a)");
+    }
+
+    #[test]
+    fn named_solution_is_capped() {
+        let mut c = Circuit::new();
+        for i in 0..100 {
+            c.node(&format!("n{i}"));
+        }
+        let x = vec![1.0; 100];
+        let named = named_solution(&c, &x);
+        assert_eq!(named.len(), SOLUTION_CAP);
+        assert_eq!(named[0].0, "v(n0)");
+    }
+}

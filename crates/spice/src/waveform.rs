@@ -90,7 +90,19 @@ impl Waveform {
 
     /// First time the waveform crosses `level` in the given direction, by
     /// linear interpolation between samples.
+    ///
+    /// Boundary semantics: a record whose **first sample sits exactly on
+    /// `level`** is reported as a crossing at `t(0)` in every direction —
+    /// the record begins on the level, so it has already reached it. (This
+    /// also covers single-sample records.) Interior segments are
+    /// departure-exclusive and arrival-inclusive: a segment crosses when it
+    /// starts strictly on one side of the level and reaches or passes it,
+    /// so a waveform that touches the level and stays there reports the
+    /// first touch only.
     pub fn first_crossing(&self, level: f64, dir: CrossDir) -> Option<f64> {
+        if self.y[0] == level {
+            return Some(self.t[0]);
+        }
         for w in 0..self.t.len().saturating_sub(1) {
             let (y0, y1) = (self.y[w], self.y[w + 1]);
             let crossed = match dir {
@@ -194,6 +206,54 @@ mod tests {
         assert_eq!(w.first_crossing(3.0, CrossDir::Any), None);
         let any = w.first_crossing(0.5, CrossDir::Any).unwrap();
         assert!((any - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_sample_on_level_is_a_crossing() {
+        // Regression: the old predicate (`y0 < level && y1 >= level`) never
+        // reported a record whose first sample sits exactly on the level.
+        let w = Waveform::from_parts(vec![0.0, 1.0], vec![1.0, 2.0]);
+        assert_eq!(w.first_crossing(1.0, CrossDir::Rising), Some(0.0));
+        assert_eq!(w.first_crossing(1.0, CrossDir::Falling), Some(0.0));
+        assert_eq!(w.first_crossing(1.0, CrossDir::Any), Some(0.0));
+        // A later sample landing exactly on the level still counts
+        // (arrival-inclusive), matching the pre-fix behaviour.
+        let v = Waveform::from_parts(vec![0.0, 1.0], vec![2.0, 1.0]);
+        assert_eq!(v.first_crossing(1.0, CrossDir::Falling), Some(1.0));
+    }
+
+    #[test]
+    fn single_sample_records() {
+        let w = Waveform::from_parts(vec![5.0], vec![1.0]);
+        assert_eq!(w.first_crossing(1.0, CrossDir::Any), Some(5.0));
+        assert_eq!(w.first_crossing(1.0, CrossDir::Rising), Some(5.0));
+        assert_eq!(w.first_crossing(2.0, CrossDir::Any), None);
+        assert_eq!(w.value_at(0.0), 1.0);
+        assert_eq!(w.last(), 1.0);
+    }
+
+    #[test]
+    fn value_at_with_duplicate_timestamps() {
+        // Duplicate timestamps occur at breakpoints (pre/post source-edge
+        // samples); interpolation at the duplicated time resolves to the
+        // post-edge sample.
+        let w = Waveform::from_parts(vec![0.0, 1.0, 1.0, 2.0], vec![0.0, 1.0, 3.0, 3.0]);
+        assert_eq!(w.value_at(1.0), 3.0);
+        assert_eq!(w.value_at(0.5), 0.5);
+        assert_eq!(w.value_at(1.5), 3.0);
+    }
+
+    #[test]
+    fn integral_range_with_bounds_outside_the_record() {
+        let w = ramp();
+        // Bounds straddling the record clamp to it.
+        assert!((w.integral_range(-1.0, 3.0) - 2.0).abs() < 1e-12);
+        // Entirely before or after the record integrates to zero.
+        assert_eq!(w.integral_range(-5.0, -1.0), 0.0);
+        assert_eq!(w.integral_range(5.0, 6.0), 0.0);
+        // Degenerate and inverted ranges are zero.
+        assert_eq!(w.integral_range(1.0, 1.0), 0.0);
+        assert_eq!(w.integral_range(2.0, 1.0), 0.0);
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //! Perfetto or an ASCII timeline ([`trace_export`]). [`Tracer`] mirrors
 //! the [`Telemetry`] handle pattern — disabled is one branch, installed
 //! per process. [`progress`] owns the opt-in switch for live Monte Carlo
-//! campaign progress on stderr.
+//! campaign progress on stderr. [`postmortem`] owns failure artifacts:
+//! solver layers hand it structured reports on non-convergence, and it is
+//! the only path that writes them to disk (solver crates are lint-banned
+//! from direct `std::fs` writes).
 //!
 //! # Handles
 //!
@@ -56,6 +59,7 @@
 mod counter;
 mod histogram;
 mod json;
+pub mod postmortem;
 pub mod progress;
 mod registry;
 mod report;
@@ -70,6 +74,7 @@ pub use registry::Registry;
 pub use report::RunReport;
 pub use span::Span;
 pub use trace::{Arg, ArgValue, EventKind, TraceEvent, TraceSnapshot, TraceSpan, Tracer, Track};
+pub use trace_export::CounterTrack;
 
 use std::sync::{Arc, OnceLock};
 

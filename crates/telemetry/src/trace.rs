@@ -364,6 +364,18 @@ impl Tracer {
         }
     }
 
+    /// Wall nanoseconds since this tracer was created, or `None` when
+    /// disabled.
+    ///
+    /// This is the only sanctioned wall-clock read for solver crates
+    /// (`cargo xtask lint` bans `Instant::now` there): probe capture uses
+    /// it to stamp samples so they can render as Perfetto counter tracks
+    /// on the same timeline as the flight-recorder spans.
+    #[inline]
+    pub fn now_ns(&self) -> Option<u64> {
+        self.inner.as_ref().map(|sink| sink.now_ns())
+    }
+
     /// Merges every shard into a time-sorted snapshot. The recorder keeps
     /// running; this copies, it does not drain.
     pub fn snapshot(&self) -> TraceSnapshot {

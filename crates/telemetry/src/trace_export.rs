@@ -16,9 +16,33 @@
 use crate::json::JsonWriter;
 use crate::trace::{ArgValue, EventKind, TraceEvent, TraceSnapshot};
 
+/// One numeric signal to render as a Perfetto counter track alongside the
+/// span/instant events: a probe waveform, a residual envelope, any
+/// `(wall ns, value)` series.
+///
+/// Counter samples use the same wall-nanosecond clock as [`TraceEvent`]
+/// timestamps (see [`crate::Tracer::now_ns`]), so the signal lines up
+/// under the solver/program spans in the viewer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterTrack {
+    /// Track name as shown in the viewer (e.g. `v(sl)`).
+    pub name: String,
+    /// Unit suffix folded into the series name (e.g. `V`, `A`; may be
+    /// empty).
+    pub unit: String,
+    /// `(wall ns, value)` samples, time-sorted.
+    pub points: Vec<(u64, f64)>,
+}
+
 impl TraceSnapshot {
     /// Serializes the snapshot as Chrome trace-event JSON.
     pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_with_counters(&[])
+    }
+
+    /// Serializes the snapshot as Chrome trace-event JSON with additional
+    /// counter tracks (`"ph":"C"` events) merged onto the same timeline.
+    pub fn to_chrome_json_with_counters(&self, counters: &[CounterTrack]) -> String {
         let mut w = JsonWriter::new();
         w.begin_object();
         w.string("displayTimeUnit", "ns");
@@ -30,6 +54,25 @@ impl TraceSnapshot {
         }
         for ev in &self.events {
             event_json(&mut w, ev);
+        }
+        for track in counters {
+            let series = if track.unit.is_empty() {
+                "value".to_string()
+            } else {
+                track.unit.clone()
+            };
+            for (ts_ns, value) in &track.points {
+                w.begin_object();
+                w.string("ph", "C");
+                w.string("name", &track.name);
+                w.string("cat", "probe");
+                w.u64("pid", 1);
+                w.f64("ts", *ts_ns as f64 / 1e3);
+                w.begin_object_key("args");
+                w.f64(&series, *value);
+                w.end_object();
+                w.end_object();
+            }
         }
         w.end_array();
         // Extra top-level data is allowed by the format; record the drop
@@ -265,6 +308,27 @@ mod tests {
         );
         assert!(text.contains("key instants:"), "{text}");
         assert!(text.contains("more instants"), "{text}");
+    }
+
+    #[test]
+    fn counter_tracks_merge_into_the_chrome_json() {
+        let track = CounterTrack {
+            name: "v(sl)".into(),
+            unit: "V".into(),
+            points: vec![(1_000, 1.35), (2_000, 1.20)],
+        };
+        let json = sample().to_chrome_json_with_counters(&[track]);
+        assert!(json.contains(r#""ph":"C""#), "{json}");
+        assert!(json.contains(r#""name":"v(sl)""#), "{json}");
+        assert!(json.contains(r#""cat":"probe""#), "{json}");
+        assert!(json.contains(r#""args":{"V":1.35}"#), "{json}");
+        // Counter timestamps are microseconds like everything else.
+        assert!(json.contains(r#""ts":1.0"#), "{json}");
+        // Span/instant events still present alongside the counters.
+        assert!(json.contains(r#""ph":"X""#), "{json}");
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!   the telemetry layer; a solver that reads the clock directly breaks
 //!   the zero-overhead-when-disabled contract and makes runs
 //!   irreproducible under tracing.
+//! * **`std::fs` ban in solver crates** — artifact I/O (post-mortem
+//!   bundles, probe CSVs, trace files) is owned by `oxterm-telemetry` and
+//!   the bench binaries; a solver writing files directly bypasses the
+//!   artifacts-dir configuration and the telemetry artifact accounting.
 //! * **`#![forbid(unsafe_code)]` headers** — every library crate must
 //!   carry the attribute in its `lib.rs`.
 //!
@@ -103,10 +107,22 @@ fn lint() -> ExitCode {
         let src = crates_dir.join(krate).join("src");
         for file in library_sources(&src) {
             let text = std::fs::read_to_string(&file).unwrap_or_default();
-            if strip_comments(&strip_test_modules(&text)).contains("Instant::now") {
+            let code: String = strip_test_modules(&text)
+                .lines()
+                .map(strip_comments)
+                .collect::<Vec<_>>()
+                .join("\n");
+            if code.contains("Instant::now") {
                 violations.push(format!(
                     "solver crate `{krate}`: {} reads the wall clock (Instant::now); \
                      route timing through oxterm-telemetry",
+                    rel(&file, &root)
+                ));
+            }
+            if let Some(pattern) = fs_access(&code) {
+                violations.push(format!(
+                    "solver crate `{krate}`: {} touches the filesystem ({pattern}); \
+                     route artifact I/O through oxterm-telemetry",
                     rel(&file, &root)
                 ));
             }
@@ -250,6 +266,24 @@ fn strip_comments(line: &str) -> &str {
     }
 }
 
+/// Detects filesystem access in solver-crate library code. Returns the
+/// first offending pattern, or `None` for a clean file. Catches both the
+/// path-qualified calls (`std::fs::write(...)`) and the common import
+/// forms (`use std::fs`, `fs::write(`, `File::create(`).
+fn fs_access(code: &str) -> Option<&'static str> {
+    const PATTERNS: &[&str] = &[
+        "std::fs",
+        "use std::fs",
+        "fs::write(",
+        "fs::create_dir",
+        "fs::File",
+        "File::create(",
+        "File::open(",
+        "OpenOptions::new(",
+    ];
+    PATTERNS.iter().find(|p| code.contains(**p)).copied()
+}
+
 /// Counts `.unwrap()` / `.expect(` occurrences outside test modules and
 /// comments.
 fn count_unwraps(src: &str) -> usize {
@@ -316,5 +350,23 @@ mod tests {
     fn comment_stripping_is_line_local() {
         assert_eq!(strip_comments("code // tail"), "code ");
         assert_eq!(strip_comments("no comment"), "no comment");
+    }
+
+    #[test]
+    fn fs_access_catches_write_forms() {
+        assert_eq!(fs_access("std::fs::write(path, data)"), Some("std::fs"));
+        assert_eq!(
+            fs_access("let f = File::create(p)?;"),
+            Some("File::create(")
+        );
+        assert_eq!(fs_access("fs::create_dir_all(dir)"), Some("fs::create_dir"));
+        assert_eq!(fs_access("let x = offset(y);"), None);
+    }
+
+    #[test]
+    fn fs_access_ignores_unrelated_identifiers() {
+        // `fs` as a variable and doc mentions stripped earlier must not trip.
+        assert_eq!(fs_access("let fs = 44_100.0;"), None);
+        assert_eq!(fs_access("offset_file_size"), None);
     }
 }
