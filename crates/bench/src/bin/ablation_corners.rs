@@ -59,7 +59,10 @@ fn trip_point(corner: Corner, i_ref: f64) -> f64 {
 }
 
 fn main() {
-    let (_args, tel_cli) = telemetry_cli::init("ablation_corners");
+    let (_args, tel_cli) = telemetry_cli::init("ablation_corners").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(e.code);
+    });
     println!("== Ablation: termination trip point across process corners ==\n");
     let mut t = Table::new(&[
         "corner",

@@ -18,11 +18,18 @@ use oxterm_spice::probe::ProbePlan;
 const DEFAULT_PROBES: &str = "v(sl),v(bl_sense),i(vsense)";
 
 fn main() {
-    let (_args, mut tel_cli) = telemetry_cli::init("fig10");
+    let (_args, mut tel_cli) = telemetry_cli::init("fig10").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(e.code);
+    });
     println!("== Fig 10: terminated RESET transient, IrefR = 10 µA ==\n");
     let opts = CircuitProgramOptions::paper_fig10();
     let plan = tel_cli
         .probe_plan(DEFAULT_PROBES)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        })
         .unwrap_or_else(ProbePlan::none);
     let term = program_cell_circuit_probed(&opts, Some(10e-6), &plan).expect("transient converges");
     tel_cli.record_probes(&term.probes);

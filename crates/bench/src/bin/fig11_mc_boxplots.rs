@@ -4,14 +4,17 @@
 //! Paper anchors: margins range from 2.1 kΩ ('0000'/'0001', worst case) to
 //! 69 kΩ ('1111'/'1110'); no distribution overlap.
 
-use oxterm_bench::campaigns::paper_qlc_campaign;
+use oxterm_bench::campaigns::{paper_qlc_campaign, supervised_qlc_campaign};
 use oxterm_bench::chart::boxplot_row;
 use oxterm_bench::table::{eng, Table};
 use oxterm_bench::telemetry_cli;
 use oxterm_mlc::margins::analyze;
 
 fn main() {
-    let (args, tel_cli) = telemetry_cli::init("fig11");
+    let (args, tel_cli) = telemetry_cli::init("fig11").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(e.code);
+    });
     if tel_cli.probes_requested() {
         eprintln!(
             "fig11: --probes applies to circuit-level transients; the MC fast path \
@@ -20,7 +23,28 @@ fn main() {
     }
     let runs = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
     println!("== Fig 11: HRS box plots, {runs} MC runs × 16 compliance currents ==\n");
-    let campaign = paper_qlc_campaign(runs);
+    // Resume/retry bookkeeping goes to stderr so stdout stays diff-clean
+    // between an uninterrupted campaign and a kill + --resume replay.
+    let (campaign, supervision) = match tel_cli.campaign() {
+        Some(opts) => {
+            let (campaign, outcome) = supervised_qlc_campaign(runs, opts).unwrap_or_else(|e| {
+                eprintln!("fig11: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("fig11: campaign {}", outcome.summary_line());
+            (campaign, Some(outcome))
+        }
+        None => (paper_qlc_campaign(runs), None),
+    };
+    if let Some(outcome) = &supervision {
+        println!(
+            "campaign health: {} of {} runs failed (failure fraction {:.4}, quorum {:.2})\n",
+            outcome.failures,
+            outcome.results.len(),
+            outcome.failure_fraction(),
+            outcome.quorum,
+        );
+    }
     let samples: Vec<_> = campaign.iter().map(|c| c.to_level_samples()).collect();
     let report = analyze(&samples).expect("16 populated levels");
 
@@ -93,4 +117,10 @@ fn main() {
         hi
     );
     tel_cli.finish();
+    if let Some(outcome) = &supervision {
+        let code = outcome.exit_code();
+        if code != 0 {
+            std::process::exit(code);
+        }
+    }
 }

@@ -5,14 +5,17 @@
 //! latency 4.01 µs at 6 µA, average 1.65 µs; SET adds ~20 pJ and its ~100 ns
 //! pulse is excluded from the latency numbers.
 
-use oxterm_bench::campaigns::paper_qlc_campaign;
+use oxterm_bench::campaigns::{paper_qlc_campaign, supervised_qlc_campaign};
 use oxterm_bench::chart::boxplot_row;
 use oxterm_bench::table::{eng, Table};
 use oxterm_bench::telemetry_cli;
 use oxterm_numerics::stats::{box_stats, summary};
 
 fn main() {
-    let (args, tel_cli) = telemetry_cli::init("fig13");
+    let (args, tel_cli) = telemetry_cli::init("fig13").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(e.code);
+    });
     if tel_cli.probes_requested() {
         eprintln!(
             "fig13: --probes applies to circuit-level transients; the MC fast path \
@@ -21,7 +24,28 @@ fn main() {
     }
     let runs = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
     println!("== Fig 13: energy/cell and RST latency, {runs} MC runs × 16 levels ==\n");
-    let campaign = paper_qlc_campaign(runs);
+    // Resume/retry bookkeeping goes to stderr so stdout stays diff-clean
+    // between an uninterrupted campaign and a kill + --resume replay.
+    let (campaign, supervision) = match tel_cli.campaign() {
+        Some(opts) => {
+            let (campaign, outcome) = supervised_qlc_campaign(runs, opts).unwrap_or_else(|e| {
+                eprintln!("fig13: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("fig13: campaign {}", outcome.summary_line());
+            (campaign, Some(outcome))
+        }
+        None => (paper_qlc_campaign(runs), None),
+    };
+    if let Some(outcome) = &supervision {
+        println!(
+            "campaign health: {} of {} runs failed (failure fraction {:.4}, quorum {:.2})\n",
+            outcome.failures,
+            outcome.results.len(),
+            outcome.failure_fraction(),
+            outcome.quorum,
+        );
+    }
 
     let mut all_energy = Vec::new();
     let mut all_latency = Vec::new();
@@ -67,11 +91,14 @@ fn main() {
 
     let e_summary = summary(&all_energy).expect("populated");
     let l_summary = summary(&all_latency).expect("populated");
+    // Average over the outcomes actually collected — identical to
+    // `16 × runs` on a clean campaign, correct under graceful degradation.
+    let total_outcomes = campaign.iter().map(|lc| lc.outcomes.len()).sum::<usize>();
     let set_energy = campaign
         .iter()
         .flat_map(|lc| lc.outcomes.iter().map(|o| o.set_energy_j))
         .sum::<f64>()
-        / (campaign.len() * runs) as f64;
+        / total_outcomes as f64;
     println!("\npaper vs measured:");
     println!(
         "  avg RST energy/cell : paper 25 pJ      measured {}",
@@ -98,4 +125,10 @@ fn main() {
         eng(e_hi + set_energy, "J")
     );
     tel_cli.finish();
+    if let Some(outcome) = &supervision {
+        let code = outcome.exit_code();
+        if code != 0 {
+            std::process::exit(code);
+        }
+    }
 }

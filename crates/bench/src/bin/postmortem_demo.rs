@@ -18,14 +18,17 @@
 //! gate on the whole post-mortem pipeline.
 
 use oxterm_bench::telemetry_cli;
-use oxterm_mc::MonteCarlo;
+use oxterm_mc::{MonteCarlo, RunError};
 use oxterm_mlc::program::{build_program_circuit, program_tran_options, CircuitProgramOptions};
 use oxterm_spice::analysis::tran::run_transient;
 use oxterm_spice::probe::ProbePlan;
 use rand::Rng;
 
 fn main() {
-    let (args, tel_cli) = telemetry_cli::init("postmortem_demo");
+    let (args, tel_cli) = telemetry_cli::init("postmortem_demo").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(e.code);
+    });
     let runs = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
     // The demo's whole point is the artifact bundle: default the directory
     // in when no --artifacts-dir was given.
@@ -38,10 +41,14 @@ fn main() {
 
     let plan = tel_cli
         .probe_plan("v(sl),v(bl_sense),i(vsense)")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        })
         .unwrap_or_else(|| ProbePlan::parse("v(sl),i(vsense)").expect("static spec parses"));
 
     let mc = MonteCarlo::new(runs, 0xDEAD).with_threads(1);
-    let out: Vec<Result<(), String>> = mc.try_run(|_i, rng| {
+    let out: Vec<Result<(), RunError<String>>> = mc.try_run(|_i, rng| {
         // Small per-run drive jitter: every bundle shows a distinct failing
         // operating point, replayable from its seed alone.
         let jitter: f64 = (rng.random::<f64>() - 0.5) * 0.1;
@@ -67,7 +74,7 @@ fn main() {
     for (i, r) in out.iter().enumerate() {
         let seed = mc.seed_for_run(i);
         match r {
-            Err(e) if e.contains("unexpected convergence") => {
+            Err(e) if e.to_string().contains("unexpected convergence") => {
                 println!("run {i} seed {seed:#018x}: {e}");
                 ok = false;
             }

@@ -15,7 +15,7 @@
 //! `results/telemetry_repro_all.json`.
 
 use oxterm_array::cycling::{cycle_array, CyclingConfig};
-use oxterm_bench::campaigns::mc_campaign;
+use oxterm_bench::campaigns::{mc_campaign, supervised_qlc_campaign};
 use oxterm_bench::table::{eng, Table};
 use oxterm_bench::telemetry_cli;
 use oxterm_mlc::levels::LevelAllocation;
@@ -37,7 +37,10 @@ struct Check {
 }
 
 fn main() {
-    let (mut args, mut tel_cli) = telemetry_cli::init("repro_all");
+    let (mut args, mut tel_cli) = telemetry_cli::init("repro_all").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(e.code);
+    });
     // The checklist always runs instrumented — it doubles as the perf
     // probe behind BENCH_telemetry.json (a no-op if --telemetry already
     // installed the handle).
@@ -79,6 +82,10 @@ fn main() {
     // the only circuit transient in the checklist.
     let plan = tel_cli
         .probe_plan("v(sl),v(bl_sense),i(vsense)")
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(e.code);
+        })
         .unwrap_or_else(ProbePlan::none);
     let fig10 =
         program_cell_circuit_probed(&CircuitProgramOptions::paper_fig10(), Some(10e-6), &plan);
@@ -101,8 +108,35 @@ fn main() {
         }),
     }
 
-    // Fig 11/12: margins from a reduced campaign.
-    let campaign = mc_campaign(&params, &alloc, runs, 0xA11);
+    // Fig 11/12: margins from a reduced campaign. Under `--chaos` /
+    // `--checkpoint` / `--resume` / `--quorum` the campaign runs
+    // supervised: fault-hit runs climb the retry ladder, exhausted runs
+    // leave holes in their level, and the process exit code reports
+    // degradation (3) or a quorum breach (1).
+    let supervision = tel_cli.campaign().map(|opts| {
+        supervised_qlc_campaign(runs, opts).unwrap_or_else(|e| {
+            eprintln!("repro_all: {e}");
+            std::process::exit(2);
+        })
+    });
+    let campaign = match &supervision {
+        Some((campaign, outcome)) => {
+            eprintln!("repro_all: campaign {}", outcome.summary_line());
+            checks.push(Check {
+                name: "MC campaign health (supervised)",
+                paper: "n/a".into(),
+                measured: format!(
+                    "{} of {} runs failed (quorum {:.2})",
+                    outcome.failures,
+                    outcome.results.len(),
+                    outcome.quorum
+                ),
+                pass: !outcome.quorum_breached(),
+            });
+            campaign.clone()
+        }
+        None => mc_campaign(&params, &alloc, runs, 0xA11),
+    };
     let samples: Vec<_> = campaign.iter().map(|c| c.to_level_samples()).collect();
     match analyze(&samples) {
         Ok(report) => {
@@ -225,7 +259,15 @@ fn main() {
     write_bench_summary(t_start.elapsed().as_secs_f64());
     let bench_ok = check_bench_baseline(check_bench, baseline.as_deref());
     tel_cli.finish();
-    std::process::exit(if all_pass && bench_ok { 0 } else { 1 });
+    // Anchor/bench failures dominate; otherwise the supervised campaign's
+    // code reports graceful degradation (3) or a quorum breach (1).
+    let mut code = if all_pass && bench_ok { 0 } else { 1 };
+    if code == 0 {
+        if let Some((_, outcome)) = &supervision {
+            code = outcome.exit_code();
+        }
+    }
+    std::process::exit(code);
 }
 
 /// `--check-bench`: diffs the fresh summary against the pre-run baseline.

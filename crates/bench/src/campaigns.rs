@@ -6,6 +6,7 @@
 //! paper derives those artifacts from one 500-run simulation set.
 
 use oxterm_mc::engine::MonteCarlo;
+use oxterm_mc::supervisor::{run_supervised, CampaignOutcome, SupervisorError, SupervisorOptions};
 use oxterm_mc::sweep::sweep_mc_try;
 use oxterm_mlc::levels::{LevelAllocation, LevelSpec};
 use oxterm_mlc::margins::LevelSamples;
@@ -91,6 +92,46 @@ pub fn paper_qlc_campaign(runs: usize) -> Vec<LevelCampaign> {
     )
 }
 
+/// Supervised variant of [`paper_qlc_campaign`]: `runs` programs per QLC
+/// level flattened into one `16 × runs` campaign (run `i` programs level
+/// `i / runs`), executed under [`run_supervised`] so the retry ladder,
+/// panic isolation, checkpoint/resume and quorum bookkeeping cover the
+/// whole figure in a single ledger.
+///
+/// Runs whose retry ladder is exhausted simply leave a hole in their
+/// level's sample set; the returned [`CampaignOutcome`] carries the
+/// failure fraction and suggested process exit code. The flat indexing
+/// gives this path its own (fully deterministic) sample streams — it is
+/// deliberately not bit-compatible with the unsupervised per-level sweep
+/// of [`mc_campaign`].
+pub fn supervised_qlc_campaign(
+    runs: usize,
+    opts: &SupervisorOptions,
+) -> Result<(Vec<LevelCampaign>, CampaignOutcome<ProgramOutcome>), SupervisorError> {
+    let params = OxramParams::calibrated();
+    let alloc = LevelAllocation::paper_qlc();
+    let cond = ProgramConditions::paper();
+    let var = McVariability::default();
+    let levels: Vec<LevelSpec> = alloc.levels().to_vec();
+    let total = levels.len() * runs;
+    let outcome = run_supervised(MonteCarlo::new(total, 0xD47E_2021), opts, |attempt, rng| {
+        let spec = &levels[attempt.run_index as usize / runs];
+        program_cell_mc(&params, &alloc, spec.code, &cond, &var, rng).map_err(|e| e.to_string())
+    })?;
+    let campaigns = levels
+        .iter()
+        .enumerate()
+        .map(|(k, &spec)| LevelCampaign {
+            spec,
+            outcomes: outcome.results[k * runs..(k + 1) * runs]
+                .iter()
+                .filter_map(|r| r.as_ref().ok().cloned())
+                .collect(),
+        })
+        .collect();
+    Ok((campaigns, outcome))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +149,27 @@ mod tests {
             assert_eq!(lc.outcomes.len(), 5);
             assert!(lc.resistances().iter().all(|&r| r > 10e3));
         }
+    }
+
+    #[test]
+    fn supervised_campaign_covers_every_level_cleanly() {
+        let (campaign, outcome) =
+            supervised_qlc_campaign(3, &SupervisorOptions::default()).expect("campaign runs");
+        assert_eq!(campaign.len(), 16);
+        assert_eq!(outcome.exit_code(), 0);
+        assert_eq!(outcome.failures, 0);
+        for lc in &campaign {
+            assert_eq!(lc.outcomes.len(), 3);
+            assert!(lc.resistances().iter().all(|&r| r > 10e3));
+        }
+    }
+
+    #[test]
+    fn supervised_campaign_is_deterministic() {
+        let a = supervised_qlc_campaign(2, &SupervisorOptions::default()).expect("campaign runs");
+        let b = supervised_qlc_campaign(2, &SupervisorOptions::default()).expect("campaign runs");
+        assert_eq!(a.0[7].resistances(), b.0[7].resistances());
+        assert_eq!(a.0[7].energies(), b.0[7].energies());
     }
 
     #[test]

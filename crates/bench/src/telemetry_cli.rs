@@ -40,10 +40,55 @@
 //! * `--artifacts-dir[=PATH]` — write a post-mortem JSON bundle for every
 //!   Newton/op/transient non-convergence and every failed Monte Carlo run
 //!   (default directory `results/artifacts_<name>`).
+//! * `--chaos=SPEC` — arm deterministic fault injection for the binary's
+//!   Monte Carlo campaigns (e.g.
+//!   `newton_stall:p=0.02,nan_stamp:p=0.005,panic:p=0.001,slow_step:p=0.01`,
+//!   optional `seed=N` entry) and run them under the campaign supervisor.
+//! * `--checkpoint[=PATH]` — stream campaign checkpoints (default
+//!   `results/checkpoint_<name>.jsonl`) so a killed campaign can resume.
+//! * `--resume=PATH` — replay completed runs from a checkpoint file;
+//!   aggregates are bit-identical to the uninterrupted campaign.
+//! * `--quorum=F` — max tolerated failure fraction (default 0.1 when
+//!   supervision is active); a degraded-but-useful campaign exits 3, a
+//!   breached one exits 1.
+//!
+//! Any of the four campaign flags switches the binary's Monte Carlo
+//! campaigns onto [`oxterm_mc::run_supervised`] (retry ladder, panic
+//! isolation, graceful degradation); without them the legacy unsupervised
+//! path runs byte-identically to previous releases.
 
+use oxterm_mc::supervisor::SupervisorOptions;
 use oxterm_netlint::{corpus, lint_entry, LintConfig, LintOptions};
 use oxterm_spice::probe::{ProbeCapture, ProbePlan};
 use oxterm_telemetry::{Telemetry, TraceSnapshot, TraceSpan, Tracer, Track};
+
+/// A configuration error the binary should exit on (library code here
+/// never calls `std::process::exit` — `cargo xtask lint` bans it outside
+/// `src/bin`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable cause, ready for stderr.
+    pub message: String,
+    /// Suggested process exit code.
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliError {
+    fn config(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+}
 
 /// Whether (and how strictly) the netlint preflight runs before the
 /// experiment.
@@ -92,8 +137,26 @@ pub struct ParsedFlags {
     pub probes: Option<Option<String>>,
     /// `Some(explicit_dir)` when `--artifacts-dir[=PATH]` was present.
     pub artifacts_dir: Option<Option<String>>,
+    /// The raw `--chaos=SPEC` string, if present (validated at `init`).
+    pub chaos: Option<String>,
+    /// `Some(explicit_path)` when `--checkpoint[=PATH]` was present.
+    pub checkpoint: Option<Option<String>>,
+    /// The `--resume=PATH` path, if present.
+    pub resume: Option<String>,
+    /// The raw `--quorum=F` string, if present (validated at `init`).
+    pub quorum: Option<String>,
     /// Remaining (positional) arguments, in order.
     pub rest: Vec<String>,
+}
+
+impl ParsedFlags {
+    /// Whether any campaign-supervision flag was given.
+    pub fn wants_supervision(&self) -> bool {
+        self.chaos.is_some()
+            || self.checkpoint.is_some()
+            || self.resume.is_some()
+            || self.quorum.is_some()
+    }
 }
 
 /// Splits recognised flags from positional arguments without side effects.
@@ -105,6 +168,10 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
         lint: LintMode::Off,
         probes: None,
         artifacts_dir: None,
+        chaos: None,
+        checkpoint: None,
+        resume: None,
+        quorum: None,
         rest: Vec::new(),
     };
     for a in args {
@@ -134,6 +201,16 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
             parsed.artifacts_dir = Some(None);
         } else if let Some(dir) = a.strip_prefix("--artifacts-dir=") {
             parsed.artifacts_dir = Some(Some(dir.to_string()));
+        } else if let Some(spec) = a.strip_prefix("--chaos=") {
+            parsed.chaos = Some(spec.to_string());
+        } else if a == "--checkpoint" {
+            parsed.checkpoint = Some(None);
+        } else if let Some(path) = a.strip_prefix("--checkpoint=") {
+            parsed.checkpoint = Some(Some(path.to_string()));
+        } else if let Some(path) = a.strip_prefix("--resume=") {
+            parsed.resume = Some(path.to_string());
+        } else if let Some(q) = a.strip_prefix("--quorum=") {
+            parsed.quorum = Some(q.to_string());
         } else {
             parsed.rest.push(a);
         }
@@ -153,6 +230,9 @@ pub struct TelemetryCli {
     /// Probe captures handed back by the experiment (CSV + counter-track
     /// emission happens in [`TelemetryCli::finish`]).
     captures: Vec<ProbeCapture>,
+    /// Campaign supervision options when any of `--chaos` / `--checkpoint`
+    /// / `--resume` / `--quorum` was given.
+    campaign: Option<SupervisorOptions>,
     /// Whole-binary span on the bench track, opened at `init` so every
     /// trace has at least one lane framing the run.
     bench_span: TraceSpan,
@@ -163,7 +243,11 @@ pub struct TelemetryCli {
 ///
 /// `name` keys the default output files: `results/telemetry_<name>.json`
 /// and `results/trace_<name>.json`.
-pub fn init(name: &'static str) -> (Vec<String>, TelemetryCli) {
+///
+/// A configuration error (bad `--chaos` spec, out-of-range `--quorum`,
+/// deny-mode lint findings) comes back as a [`CliError`]; the binary
+/// prints it and exits with [`CliError::code`].
+pub fn init(name: &'static str) -> Result<(Vec<String>, TelemetryCli), CliError> {
     init_from(name, std::env::args().skip(1))
 }
 
@@ -171,12 +255,23 @@ pub fn init(name: &'static str) -> (Vec<String>, TelemetryCli) {
 pub fn init_from(
     name: &'static str,
     args: impl Iterator<Item = String>,
-) -> (Vec<String>, TelemetryCli) {
+) -> Result<(Vec<String>, TelemetryCli), CliError> {
     let parsed = parse_flags(args);
     if parsed.mode != TelemetryMode::Off {
         Telemetry::install(Telemetry::enabled());
     }
-    lint_preflight(name, parsed.lint);
+    lint_preflight(name, parsed.lint)?;
+    let campaign = campaign_options(name, &parsed)?;
+    if let Some(spec) = &parsed.chaos {
+        let plan = oxterm_chaos::FaultPlan::parse(spec)
+            .map_err(|e| CliError::config(format!("{name}: bad --chaos spec {spec:?}: {e}")))?;
+        oxterm_chaos::arm(plan);
+        eprintln!(
+            "chaos({name}): armed plan {} (hash {:#018x})",
+            plan.canonical(),
+            plan.hash()
+        );
+    }
     let trace_to = parsed.trace.map(|explicit| {
         Tracer::install(Tracer::enabled());
         explicit.unwrap_or_else(|| format!("results/trace_{name}.json"))
@@ -195,7 +290,7 @@ pub fn init_from(
         "positional_args",
         parsed.rest.len() as u64,
     ));
-    (
+    Ok((
         parsed.rest,
         TelemetryCli {
             mode: parsed.mode,
@@ -203,9 +298,47 @@ pub fn init_from(
             name,
             probes: parsed.probes,
             captures: Vec::new(),
+            campaign,
             bench_span,
         },
-    )
+    ))
+}
+
+/// Builds the supervisor configuration requested by the campaign flags,
+/// or `None` when none of them was given (legacy unsupervised path).
+fn campaign_options(
+    name: &str,
+    parsed: &ParsedFlags,
+) -> Result<Option<SupervisorOptions>, CliError> {
+    if !parsed.wants_supervision() {
+        return Ok(None);
+    }
+    let mut opts = SupervisorOptions {
+        // CLI campaigns tolerate a little more than the library default:
+        // chaos smokes deliberately push several percent of runs to
+        // ladder exhaustion.
+        quorum: 0.1,
+        ..SupervisorOptions::default()
+    };
+    if let Some(q) = &parsed.quorum {
+        let v: f64 = q
+            .parse()
+            .map_err(|_| CliError::config(format!("{name}: bad --quorum value {q:?}")))?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(CliError::config(format!(
+                "{name}: --quorum must be within [0, 1], got {q}"
+            )));
+        }
+        opts.quorum = v;
+    }
+    if let Some(path) = &parsed.checkpoint {
+        opts.checkpoint_path = Some(
+            path.clone()
+                .unwrap_or_else(|| format!("results/checkpoint_{name}.jsonl")),
+        );
+    }
+    opts.resume_from = parsed.resume.clone();
+    Ok(Some(opts))
 }
 
 impl TelemetryCli {
@@ -214,23 +347,28 @@ impl TelemetryCli {
         &self.mode
     }
 
-    /// The probe plan requested by `--probes[=SPEC]`, or `None` when the
-    /// flag was absent. `default_spec` is the binary's canonical signal
-    /// set, used when the flag carries no explicit spec.
+    /// The probe plan requested by `--probes[=SPEC]`, or `Ok(None)` when
+    /// the flag was absent. `default_spec` is the binary's canonical
+    /// signal set, used when the flag carries no explicit spec.
     ///
-    /// A malformed spec is a configuration error: the message goes to
-    /// stderr and the process exits with status 2 before simulating
+    /// A malformed spec is a configuration error (exit code 2) surfaced
+    /// as a [`CliError`] so the binary can report it before simulating
     /// anything.
-    pub fn probe_plan(&self, default_spec: &str) -> Option<ProbePlan> {
-        let spec = self.probes.as_ref()?;
+    pub fn probe_plan(&self, default_spec: &str) -> Result<Option<ProbePlan>, CliError> {
+        let Some(spec) = self.probes.as_ref() else {
+            return Ok(None);
+        };
         let spec = spec.as_deref().unwrap_or(default_spec);
-        match ProbePlan::parse(spec) {
-            Ok(plan) => Some(plan),
-            Err(e) => {
-                eprintln!("{}: bad --probes spec {spec:?}: {e}", self.name);
-                std::process::exit(2);
-            }
-        }
+        ProbePlan::parse(spec).map(Some).map_err(|e| {
+            CliError::config(format!("{}: bad --probes spec {spec:?}: {e}", self.name))
+        })
+    }
+
+    /// The campaign supervision options requested by `--chaos` /
+    /// `--checkpoint` / `--resume` / `--quorum`, or `None` when the
+    /// binary should keep its legacy unsupervised Monte Carlo path.
+    pub fn campaign(&self) -> Option<&SupervisorOptions> {
+        self.campaign.as_ref()
     }
 
     /// Whether `--probes[=SPEC]` was given at all — binaries without a
@@ -327,9 +465,9 @@ fn sanitize_label(label: &str) -> String {
 /// Runs the netlint preflight over the corpus slice keyed by the binary
 /// name, folds the finding counts into the telemetry report, and — in
 /// deny mode — refuses to start the experiment on a dirty netlist.
-fn lint_preflight(name: &str, mode: LintMode) {
+fn lint_preflight(name: &str, mode: LintMode) -> Result<(), CliError> {
     if mode == LintMode::Off {
-        return;
+        return Ok(());
     }
     let mut config = LintConfig::new();
     if mode == LintMode::Deny {
@@ -358,9 +496,11 @@ fn lint_preflight(name: &str, mode: LintMode) {
         entries.len()
     );
     if mode == LintMode::Deny && deny > 0 {
-        eprintln!("netlint({name}): refusing to run with deny findings (--lint=deny)");
-        std::process::exit(2);
+        return Err(CliError::config(format!(
+            "netlint({name}): refusing to run with deny findings (--lint=deny)"
+        )));
     }
+    Ok(())
 }
 
 /// Folds per-track-class drop counts into the telemetry report so ring
@@ -491,5 +631,74 @@ mod tests {
         assert_eq!(p.lint, LintMode::Warn);
         assert_eq!(p.rest, vec!["7".to_string()]);
         assert_eq!(parse(&["--lint=deny"]).lint, LintMode::Deny);
+    }
+
+    #[test]
+    fn campaign_flags_parse() {
+        let p = parse(&[
+            "--chaos=newton_stall:p=0.02,seed=7",
+            "--checkpoint",
+            "--resume=ckpt.jsonl",
+            "--quorum=0.2",
+            "500",
+        ]);
+        assert_eq!(p.chaos, Some("newton_stall:p=0.02,seed=7".to_string()));
+        assert_eq!(p.checkpoint, Some(None));
+        assert_eq!(p.resume, Some("ckpt.jsonl".to_string()));
+        assert_eq!(p.quorum, Some("0.2".to_string()));
+        assert_eq!(p.rest, vec!["500".to_string()]);
+        assert!(p.wants_supervision());
+        assert_eq!(
+            parse(&["--checkpoint=out/c.jsonl"]).checkpoint,
+            Some(Some("out/c.jsonl".to_string()))
+        );
+        assert!(!parse(&["500"]).wants_supervision());
+    }
+
+    #[test]
+    fn campaign_options_apply_cli_defaults() {
+        let opts = campaign_options("fig11", &parse(&["--checkpoint", "--quorum=0.25"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.quorum, 0.25);
+        assert_eq!(
+            opts.checkpoint_path.as_deref(),
+            Some("results/checkpoint_fig11.jsonl")
+        );
+        assert_eq!(opts.resume_from, None);
+
+        let defaulted = campaign_options("fig11", &parse(&["--chaos=panic:p=0.01"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(defaulted.quorum, 0.1);
+        assert_eq!(defaulted.checkpoint_path, None);
+
+        assert_eq!(campaign_options("fig11", &parse(&["500"])).unwrap(), None);
+    }
+
+    #[test]
+    fn campaign_options_reject_bad_quorum() {
+        for bad in ["--quorum=nope", "--quorum=-0.1", "--quorum=1.5"] {
+            let err = campaign_options("fig11", &parse(&[bad])).unwrap_err();
+            assert_eq!(err.code, 2, "{bad} should be a config error");
+            assert!(err.message.contains("--quorum"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn probe_plan_surfaces_parse_errors_as_config_errors() {
+        let (_, cli) = init_from("cli_test", ["--probes=bogus!!".to_string()].into_iter())
+            .expect("init accepts a probes flag");
+        let err = cli.probe_plan("v(sl)").unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--probes"), "{}", err.message);
+    }
+
+    #[test]
+    fn init_rejects_bad_chaos_spec() {
+        let err = init_from("cli_test", ["--chaos=bogus:p=2".to_string()].into_iter())
+            .expect_err("invalid chaos spec must be a config error");
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--chaos"), "{}", err.message);
     }
 }

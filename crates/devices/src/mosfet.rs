@@ -380,7 +380,11 @@ impl Device for Mosfet {
         let e = self.eval(vd, vg, vs, vb);
 
         // Linearized drain-source current: i ≈ Σ g_x·v_x + I_eq.
-        let i_eq = e.id - e.gm * vg - e.gd * vd - e.gs * vs - e.gb * vb;
+        let mut i_eq = e.id - e.gm * vg - e.gd * vd - e.gs * vs - e.gb * vb;
+        if oxterm_chaos::should_inject(oxterm_chaos::FaultKind::NanStamp) {
+            Telemetry::global().incr("chaos.injected.nan_stamp");
+            i_eq = f64::NAN;
+        }
         let ud = ctx.node_unknown(self.d);
         let us = ctx.node_unknown(self.s);
         let cols = [

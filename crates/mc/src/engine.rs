@@ -10,6 +10,42 @@ use std::time::Instant;
 
 use crate::progress::CampaignProgress;
 
+/// How one fallible Monte Carlo run failed.
+///
+/// [`MonteCarlo::try_run`] isolates worker panics with
+/// `std::panic::catch_unwind`, so a panicking run becomes one
+/// [`RunError::Panic`] result instead of aborting the whole campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError<E> {
+    /// The run closure returned an error.
+    Run(E),
+    /// The run closure panicked; the payload rendered as a string.
+    Panic(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for RunError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Run(e) => e.fmt(f),
+            RunError::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for RunError<E> {}
+
+/// Renders a `catch_unwind` payload as a string (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A Monte Carlo campaign: `runs` independent evaluations of a closure.
 ///
 /// Every run gets a private RNG seeded from `(seed, run_index)` through a
@@ -186,7 +222,14 @@ impl MonteCarlo {
     /// or a minimal `mc_run` bundle for failures that never reached a
     /// solver. Artifact paths flow into the live progress line and into
     /// the telemetry run report.
-    pub fn try_run<T, E, F>(&self, f: F) -> Vec<Result<T, E>>
+    ///
+    /// Worker panics are isolated: the closure runs under
+    /// `std::panic::catch_unwind`, so a panicking run yields one
+    /// [`RunError::Panic`] result (payload as the error string) plus a
+    /// post-mortem bundle, and every other run completes normally. Each
+    /// run is also bracketed for `oxterm-chaos` fault injection (inert
+    /// unless a plan is armed).
+    pub fn try_run<T, E, F>(&self, f: F) -> Vec<Result<T, RunError<E>>>
     where
         T: Send,
         E: Send + std::fmt::Display,
@@ -201,7 +244,20 @@ impl MonteCarlo {
                 // on this worker thread.
                 let _ = postmortem::take_last();
             }
-            let r = f(i, rng);
+            oxterm_chaos::begin_run(i as u64, 0);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if oxterm_chaos::should_inject(oxterm_chaos::FaultKind::Panic) {
+                    Telemetry::global().incr("chaos.injected.panic");
+                    panic!("chaos: injected worker panic (run {i})");
+                }
+                f(i, rng)
+            }));
+            oxterm_chaos::end_run();
+            let r = match caught {
+                Ok(Ok(v)) => Ok(v),
+                Ok(Err(e)) => Err(RunError::Run(e)),
+                Err(payload) => Err(RunError::Panic(panic_message(payload))),
+            };
             if let Err(e) = &r {
                 let seed = self.seed_for_run(i);
                 let artifact = if diag {
@@ -220,6 +276,9 @@ impl MonteCarlo {
                 if let Err(e) = r {
                     if tel.is_enabled() {
                         tel.incr("mc.engine.convergence_failures");
+                        if matches!(e, RunError::Panic(_)) {
+                            tel.incr("mc.engine.panicked_runs");
+                        }
                         tel.note(
                             "mc.engine.failed_run",
                             format!("run {i} seed {:#018x}: {e}", self.seed_for_run(i)),
@@ -261,7 +320,7 @@ impl MonteCarlo {
     }
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -315,7 +374,7 @@ mod tests {
     #[test]
     fn try_run_keeps_failures_in_place() {
         let campaign = MonteCarlo::new(20, 5).with_threads(4);
-        let out: Vec<Result<usize, String>> = campaign.try_run(|i, _| {
+        let out: Vec<Result<usize, RunError<String>>> = campaign.try_run(|i, _| {
             if i % 3 == 0 {
                 Err(format!("no convergence in run {i}"))
             } else {
@@ -325,10 +384,52 @@ mod tests {
         assert_eq!(out.len(), 20);
         for (i, r) in out.iter().enumerate() {
             if i % 3 == 0 {
-                assert!(r.is_err());
+                assert_eq!(
+                    *r.as_ref().unwrap_err(),
+                    RunError::Run(format!("no convergence in run {i}"))
+                );
             } else {
                 assert_eq!(*r.as_ref().unwrap(), i);
             }
+        }
+    }
+
+    #[test]
+    fn panicking_run_is_isolated_to_one_failure() {
+        // Regression: a panic inside one worker closure must become a
+        // single failed-run result, not poison or abort the campaign.
+        let campaign = MonteCarlo::new(30, 5).with_threads(4);
+        let out: Vec<Result<usize, RunError<String>>> = campaign.try_run(|i, _| {
+            if i == 13 {
+                panic!("deliberate panic in run {i}");
+            }
+            Ok(i)
+        });
+        assert_eq!(out.len(), 30);
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                match r {
+                    Err(RunError::Panic(msg)) => {
+                        assert!(msg.contains("deliberate panic in run 13"), "{msg}");
+                    }
+                    other => panic!("expected Panic error, got {other:?}"),
+                }
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_payload_rendering() {
+        let campaign = MonteCarlo::new(1, 0).with_threads(1);
+        let out: Vec<Result<(), RunError<String>>> =
+            campaign.try_run(|_, _| -> Result<(), String> {
+                std::panic::panic_any(String::from("owned payload"));
+            });
+        match &out[0] {
+            Err(RunError::Panic(msg)) => assert_eq!(msg, "owned payload"),
+            other => panic!("expected Panic, got {other:?}"),
         }
     }
 

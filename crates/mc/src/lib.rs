@@ -8,7 +8,13 @@
 //! * [`engine`] — a deterministic parallel runner: every run gets an
 //!   independent RNG derived from `(seed, run_index)`, so results are
 //!   bit-identical regardless of thread count or scheduling,
-//! * [`sweep`] — parameter sweeps of Monte Carlo campaigns.
+//! * [`sweep`] — parameter sweeps of Monte Carlo campaigns,
+//! * [`supervisor`] — resilient campaign supervision: per-run retry
+//!   ladder with bounded option relaxation, `catch_unwind` panic
+//!   isolation, wall-clock run budgets and graceful degradation under a
+//!   failure quorum,
+//! * [`checkpoint`] — crash-safe campaign snapshots (`f64` bit patterns,
+//!   atomic tmp+rename writes) that `--resume` replays bit-identically.
 //!
 //! # Examples
 //!
@@ -24,11 +30,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod convergence;
 pub mod corners;
 pub mod dist;
 pub mod engine;
 pub mod progress;
+pub mod supervisor;
 pub mod sweep;
 
-pub use engine::MonteCarlo;
+pub use engine::{MonteCarlo, RunError};
+pub use supervisor::{run_supervised, CampaignOutcome, SupervisorOptions};

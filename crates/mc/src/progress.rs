@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 const THROTTLE: Duration = Duration::from_millis(500);
 
 static FAILURES: AtomicU64 = AtomicU64::new(0);
+static RETRIES: AtomicU64 = AtomicU64::new(0);
 
 /// The most recent failure's replay seed and artifact path, for the status
 /// line — a hung overnight campaign is then debuggable from stderr alone.
@@ -44,6 +45,13 @@ static LAST_FAILURE: Mutex<Option<LastFailure>> = Mutex::new(None);
 pub fn note_failure(seed: u64, artifact: Option<String>) {
     FAILURES.fetch_add(1, Ordering::Relaxed);
     *LAST_FAILURE.lock() = Some(LastFailure { seed, artifact });
+}
+
+/// Records one retried attempt for the live status line (the campaign
+/// supervisor calls this when a failed attempt is about to be retried
+/// rather than declared a failure).
+pub fn note_retry() {
+    RETRIES.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Status-line suffix describing the most recent failure (empty while no
@@ -84,6 +92,7 @@ impl CampaignProgress {
     /// process-wide progress switch is on.
     pub fn start(total: usize, threads: usize) -> Self {
         FAILURES.store(0, Ordering::Relaxed);
+        RETRIES.store(0, Ordering::Relaxed);
         *LAST_FAILURE.lock() = None;
         let now = Instant::now();
         CampaignProgress {
@@ -138,30 +147,81 @@ impl CampaignProgress {
     }
 
     fn print_line(&self, done: usize, last: bool) {
-        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
-        let rate = done as f64 / elapsed;
-        let pct = if self.total == 0 {
-            100.0
-        } else {
-            100.0 * done as f64 / self.total as f64
-        };
-        let eta = if done == 0 || done >= self.total {
-            0.0
-        } else {
-            (self.total - done) as f64 / rate
-        };
+        let elapsed = self.started.elapsed().as_secs_f64();
         let busy = self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
-        let util = 100.0 * busy / (elapsed * self.threads as f64);
         let failures = FAILURES.load(Ordering::Relaxed);
-        let tag = if last { "done" } else { "eta" };
-        let eta_s = if last { elapsed } else { eta };
+        let retries = RETRIES.load(Ordering::Relaxed);
         eprintln!(
-            "mc: {done}/{total} ({pct:.1}%) | {rate:.1} runs/s | {tag} {eta_s:.1}s | \
-             util {util:.0}% | failures {failures}{last_failure}",
-            total = self.total,
-            last_failure = last_failure_suffix(failures),
+            "{}",
+            compose_line(
+                done,
+                self.total,
+                self.threads,
+                elapsed,
+                busy,
+                failures,
+                retries,
+                last,
+                &last_failure_suffix(failures),
+            )
         );
     }
+}
+
+/// Formats one status line from raw campaign counters.
+///
+/// Pure so the arithmetic guards are unit-testable: zero-completed,
+/// zero-elapsed and all-failed campaigns must never print `inf`/`NaN`
+/// (degenerate ETAs render as `--`).
+#[allow(clippy::too_many_arguments)]
+fn compose_line(
+    done: usize,
+    total: usize,
+    threads: usize,
+    elapsed_s: f64,
+    busy_s: f64,
+    failures: u64,
+    retries: u64,
+    last: bool,
+    failure_suffix: &str,
+) -> String {
+    let elapsed = if elapsed_s.is_finite() && elapsed_s > 0.0 {
+        elapsed_s
+    } else {
+        0.0
+    };
+    let rate = if elapsed > 0.0 {
+        done as f64 / elapsed
+    } else {
+        0.0
+    };
+    let pct = if total == 0 {
+        100.0
+    } else {
+        100.0 * done as f64 / total as f64
+    };
+    let util = if elapsed > 0.0 && threads > 0 && busy_s.is_finite() && busy_s >= 0.0 {
+        100.0 * busy_s / (elapsed * threads as f64)
+    } else {
+        0.0
+    };
+    let timing = if last {
+        format!("done {elapsed:.1}s")
+    } else if done == 0 || done >= total || rate <= 0.0 {
+        "eta --".to_string()
+    } else {
+        let eta = (total - done) as f64 / rate;
+        format!("eta {eta:.1}s")
+    };
+    let retry_part = if retries > 0 {
+        format!(" retries {retries}")
+    } else {
+        String::new()
+    };
+    format!(
+        "mc: {done}/{total} ({pct:.1}%) | {rate:.1} runs/s | {timing} | \
+         util {util:.0}% | failures {failures}{retry_part}{failure_suffix}"
+    )
 }
 
 #[cfg(test)]
@@ -191,6 +251,43 @@ mod tests {
         let _p = CampaignProgress::start(5, 1);
         assert_eq!(FAILURES.load(Ordering::Relaxed), 0);
         assert!(LAST_FAILURE.lock().is_none());
+    }
+
+    #[test]
+    fn compose_line_never_prints_inf_or_nan() {
+        // Degenerate campaign shapes: nothing completed, zero wall time,
+        // zero threads, all runs failed, zero total.
+        let cases = [
+            compose_line(0, 100, 4, 0.0, 0.0, 0, 0, false, ""),
+            compose_line(0, 100, 4, f64::NAN, f64::NAN, 0, 0, false, ""),
+            compose_line(0, 0, 0, 0.0, 0.0, 0, 0, true, ""),
+            compose_line(50, 50, 4, 0.0, 0.0, 50, 0, true, ""),
+            compose_line(1, 100, 4, -1.0, -1.0, 1, 0, false, ""),
+        ];
+        for line in &cases {
+            assert!(!line.contains("inf"), "{line}");
+            assert!(!line.to_lowercase().contains("nan"), "{line}");
+        }
+        // Zero-completed campaigns show a placeholder ETA, not a number.
+        assert!(cases[0].contains("eta --"), "{}", cases[0]);
+    }
+
+    #[test]
+    fn compose_line_shows_retries_next_to_failures() {
+        let line = compose_line(10, 20, 2, 1.0, 1.5, 3, 7, false, "");
+        assert!(line.contains("failures 3 retries 7"), "{line}");
+        let quiet = compose_line(10, 20, 2, 1.0, 1.5, 0, 0, false, "");
+        assert!(!quiet.contains("retries"), "{quiet}");
+    }
+
+    #[test]
+    fn retries_reset_per_campaign() {
+        let _guard = TEST_LOCK.lock();
+        note_retry();
+        note_retry();
+        assert!(RETRIES.load(Ordering::Relaxed) >= 2);
+        let _p = CampaignProgress::start(5, 1);
+        assert_eq!(RETRIES.load(Ordering::Relaxed), 0);
     }
 
     #[test]

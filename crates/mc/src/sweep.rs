@@ -29,11 +29,16 @@ where
         .collect()
 }
 
+/// One sweep point's campaign results: every run's outcome, failures in
+/// place as [`RunError`](crate::engine::RunError).
+pub type SweptRuns<P, T, E> = Vec<(P, Vec<Result<T, crate::engine::RunError<E>>>)>;
+
 /// Fallible variant of [`sweep_mc`]: each point's campaign goes through
 /// [`MonteCarlo::try_run`], so failed runs are recorded in telemetry (with
-/// replayable seeds) and returned in place instead of panicking inside the
-/// worker.
-pub fn sweep_mc_try<P, T, E, F>(points: &[P], base: MonteCarlo, f: F) -> Vec<(P, Vec<Result<T, E>>)>
+/// replayable seeds), worker panics are isolated into
+/// [`RunError::Panic`](crate::engine::RunError) results, and failures are
+/// returned in place instead of aborting the sweep.
+pub fn sweep_mc_try<P, T, E, F>(points: &[P], base: MonteCarlo, f: F) -> SweptRuns<P, T, E>
 where
     P: Clone + Sync,
     T: Send,
@@ -88,7 +93,10 @@ mod tests {
         for (k, (_, samples)) in tried.iter().enumerate() {
             for (i, r) in samples.iter().enumerate() {
                 if i == 5 {
-                    assert!(r.is_err());
+                    assert_eq!(
+                        *r.as_ref().unwrap_err(),
+                        crate::engine::RunError::Run("synthetic failure")
+                    );
                 } else {
                     assert_eq!(*r.as_ref().unwrap(), ok[k].1[i]);
                 }

@@ -112,6 +112,13 @@ pub fn simulate_reset_termination(
     }
     let tel = Telemetry::global();
     tel.incr("rram.termination.runs");
+    if oxterm_chaos::should_inject(oxterm_chaos::FaultKind::NewtonStall) {
+        // Fast-path analogue of a forced Newton stall: the Monte Carlo
+        // volume campaigns (Figs. 11/13) program cells through this
+        // semi-analytic path, never through `newton_solve`.
+        tel.incr("chaos.injected.newton_stall");
+        return Err(RramError::Injected { site: "reset_fast" });
+    }
     // One span per fast-path terminated RESET: the Monte Carlo volume
     // driver, so the trace shows what each worker is chewing on.
     let mut trace_span = Tracer::global().span(Track::Program, "reset_fast");

@@ -131,7 +131,11 @@ impl Device for OxramCell {
         let v = ctx.v(self.te) - ctx.v(self.be);
         let rho = ctx.state()[0];
         let inst = self.effective_variation();
-        let i = model::cell_current(&self.params, &inst, v, rho);
+        let mut i = model::cell_current(&self.params, &inst, v, rho);
+        if oxterm_chaos::should_inject(oxterm_chaos::FaultKind::NanStamp) {
+            oxterm_telemetry::Telemetry::global().incr("chaos.injected.nan_stamp");
+            i = f64::NAN;
+        }
         let g = model::cell_conductance(&self.params, &inst, v, rho);
         ctx.stamp_nonlinear_branch(self.te, self.be, i, g, v);
     }

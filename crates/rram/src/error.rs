@@ -25,6 +25,12 @@ pub enum RramError {
         /// Offending value.
         value: f64,
     },
+    /// A chaos-injected fault (only produced under an armed `--chaos`
+    /// plan; see `oxterm-chaos`).
+    Injected {
+        /// Injection site.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for RramError {
@@ -42,6 +48,9 @@ impl fmt::Display for RramError {
             ),
             RramError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")
+            }
+            RramError::Injected { site } => {
+                write!(f, "chaos: injected fault at {site}")
             }
         }
     }

@@ -114,6 +114,15 @@ pub(crate) fn newton_solve(
         AnalysisKind::Dc => 0.0,
         AnalysisKind::Tran { time, .. } => time,
     };
+    if oxterm_chaos::should_inject(oxterm_chaos::FaultKind::NewtonStall) {
+        tel.incr("spice.newton.failures");
+        tel.incr("chaos.injected.newton_stall");
+        return Err(SpiceError::NoConvergence {
+            analysis: "newton",
+            time,
+            detail: "chaos: injected Newton stall".into(),
+        });
+    }
     let diag_on = oxterm_telemetry::postmortem::is_active();
     let mut residual_history: Vec<f64> = Vec::new();
     let mut ratios: Vec<f64> = Vec::new();

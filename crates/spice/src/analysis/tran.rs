@@ -253,6 +253,17 @@ pub fn run_transient(
                 dt_try = bp - t;
             }
         }
+        if oxterm_chaos::should_inject(oxterm_chaos::FaultKind::SlowStep) {
+            // Forced timestep collapse: the proposal drops to the dt_min
+            // floor, so one more Newton rejection terminates the run.
+            Telemetry::global().incr("chaos.injected.slow_step");
+            tracer.instant(
+                Track::Solver,
+                "chaos_slow_step",
+                &[Arg::f64("t_sim_s", t), Arg::f64("dt_s", opts.dt_min)],
+            );
+            dt_try = dt_try.min(opts.dt_min);
+        }
 
         // Attempt (and possibly retry) the step.
         loop {

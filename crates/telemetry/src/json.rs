@@ -116,6 +116,15 @@ impl JsonWriter {
         self
     }
 
+    /// Writes `key: true|false`.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.comma();
+        self.push_escaped(key);
+        self.out.push(':');
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
     /// Writes `key: value` for a float (`null` if non-finite).
     pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
         self.comma();

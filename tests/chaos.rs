@@ -1,0 +1,337 @@
+//! End-to-end chaos engineering gate: deterministic fault injection driven
+//! through the supervised Monte Carlo campaign.
+//!
+//! The headline test arms a fault plan that pushes well over 5 % of a
+//! 240-run campaign into ladder exhaustion and asserts the supervisor's
+//! whole contract at once: the campaign completes degraded (exit code 3),
+//! the failed-run set matches the plan's deterministic schedule exactly,
+//! and every exhausted run leaves exactly one post-mortem bundle stamped
+//! with its attempt count. A second test kills a campaign in the middle
+//! (by truncating its checkpoint) and proves `--resume` replays the
+//! completed half bit-identically.
+//!
+//! Chaos state is process-global, so every test that arms a plan
+//! serializes on [`CHAOS_LOCK`] and disarms on drop.
+
+use oxterm_chaos::{FaultKind, FaultPlan};
+use oxterm_mc::checkpoint::Checkpoint;
+use oxterm_mc::supervisor::{Attempt, Relax, RelaxLimits, RetryPolicy};
+use oxterm_mc::{run_supervised, MonteCarlo, SupervisorOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use std::sync::{Mutex, MutexGuard};
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes chaos-arming tests and guarantees a disarmed exit even when
+/// an assertion panics mid-test.
+struct ChaosSession(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl ChaosSession {
+    fn arm(plan: FaultPlan) -> Self {
+        let guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        oxterm_chaos::arm(plan);
+        let _ = oxterm_chaos::drain_injections();
+        ChaosSession(guard)
+    }
+}
+
+impl Drop for ChaosSession {
+    fn drop(&mut self) {
+        oxterm_chaos::disarm();
+        let _ = oxterm_chaos::drain_injections();
+    }
+}
+
+#[test]
+fn fault_schedule_is_deterministic_and_seed_sensitive() {
+    let spec = "newton_stall:p=0.05,nan_stamp:p=0.02,panic:p=0.01:transient,seed=42";
+    let a = FaultPlan::parse(spec).expect("spec parses");
+    let b = FaultPlan::parse(spec).expect("spec parses");
+    assert_eq!(a.hash(), b.hash());
+    assert_eq!(a.schedule(400), b.schedule(400));
+    assert!(
+        !a.schedule(400).is_empty(),
+        "a 400-run schedule at these rates must fire"
+    );
+
+    let reseeded =
+        FaultPlan::parse("newton_stall:p=0.05,nan_stamp:p=0.02,panic:p=0.01:transient,seed=43")
+            .expect("spec parses");
+    assert_ne!(a.hash(), reseeded.hash());
+    assert_ne!(
+        a.schedule(400),
+        reseeded.schedule(400),
+        "the seed must decorrelate the schedule"
+    );
+}
+
+/// The run-level failure predicate implied by the e2e plan: a persistent
+/// Newton stall fails every rung of the ladder, while a transient panic
+/// must fire on all `max_attempts` rungs to exhaust the run.
+fn plan_dooms_run(plan: &FaultPlan, run: u64, max_attempts: u64) -> bool {
+    plan.injects(run, 0, FaultKind::NewtonStall)
+        || (0..max_attempts).all(|a| plan.injects(run, a, FaultKind::Panic))
+}
+
+#[test]
+fn degraded_campaign_completes_with_one_bundle_per_exhausted_run() {
+    let plan = FaultPlan::parse("newton_stall:p=0.10,panic:p=0.02:transient,seed=77")
+        .expect("spec parses");
+    let session = ChaosSession::arm(plan);
+
+    let dir = std::env::temp_dir().join(format!("oxterm_chaos_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let dir_s = dir.to_string_lossy().to_string();
+    oxterm_telemetry::postmortem::set_artifacts_dir(dir_s.clone());
+
+    let runs = 240usize;
+    let opts = SupervisorOptions {
+        quorum: 0.25,
+        retry: RetryPolicy::default(),
+        ..SupervisorOptions::default()
+    };
+    let outcome = run_supervised(
+        MonteCarlo::new(runs, 0x5EED_CAFE),
+        &opts,
+        |att: &Attempt, _rng: &mut StdRng| -> Result<f64, String> {
+            if oxterm_chaos::should_inject(FaultKind::NewtonStall) {
+                return Err("injected newton stall".to_string());
+            }
+            Ok(att.run_index as f64)
+        },
+    )
+    .expect("supervision proceeds");
+
+    // The failed-run set is exactly the plan's deterministic schedule.
+    let expected: Vec<u64> = (0..runs as u64)
+        .filter(|&r| plan_dooms_run(&plan, r, opts.retry.max_attempts))
+        .collect();
+    let failed: Vec<u64> = outcome
+        .results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_err())
+        .map(|(i, _)| i as u64)
+        .collect();
+    assert_eq!(failed, expected, "failures must match the armed plan");
+
+    // ≥5 % of the campaign was pushed into exhaustion, yet the campaign
+    // finished degraded-but-useful under its quorum.
+    assert!(
+        outcome.failures as f64 >= 0.05 * runs as f64,
+        "the gate needs a ≥5 % fault rate, got {}/{runs}",
+        outcome.failures
+    );
+    assert!(outcome.is_degraded());
+    assert!(!outcome.quorum_breached());
+    assert_eq!(outcome.exit_code(), 3);
+    assert_eq!(outcome.ok_results().count(), runs - expected.len());
+
+    // Exactly one bundle per exhausted run, each stamped with the full
+    // ladder consumed.
+    let bundles: Vec<String> = std::fs::read_dir(&dir)
+        .expect("artifacts dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().starts_with("postmortem_"))
+                .unwrap_or(false)
+        })
+        .map(|p| std::fs::read_to_string(p).expect("bundle readable"))
+        .collect();
+    assert_eq!(
+        bundles.len(),
+        expected.len(),
+        "exactly one bundle per exhausted run"
+    );
+    for text in &bundles {
+        assert!(
+            text.contains(&format!("\"max_attempts\":{}", opts.retry.max_attempts)),
+            "bundle missing ladder size: {text}"
+        );
+        assert!(
+            text.contains(&format!("\"attempt\":{}", opts.retry.max_attempts)),
+            "an exhausted run consumes the whole ladder: {text}"
+        );
+    }
+
+    oxterm_telemetry::postmortem::set_capture(false);
+    let _ = std::fs::remove_dir_all(&dir);
+    drop(session);
+}
+
+#[test]
+fn killed_campaign_resumes_bit_identically() {
+    let plan = FaultPlan::parse("newton_stall:p=0.05,seed=9").expect("spec parses");
+    let session = ChaosSession::arm(plan);
+
+    let dir = std::env::temp_dir().join(format!("oxterm_chaos_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let full_path = dir.join("full.jsonl").to_string_lossy().to_string();
+    let torn_path = dir.join("torn.jsonl").to_string_lossy().to_string();
+
+    let campaign = MonteCarlo::new(200, 0xFEED_F00D);
+    let body = |att: &Attempt, rng: &mut StdRng| -> Result<f64, String> {
+        use rand::Rng;
+        if oxterm_chaos::should_inject(FaultKind::NewtonStall) {
+            return Err(format!("injected stall in run {}", att.run_index));
+        }
+        Ok(rng.random::<f64>().mul_add(2.0, att.run_index as f64))
+    };
+
+    let uninterrupted = run_supervised(
+        campaign,
+        &SupervisorOptions {
+            checkpoint_path: Some(full_path.clone()),
+            ..SupervisorOptions::default()
+        },
+        body,
+    )
+    .expect("uninterrupted campaign runs");
+    assert!(
+        uninterrupted.failures > 0,
+        "the plan must fail some runs so resume replays failures too"
+    );
+
+    // Simulate a SIGKILL mid-campaign: keep only the first half of the
+    // completed-run records, exactly as a torn run would have left them.
+    let mut cp = Checkpoint::load(&full_path).expect("checkpoint parses");
+    cp.records.retain(|r| r.run < 100);
+    let kept = cp.records.len() as u64;
+    assert!(kept > 0, "the truncated checkpoint must retain some runs");
+    cp.write_atomic(&torn_path).expect("torn checkpoint writes");
+
+    let resumed = run_supervised(
+        campaign,
+        &SupervisorOptions {
+            resume_from: Some(torn_path.clone()),
+            ..SupervisorOptions::default()
+        },
+        body,
+    )
+    .expect("resumed campaign runs");
+
+    assert_eq!(resumed.resumed, kept);
+    assert_eq!(uninterrupted.results.len(), resumed.results.len());
+    for (i, (a, b)) in uninterrupted
+        .results
+        .iter()
+        .zip(resumed.results.iter())
+        .enumerate()
+    {
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "run {i} diverged after resume: {x} vs {y}"
+            ),
+            (Err(x), Err(y)) => {
+                assert_eq!(x.run, y.run);
+                assert_eq!(x.attempts, y.attempts, "run {i} attempt count diverged");
+                assert_eq!(x.error, y.error, "run {i} error diverged");
+            }
+            _ => panic!("run {i} changed ok/err polarity after resume"),
+        }
+    }
+    assert_eq!(uninterrupted.failures, resumed.failures);
+
+    // A checkpoint from a different fault plan must be refused.
+    oxterm_chaos::arm(FaultPlan::parse("newton_stall:p=0.05,seed=10").expect("spec parses"));
+    let err = run_supervised(
+        campaign,
+        &SupervisorOptions {
+            resume_from: Some(torn_path),
+            ..SupervisorOptions::default()
+        },
+        body,
+    )
+    .expect_err("plan-hash mismatch must be rejected");
+    assert!(
+        err.to_string().contains("does not match"),
+        "unexpected error: {err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    drop(session);
+}
+
+#[test]
+fn ladder_never_exceeds_max_attempts() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    for max_attempts in 1..=5u64 {
+        let highest_attempt = AtomicU64::new(0);
+        let calls = AtomicU64::new(0);
+        let outcome = run_supervised(
+            MonteCarlo::new(4, 0xBAD),
+            &SupervisorOptions {
+                retry: RetryPolicy {
+                    max_attempts,
+                    ..RetryPolicy::default()
+                },
+                quorum: 1.0,
+                ..SupervisorOptions::default()
+            },
+            |att: &Attempt, _rng: &mut StdRng| -> Result<f64, String> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                highest_attempt.fetch_max(att.attempt, Ordering::Relaxed);
+                Err("always fails".to_string())
+            },
+        )
+        .expect("supervision proceeds");
+        assert_eq!(outcome.failures, 4);
+        assert_eq!(calls.load(Ordering::Relaxed), 4 * max_attempts);
+        assert_eq!(highest_attempt.load(Ordering::Relaxed), max_attempts - 1);
+        for r in &outcome.results {
+            let f = r.as_ref().expect_err("all runs fail");
+            assert_eq!(f.attempts, max_attempts);
+        }
+    }
+}
+
+#[test]
+fn disarmed_hooks_never_fire() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    // Arm a certain-fire plan, then disarm: the hooks must go quiet.
+    oxterm_chaos::arm(FaultPlan::parse("newton_stall:p=1.0,seed=1").expect("spec parses"));
+    oxterm_chaos::disarm();
+    let before = oxterm_chaos::injected_count();
+    oxterm_chaos::begin_run(0, 0);
+    for kind in oxterm_chaos::ALL_KINDS {
+        assert!(!oxterm_chaos::should_inject(kind));
+    }
+    oxterm_chaos::end_run();
+    assert_eq!(oxterm_chaos::injected_count(), before);
+}
+
+proptest! {
+    /// The relax ladder never leaves its configured bounds and never
+    /// shrinks as attempts escalate, whatever the limits.
+    #[test]
+    fn relax_ladder_respects_arbitrary_limits(
+        attempt in 0u64..5_000,
+        abstol_max in 1.0f64..1e9,
+        gmin_max in 1.0f64..1e9,
+        dt_min_max in 1.0f64..1e9,
+    ) {
+        let limits = RelaxLimits {
+            abstol_max_factor: abstol_max,
+            gmin_max_factor: gmin_max,
+            dt_min_max_factor: dt_min_max,
+        };
+        let r = Relax::for_attempt(attempt, &limits);
+        prop_assert!(r.abstol_factor >= 1.0 && r.abstol_factor <= abstol_max);
+        prop_assert!(r.gmin_factor >= 1.0 && r.gmin_factor <= gmin_max);
+        prop_assert!(r.dt_min_factor >= 1.0 && r.dt_min_factor <= dt_min_max);
+        if attempt < 2 {
+            prop_assert!(r.is_none());
+        }
+        let next = Relax::for_attempt(attempt + 1, &limits);
+        prop_assert!(next.abstol_factor >= r.abstol_factor);
+        prop_assert!(next.gmin_factor >= r.gmin_factor);
+        prop_assert!(next.dt_min_factor >= r.dt_min_factor);
+    }
+}

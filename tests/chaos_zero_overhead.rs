@@ -1,0 +1,66 @@
+//! The disarmed chaos layer's hook path must not allocate.
+//!
+//! Every fault-injection hook compiled into the solvers costs exactly one
+//! relaxed atomic load when no `--chaos` plan is armed — no heap traffic,
+//! no locks, no thread-local initialization on the hot path beyond the
+//! first touch. This binary installs a counting `#[global_allocator]` and
+//! holds `should_inject` to that promise. It contains exactly one test so
+//! no concurrent test can allocate on another thread mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use oxterm_chaos::ALL_KINDS;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disarmed_should_inject_allocates_nothing() {
+    // Never arm a plan here: the point is the disarmed path every
+    // un-flagged binary takes through the solver hooks.
+    assert!(!oxterm_chaos::is_armed());
+
+    // Warm up thread-locals and lazy statics outside the window, both
+    // inside and outside a run context.
+    for kind in ALL_KINDS {
+        assert!(!oxterm_chaos::should_inject(kind));
+    }
+    oxterm_chaos::begin_run(0, 0);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..100_000u64 {
+        for kind in ALL_KINDS {
+            assert!(!oxterm_chaos::should_inject(kind));
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    oxterm_chaos::end_run();
+
+    assert_eq!(
+        after - before,
+        0,
+        "disarmed should_inject must be one atomic load, zero allocations"
+    );
+    assert_eq!(oxterm_chaos::injected_count(), 0);
+}

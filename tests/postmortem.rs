@@ -42,11 +42,11 @@ fn failed_mc_run_leaves_a_replayable_artifact() {
 
     let probes = ProbePlan::parse("v(sl),i(vsense)").expect("spec parses");
     let mc = MonteCarlo::new(2, 0xB0B).with_threads(1);
-    let out: Vec<Result<(), String>> = mc.try_run(|_i, rng| {
+    let out: Vec<Result<(), oxterm_mc::RunError<String>>> = mc.try_run(|_i, rng| {
         let jitter = (rng.random::<f64>() - 0.5) * 0.1;
         doomed_run(jitter, &probes)
     });
-    let errors: Vec<&String> = out.iter().filter_map(|r| r.as_ref().err()).collect();
+    let errors: Vec<_> = out.iter().filter_map(|r| r.as_ref().err()).collect();
     assert_eq!(
         errors.len(),
         2,
@@ -92,7 +92,8 @@ fn failed_mc_run_leaves_a_replayable_artifact() {
     let jitter = (rng.random::<f64>() - 0.5) * 0.1;
     let replayed = doomed_run(jitter, &probes).expect_err("replay fails identically");
     assert_eq!(
-        &replayed, errors[0],
+        oxterm_mc::RunError::Run(replayed.clone()),
+        *errors[0],
         "replay diverged from the campaign run"
     );
     // And the error string is the one the artifact recorded.

@@ -49,7 +49,7 @@ fn mc_workers_increment_shared_counters_concurrently() {
 fn try_run_notes_carry_replayable_seeds() {
     let tel = global();
     let campaign = MonteCarlo::new(12, 0xBAD_5EED).with_threads(4);
-    let out: Vec<Result<usize, String>> = campaign.try_run(|i, _| {
+    let out: Vec<Result<usize, oxterm_mc::RunError<String>>> = campaign.try_run(|i, _| {
         if i == 4 || i == 7 {
             Err(format!("synthetic divergence in run {i}"))
         } else {

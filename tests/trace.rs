@@ -97,7 +97,7 @@ fn mc_workers_record_runs_on_separate_tracks() {
 fn failed_runs_emit_seed_instants_on_the_mc_track() {
     let tracer = global();
     let campaign = MonteCarlo::new(12, 0xFA11).with_threads(2);
-    let out: Vec<Result<usize, String>> = campaign.try_run(|i, _| {
+    let out: Vec<Result<usize, oxterm_mc::RunError<String>>> = campaign.try_run(|i, _| {
         if i == 5 {
             Err("synthetic divergence".to_string())
         } else {

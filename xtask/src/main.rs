@@ -14,6 +14,11 @@
 //!   bundles, probe CSVs, trace files) is owned by `oxterm-telemetry` and
 //!   the bench binaries; a solver writing files directly bypasses the
 //!   artifacts-dir configuration and the telemetry artifact accounting.
+//! * **`std::process::exit` ban in library code** — terminating the
+//!   process from a library skips destructors, telemetry flushes and
+//!   mid-campaign checkpoint writes; only `src/bin/` targets may exit.
+//!   Libraries surface errors (e.g. `CliError` with a suggested code)
+//!   and let the binary decide.
 //! * **`#![forbid(unsafe_code)]` headers** — every library crate must
 //!   carry the attribute in its `lib.rs`.
 //!
@@ -32,6 +37,7 @@ use std::process::ExitCode;
 const UNWRAP_BUDGETS: &[(&str, usize)] = &[
     ("array", 1),
     ("bench", 1),
+    ("chaos", 0),
     ("core", 0),
     ("devices", 0),
     ("examples-shim", 0),
@@ -46,7 +52,9 @@ const UNWRAP_BUDGETS: &[(&str, usize)] = &[
 
 /// Crates on the solve path: no direct wall-clock reads (`Instant::now`).
 /// Timing belongs in `oxterm-telemetry`, which is a no-op when disabled.
-const SOLVER_CRATES: &[&str] = &["numerics", "spice", "devices", "rram", "core", "array"];
+const SOLVER_CRATES: &[&str] = &[
+    "numerics", "spice", "devices", "rram", "core", "array", "chaos",
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -155,6 +163,34 @@ fn lint() -> ExitCode {
         "lint: {} library crate(s) carry #![forbid(unsafe_code)]",
         lib_crates.len()
     );
+
+    // Process-exit ban: every crate's library sources (src/bin and tests
+    // are excluded by `library_sources`). A library that exits skips
+    // destructors, telemetry flushes and mid-campaign checkpoint writes.
+    let mut exit_clean = 0usize;
+    for krate in &lib_crates {
+        let mut dirty = false;
+        for file in library_sources(&krate.join("src")) {
+            let text = std::fs::read_to_string(&file).unwrap_or_default();
+            let code: String = strip_test_modules(&text)
+                .lines()
+                .map(strip_comments)
+                .collect::<Vec<_>>()
+                .join("\n");
+            if code.contains("process::exit") {
+                dirty = true;
+                violations.push(format!(
+                    "{} calls process::exit from library code; return an error \
+                     (e.g. CliError) and let the src/bin target exit",
+                    rel(&file, &root)
+                ));
+            }
+        }
+        if !dirty {
+            exit_clean += 1;
+        }
+    }
+    println!("lint: {exit_clean} library crate(s) free of process::exit");
 
     if violations.is_empty() {
         println!("lint: workspace invariants hold");
