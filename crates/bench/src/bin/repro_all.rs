@@ -9,23 +9,37 @@
 //! exists so one command demonstrates the whole reproduction end to end.
 //!
 //! Instrumentation is always on here (the run doubles as the perf probe):
-//! a machine-readable `BENCH_telemetry.json` with throughput figures is
-//! written at exit. `--telemetry` additionally prints the full metric
-//! table, and `--telemetry=json` dumps the whole run report to
-//! `results/telemetry_repro_all.json`.
+//! a machine-readable `BENCH_telemetry.json` with throughput figures and
+//! per-phase wall-time shares is written at exit. `--telemetry`
+//! additionally prints the full metric table, and `--telemetry=json` dumps
+//! the whole run report to `results/telemetry_repro_all.json`.
+//!
+//! Perf-trajectory flags on top of the shared telemetry CLI:
+//!
+//! * `--check-bench[=PCT]` — diff the fresh summary against the committed
+//!   `BENCH_telemetry.json` baseline and fail the run on a gated
+//!   regression beyond `PCT` percent (default 25); phase-share drifts are
+//!   reported with the diff so a regression names the phase that moved.
+//! * `--bench-history[=PATH]` — append the fresh summary (stamped with the
+//!   git revision) to the JSONL trajectory (default `BENCH_history.jsonl`)
+//!   and print the recent tail.
 
 use oxterm_array::cycling::{cycle_array, CyclingConfig};
+use oxterm_bench::bench_history;
 use oxterm_bench::campaigns::{mc_campaign, supervised_qlc_campaign};
+use oxterm_bench::hotpath::matrix_stats;
 use oxterm_bench::table::{eng, Table};
 use oxterm_bench::telemetry_cli;
 use oxterm_mlc::levels::LevelAllocation;
 use oxterm_mlc::margins::analyze;
-use oxterm_mlc::program::{program_cell_circuit_probed, CircuitProgramOptions};
+use oxterm_mlc::program::{
+    build_program_circuit, program_cell_circuit_probed, CircuitProgramOptions,
+};
 use oxterm_mlc::projection::{project, ProjectionConfig};
 use oxterm_rram::calib::{simulate_reset_termination, CalibrationTarget, ResetConditions};
 use oxterm_rram::params::{InstanceVariation, OxramParams};
 use oxterm_spice::probe::ProbePlan;
-use oxterm_telemetry::Telemetry;
+use oxterm_telemetry::{Profiler, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,16 +56,26 @@ fn main() {
         std::process::exit(e.code);
     });
     // The checklist always runs instrumented — it doubles as the perf
-    // probe behind BENCH_telemetry.json (a no-op if --telemetry already
-    // installed the handle).
+    // probe behind BENCH_telemetry.json (a no-op if --telemetry or
+    // --profile already installed the handles). The profiler feeds the
+    // phase_share.* keys of the summary, so it is armed unconditionally
+    // too.
     Telemetry::install(Telemetry::enabled());
-    // `--check-bench`: snapshot the committed baseline before this run
-    // overwrites it, then gate the exit status on the throughput diff.
-    let check_bench = args.iter().any(|a| a == "--check-bench");
-    args.retain(|a| a != "--check-bench");
+    Profiler::install(Profiler::enabled());
+    // `--check-bench[=PCT]`: snapshot the committed baseline before this
+    // run overwrites it, then gate the exit status on the throughput diff
+    // (PCT is the relative-change threshold in percent, default 25).
+    let check_bench = parse_check_bench(&mut args).unwrap_or_else(|e| {
+        eprintln!("repro_all: {e}");
+        std::process::exit(2);
+    });
     let baseline = check_bench
+        .is_some()
         .then(|| std::fs::read_to_string("BENCH_telemetry.json").ok())
         .flatten();
+    // `--bench-history[=PATH]`: append this run's summary to the JSONL
+    // perf trajectory.
+    let history_to = parse_bench_history(&mut args);
     let t_start = std::time::Instant::now();
     let runs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(120);
     println!("== oxterm reproduction checklist ({runs} MC runs where applicable) ==\n");
@@ -77,6 +101,12 @@ fn main() {
         measured: format!("worst err {:.1} %", worst_err * 100.0),
         pass: worst_err < 0.06,
     });
+
+    // The Fig 10 testbench is the checklist's representative MNA system:
+    // its structural stats price the Newton work in the hot-path report.
+    if let Ok((circuit, _)) = build_program_circuit(&CircuitProgramOptions::paper_fig10()) {
+        tel_cli.record_matrix_stats(matrix_stats(&circuit));
+    }
 
     // Fig 10 anchors (circuit level). `--probes` attaches to this check —
     // the only circuit transient in the checklist.
@@ -256,8 +286,20 @@ fn main() {
         }
     );
 
-    write_bench_summary(t_start.elapsed().as_secs_f64());
+    let summary = write_bench_summary(t_start.elapsed().as_secs_f64());
     let bench_ok = check_bench_baseline(check_bench, baseline.as_deref());
+    if let Some(path) = &history_to {
+        match bench_history::append_history(path, &summary, bench_history::git_rev().as_deref()) {
+            Ok(()) => {
+                println!("bench history appended to {path}");
+                match bench_history::render_tail(path, 5) {
+                    Ok(tail) => println!("\nrecent perf trajectory (last 5):\n{tail}"),
+                    Err(e) => eprintln!("--bench-history: {e}"),
+                }
+            }
+            Err(e) => eprintln!("--bench-history: {e}"),
+        }
+    }
     tel_cli.finish();
     // Anchor/bench failures dominate; otherwise the supervised campaign's
     // code reports graceful degradation (3) or a quorum breach (1).
@@ -270,13 +312,54 @@ fn main() {
     std::process::exit(code);
 }
 
-/// `--check-bench`: diffs the fresh summary against the pre-run baseline.
-/// Returns `false` on a gated throughput regression.
-fn check_bench_baseline(requested: bool, baseline: Option<&str>) -> bool {
-    use oxterm_bench::bench_diff::{compare, parse_flat_json, render, DEFAULT_THRESHOLD};
-    if !requested {
-        return true;
+/// Parses (and strips) `--check-bench[=PCT]`, returning the relative
+/// threshold as a fraction. `PCT` must be a finite percentage in
+/// `(0, 100]`; anything else is a configuration error.
+fn parse_check_bench(args: &mut Vec<String>) -> Result<Option<f64>, String> {
+    use oxterm_bench::bench_diff::DEFAULT_THRESHOLD;
+    let mut threshold = None;
+    for a in args.iter() {
+        if a == "--check-bench" {
+            threshold = Some(DEFAULT_THRESHOLD);
+        } else if let Some(pct) = a.strip_prefix("--check-bench=") {
+            let v: f64 = pct
+                .parse()
+                .map_err(|_| format!("bad --check-bench percentage {pct:?}"))?;
+            if !v.is_finite() || v <= 0.0 || v > 100.0 {
+                return Err(format!(
+                    "--check-bench percentage must be within (0, 100], got {pct}"
+                ));
+            }
+            threshold = Some(v / 100.0);
+        }
     }
+    args.retain(|a| a != "--check-bench" && !a.starts_with("--check-bench="));
+    Ok(threshold)
+}
+
+/// Parses (and strips) `--bench-history[=PATH]`.
+fn parse_bench_history(args: &mut Vec<String>) -> Option<String> {
+    let mut path = None;
+    for a in args.iter() {
+        if a == "--bench-history" {
+            path = Some(oxterm_bench::bench_history::DEFAULT_HISTORY_PATH.to_string());
+        } else if let Some(p) = a.strip_prefix("--bench-history=") {
+            path = Some(p.to_string());
+        }
+    }
+    args.retain(|a| a != "--bench-history" && !a.starts_with("--bench-history="));
+    path
+}
+
+/// `--check-bench[=PCT]`: diffs the fresh summary against the pre-run
+/// baseline at the given relative threshold. Returns `false` on a gated
+/// throughput regression. Phase-share drift is reported alongside so a
+/// wall-time regression names the solver phase that moved.
+fn check_bench_baseline(threshold: Option<f64>, baseline: Option<&str>) -> bool {
+    use oxterm_bench::bench_diff::{compare, parse_flat_json, render};
+    let Some(threshold) = threshold else {
+        return true;
+    };
     let Some(baseline) = baseline else {
         println!("\n--check-bench: no committed BENCH_telemetry.json baseline; skipping diff");
         return true;
@@ -288,13 +371,31 @@ fn check_bench_baseline(requested: bool, baseline: Option<&str>) -> bool {
     });
     match parsed {
         Ok((base, fresh)) => {
-            let deltas = compare(&base, &fresh, DEFAULT_THRESHOLD);
+            let deltas = compare(&base, &fresh, threshold);
             let regressed = deltas.iter().any(|d| d.regressed);
             println!(
                 "\n== bench check (threshold ±{:.0}%) ==\n",
-                DEFAULT_THRESHOLD * 100.0
+                threshold * 100.0
             );
             print!("{}", render(&deltas));
+            // Name the phase whose wall-time share grew the most — that is
+            // where a wall-clock regression actually lives.
+            let drift = deltas
+                .iter()
+                .filter(|d| d.key.starts_with("phase_share."))
+                .filter_map(|d| match (d.baseline, d.fresh) {
+                    (Some(b), Some(f)) => Some((d.key.as_str(), f - b)),
+                    _ => None,
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            match drift {
+                Some((key, pp)) if pp > 0.0 => println!(
+                    "\nlargest phase-share increase: {} (+{:.1} pp)",
+                    key.trim_start_matches("phase_share."),
+                    pp * 100.0
+                ),
+                _ => {}
+            }
             println!(
                 "\nbench check: {}",
                 if regressed {
@@ -313,8 +414,10 @@ fn check_bench_baseline(requested: bool, baseline: Option<&str>) -> bool {
 }
 
 /// Writes `BENCH_telemetry.json`: the headline throughput figures the perf
-/// trajectory tracks across commits.
-fn write_bench_summary(wall_s: f64) {
+/// trajectory tracks across commits, plus the per-phase wall-time shares
+/// from the hot-path profiler (`phase_share.<path>` keys, informational).
+/// Returns the summary JSON for the history appender.
+fn write_bench_summary(wall_s: f64) -> String {
     let report = Telemetry::global().report();
     let newton_iters = report
         .histogram("spice.newton.iterations")
@@ -339,10 +442,23 @@ fn write_bench_summary(wall_s: f64) {
             .counter("mc.engine.convergence_failures")
             .unwrap_or(0),
     );
+    // Per-phase wall-time shares: the solver phases are all closed by now
+    // (only the still-open bench/run root is missing, and orchestration is
+    // excluded from the share denominator anyway).
+    let snapshot = Profiler::global().snapshot();
+    for stats in &snapshot.phases {
+        if let Some(share) = snapshot.share(stats) {
+            w.f64(&format!("phase_share.{}", stats.path()), share);
+        }
+    }
+    if let Some(coverage) = snapshot.leaf_coverage() {
+        w.f64("phase_leaf_coverage", coverage);
+    }
     w.end_object();
     let json = w.finish();
     match std::fs::write("BENCH_telemetry.json", &json) {
         Ok(()) => println!("throughput summary written to BENCH_telemetry.json"),
         Err(e) => eprintln!("could not write BENCH_telemetry.json: {e}"),
     }
+    json
 }

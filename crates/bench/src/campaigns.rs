@@ -10,8 +10,13 @@ use oxterm_mc::supervisor::{run_supervised, CampaignOutcome, SupervisorError, Su
 use oxterm_mc::sweep::sweep_mc_try;
 use oxterm_mlc::levels::{LevelAllocation, LevelSpec};
 use oxterm_mlc::margins::LevelSamples;
-use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions, ProgramOutcome};
+use oxterm_mlc::program::{
+    program_cell_circuit_probed, program_cell_mc, CircuitProgramOptions, McVariability,
+    ProgramConditions, ProgramOutcome,
+};
+use oxterm_mlc::MlcError;
 use oxterm_rram::params::OxramParams;
+use oxterm_spice::probe::{ProbeCapture, ProbePlan};
 
 /// All Monte Carlo outcomes for one level.
 #[derive(Debug, Clone)]
@@ -132,9 +137,41 @@ pub fn supervised_qlc_campaign(
     Ok((campaigns, outcome))
 }
 
+/// Runs one designated circuit-level program with signal probes attached,
+/// standing in for "run 0" of a fast-path Monte Carlo campaign.
+///
+/// The MC campaigns behind Figs 11 and 13 run on the circuit-free fast
+/// path, which has no nodes or branches to probe. When `--probes` is given
+/// on those binaries, this helper replays the campaign's operating point —
+/// the paper's Fig 10 testbench pulsed at the allocation's lowest
+/// compliance current (level `0000`, the slowest and most energetic RESET)
+/// — at circuit level, so the requested waveforms describe a transient the
+/// campaign actually models.
+///
+/// # Errors
+///
+/// Propagates transient-analysis failures, including probe specs naming
+/// signals the Fig 10 testbench does not contain.
+pub fn probe_designated_run(plan: &ProbePlan) -> Result<ProbeCapture, MlcError> {
+    let alloc = LevelAllocation::paper_qlc();
+    let i_ref = alloc.levels()[0].i_ref;
+    let out =
+        program_cell_circuit_probed(&CircuitProgramOptions::paper_fig10(), Some(i_ref), plan)?;
+    Ok(out.probes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn designated_probe_run_captures_requested_signals() {
+        let plan = ProbePlan::parse("v(sl),i(vsense)").expect("valid spec");
+        let capture = probe_designated_run(&plan).expect("fig10 testbench converges");
+        assert_eq!(capture.traces.len(), 2);
+        assert!(capture.traces.iter().any(|t| t.label == "v(sl)"));
+        assert!(capture.traces.iter().all(|t| !t.samples.is_empty()));
+    }
 
     #[test]
     fn campaign_covers_every_level() {

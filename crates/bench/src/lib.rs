@@ -37,7 +37,9 @@
 #![forbid(unsafe_code)]
 
 pub mod bench_diff;
+pub mod bench_history;
 pub mod campaigns;
 pub mod chart;
+pub mod hotpath;
 pub mod table;
 pub mod telemetry_cli;

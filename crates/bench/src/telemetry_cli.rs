@@ -51,16 +51,32 @@
 //! * `--quorum=F` — max tolerated failure fraction (default 0.1 when
 //!   supervision is active); a degraded-but-useful campaign exits 3, a
 //!   breached one exits 1.
+//! * `--profile[=PATH]` — arm the hierarchical phase profiler; at exit,
+//!   print the hot-path attribution (ASCII phase tree + matrix stats) and
+//!   write the JSON report to `PATH` (default
+//!   `results/hotpath_<name>.json`). The per-phase totals are also folded
+//!   into the telemetry registry as `profile.*` counters.
+//! * `--metrics-out=PATH` — render the final telemetry registry in
+//!   Prometheus text format to `PATH` at exit.
+//! * `--metrics-listen=ADDR` — serve `GET /metrics` (Prometheus text
+//!   format, rendered fresh per scrape) on `ADDR` (e.g. `127.0.0.1:9184`)
+//!   for the lifetime of the run. Counters folded only at exit (the
+//!   `profile.*` family) appear in the last scrape and in
+//!   `--metrics-out`.
 //!
 //! Any of the four campaign flags switches the binary's Monte Carlo
 //! campaigns onto [`oxterm_mc::run_supervised`] (retry ladder, panic
 //! isolation, graceful degradation); without them the legacy unsupervised
 //! path runs byte-identically to previous releases.
 
+use crate::hotpath::{HotPathReport, MatrixStats};
 use oxterm_mc::supervisor::SupervisorOptions;
 use oxterm_netlint::{corpus, lint_entry, LintConfig, LintOptions};
 use oxterm_spice::probe::{ProbeCapture, ProbePlan};
-use oxterm_telemetry::{Telemetry, TraceSnapshot, TraceSpan, Tracer, Track};
+use oxterm_telemetry::{
+    MetricsServer, PhaseGuard, PhaseId, Profiler, Telemetry, TraceSnapshot, TraceSpan, Tracer,
+    Track,
+};
 
 /// A configuration error the binary should exit on (library code here
 /// never calls `std::process::exit` — `cargo xtask lint` bans it outside
@@ -145,6 +161,13 @@ pub struct ParsedFlags {
     pub resume: Option<String>,
     /// The raw `--quorum=F` string, if present (validated at `init`).
     pub quorum: Option<String>,
+    /// `Some(explicit_json_path)` when `--profile[=PATH]` was present
+    /// (`None` inside means the default `results/hotpath_<name>.json`).
+    pub profile: Option<Option<String>>,
+    /// The `--metrics-out=PATH` path, if present.
+    pub metrics_out: Option<String>,
+    /// The `--metrics-listen=ADDR` address, if present.
+    pub metrics_listen: Option<String>,
     /// Remaining (positional) arguments, in order.
     pub rest: Vec<String>,
 }
@@ -172,6 +195,9 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
         checkpoint: None,
         resume: None,
         quorum: None,
+        profile: None,
+        metrics_out: None,
+        metrics_listen: None,
         rest: Vec::new(),
     };
     for a in args {
@@ -211,6 +237,14 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
             parsed.resume = Some(path.to_string());
         } else if let Some(q) = a.strip_prefix("--quorum=") {
             parsed.quorum = Some(q.to_string());
+        } else if a == "--profile" {
+            parsed.profile = Some(None);
+        } else if let Some(path) = a.strip_prefix("--profile=") {
+            parsed.profile = Some(Some(path.to_string()));
+        } else if let Some(path) = a.strip_prefix("--metrics-out=") {
+            parsed.metrics_out = Some(path.to_string());
+        } else if let Some(addr) = a.strip_prefix("--metrics-listen=") {
+            parsed.metrics_listen = Some(addr.to_string());
         } else {
             parsed.rest.push(a);
         }
@@ -236,6 +270,20 @@ pub struct TelemetryCli {
     /// Whole-binary span on the bench track, opened at `init` so every
     /// trace has at least one lane framing the run.
     bench_span: TraceSpan,
+    /// Hot-path JSON output path when `--profile[=PATH]` armed the
+    /// profiler (`None` = profiling off).
+    profile_to: Option<String>,
+    /// Prometheus text-format output path (`--metrics-out=PATH`).
+    metrics_out: Option<String>,
+    /// The live `/metrics` responder (`--metrics-listen=ADDR`), shut down
+    /// in [`TelemetryCli::finish`].
+    metrics_server: Option<MetricsServer>,
+    /// Whole-binary `bench/run` phase, opened at `init` so the profile
+    /// tree always has its root; closed just before the snapshot.
+    run_phase: Option<PhaseGuard>,
+    /// Structural stats of the run's representative circuit, handed in by
+    /// the binary via [`TelemetryCli::record_matrix_stats`].
+    matrix: Option<MatrixStats>,
 }
 
 /// Parses `std::env::args`, installs global telemetry/tracing if requested,
@@ -259,6 +307,30 @@ pub fn init_from(
     let parsed = parse_flags(args);
     if parsed.mode != TelemetryMode::Off {
         Telemetry::install(Telemetry::enabled());
+    }
+    // The profiler folds into the registry and the metrics endpoints render
+    // it, so any of the three observability flags arms telemetry too.
+    if parsed.profile.is_some() || parsed.metrics_out.is_some() || parsed.metrics_listen.is_some() {
+        Telemetry::install(Telemetry::enabled());
+    }
+    if parsed.profile.is_some() {
+        Profiler::install(Profiler::enabled());
+    }
+    let metrics_server = match &parsed.metrics_listen {
+        Some(addr) => Some(
+            MetricsServer::serve(addr, Telemetry::global().clone()).map_err(|e| {
+                CliError::config(format!(
+                    "{name}: cannot listen on {addr:?} for /metrics: {e}"
+                ))
+            })?,
+        ),
+        None => None,
+    };
+    if let Some(server) = &metrics_server {
+        eprintln!(
+            "metrics({name}): serving GET /metrics on http://{}/metrics",
+            server.local_addr()
+        );
     }
     lint_preflight(name, parsed.lint)?;
     let campaign = campaign_options(name, &parsed)?;
@@ -290,6 +362,7 @@ pub fn init_from(
         "positional_args",
         parsed.rest.len() as u64,
     ));
+    let run_phase = Profiler::global().phase(PhaseId::BenchRun);
     Ok((
         parsed.rest,
         TelemetryCli {
@@ -300,6 +373,13 @@ pub fn init_from(
             captures: Vec::new(),
             campaign,
             bench_span,
+            profile_to: parsed
+                .profile
+                .map(|explicit| explicit.unwrap_or_else(|| format!("results/hotpath_{name}.json"))),
+            metrics_out: parsed.metrics_out,
+            metrics_server,
+            run_phase: Some(run_phase),
+            matrix: None,
         },
     ))
 }
@@ -388,11 +468,28 @@ impl TelemetryCli {
         }
     }
 
+    /// Hands the structural stats of the run's representative circuit to
+    /// the hot-path report written at [`TelemetryCli::finish`] (the flop
+    /// estimates stay absent without them). The last call wins.
+    pub fn record_matrix_stats(&mut self, stats: MatrixStats) {
+        self.matrix = Some(stats);
+    }
+
+    /// Whether `--profile[=PATH]` armed the profiler via this CLI.
+    pub fn profile_requested(&self) -> bool {
+        self.profile_to.is_some()
+    }
+
     /// Writes the trace artifacts (Chrome JSON + ASCII timeline), prints
-    /// the run report, and writes the telemetry JSON artifact if asked.
-    /// No-op when neither flag was given.
+    /// the run report, writes the telemetry JSON / hot-path / Prometheus
+    /// artifacts if asked, and shuts the `/metrics` responder down.
+    /// No-op when no flag was given.
     pub fn finish(mut self) {
         self.write_probe_csvs();
+        // Close the whole-binary phase before snapshotting so the
+        // `bench/run` root covers everything the run did.
+        drop(self.run_phase.take());
+        self.write_profile();
         self.bench_span.finish();
         if let Some(path) = self.trace_to.take() {
             let snapshot = Tracer::global().snapshot();
@@ -406,20 +503,64 @@ impl TelemetryCli {
             println!("\n== trace timeline ({}) ==\n", self.name);
             println!("{}", snapshot.to_ascii(100));
         }
-        if self.mode == TelemetryMode::Off {
-            return;
+        if self.mode != TelemetryMode::Off {
+            let report = Telemetry::global().report();
+            println!("\n== telemetry ({}) ==\n", self.name);
+            println!("{}", report.to_table());
+            if let TelemetryMode::Json { path } = &self.mode {
+                let path = path
+                    .clone()
+                    .unwrap_or_else(|| format!("results/telemetry_{}.json", self.name));
+                match ensure_parent(&path).and_then(|()| std::fs::write(&path, report.to_json())) {
+                    Ok(()) => println!("telemetry report written to {path}"),
+                    Err(e) => eprintln!("could not write {path}: {e}"),
+                }
+            }
         }
-        let report = Telemetry::global().report();
-        println!("\n== telemetry ({}) ==\n", self.name);
-        println!("{}", report.to_table());
-        if let TelemetryMode::Json { path } = &self.mode {
-            let path = path
-                .clone()
-                .unwrap_or_else(|| format!("results/telemetry_{}.json", self.name));
-            match ensure_parent(&path).and_then(|()| std::fs::write(&path, report.to_json())) {
-                Ok(()) => println!("telemetry report written to {path}"),
+        // The Prometheus artifact renders last so the `profile.*` fold and
+        // every late counter are included.
+        if let Some(path) = &self.metrics_out {
+            let text = oxterm_telemetry::metrics::to_prometheus(&Telemetry::global().report());
+            match ensure_parent(path).and_then(|()| std::fs::write(path, &text)) {
+                Ok(()) => println!("prometheus metrics written to {path}"),
                 Err(e) => eprintln!("could not write {path}: {e}"),
             }
+        }
+        if let Some(server) = self.metrics_server.take() {
+            server.shutdown();
+        }
+    }
+
+    /// Snapshots the phase profiler, folds the totals into the telemetry
+    /// registry, and — under `--profile` — prints the hot-path attribution
+    /// and writes its JSON artifact.
+    fn write_profile(&self) {
+        let prof = Profiler::global();
+        if !prof.is_enabled() {
+            return;
+        }
+        let snapshot = prof.snapshot();
+        if snapshot.is_empty() {
+            return;
+        }
+        snapshot.fold_into(Telemetry::global());
+        let Some(path) = &self.profile_to else {
+            return;
+        };
+        let report = HotPathReport {
+            newton_iterations: Telemetry::global()
+                .report()
+                .histogram("spice.newton.iterations")
+                .map(|h| h.sum)
+                .unwrap_or(0.0),
+            matrix: self.matrix.clone(),
+            snapshot,
+        };
+        println!("\n== hot path ({}) ==\n", self.name);
+        print!("{}", report.to_text());
+        match ensure_parent(path).and_then(|()| std::fs::write(path, report.to_json())) {
+            Ok(()) => println!("hot-path report written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
 
@@ -692,6 +833,40 @@ mod tests {
         let err = cli.probe_plan("v(sl)").unwrap_err();
         assert_eq!(err.code, 2);
         assert!(err.message.contains("--probes"), "{}", err.message);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let p = parse(&["--profile", "7"]);
+        assert_eq!(p.profile, Some(None));
+        assert_eq!(p.rest, vec!["7".to_string()]);
+        assert_eq!(
+            parse(&["--profile=out/h.json"]).profile,
+            Some(Some("out/h.json".to_string()))
+        );
+        assert_eq!(
+            parse(&["--metrics-out=out/m.prom"]).metrics_out,
+            Some("out/m.prom".to_string())
+        );
+        assert_eq!(
+            parse(&["--metrics-listen=127.0.0.1:0"]).metrics_listen,
+            Some("127.0.0.1:0".to_string())
+        );
+        let off = parse(&["7"]);
+        assert_eq!(off.profile, None);
+        assert_eq!(off.metrics_out, None);
+        assert_eq!(off.metrics_listen, None);
+    }
+
+    #[test]
+    fn init_rejects_unlistenable_metrics_address() {
+        let err = init_from(
+            "cli_test",
+            ["--metrics-listen=not-an-address".to_string()].into_iter(),
+        )
+        .expect_err("bad listen address must be a config error");
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("/metrics"), "{}", err.message);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use oxterm_spice::analysis::tran::{run_transient, TranOptions};
 use oxterm_spice::circuit::Circuit;
 use oxterm_spice::probe::{ProbeCapture, ProbePlan};
 use oxterm_spice::waveform::CrossDir;
-use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
+use oxterm_telemetry::{Arg, PhaseId, Profiler, Telemetry, Tracer, Track};
 use rand::Rng;
 
 use crate::levels::LevelAllocation;
@@ -119,6 +119,7 @@ pub fn program_cell_fast(
     cond: &ProgramConditions,
 ) -> Result<ProgramOutcome, MlcError> {
     Telemetry::global().incr("mlc.program.fast_ops");
+    let _program = Profiler::global().phase(PhaseId::MlcProgram);
     let mut span = Tracer::global().span(Track::Program, "program_fast");
     span.arg(Arg::u64("code", u64::from(code)));
     let level = alloc.level(code)?;
@@ -225,6 +226,7 @@ pub fn program_cell_mc<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<ProgramOutcome, MlcError> {
     Telemetry::global().incr("mlc.program.mc_ops");
+    let _program = Profiler::global().phase(PhaseId::MlcProgram);
     let mut span = Tracer::global().span(Track::Program, "program_mc");
     span.arg(Arg::u64("code", u64::from(code)));
     let level = alloc.level(code)?;
@@ -423,6 +425,7 @@ pub fn program_cell_circuit_probed(
     let tel = Telemetry::global();
     tel.incr("mlc.program.circuit_ops");
     let _op_span = tel.span("mlc.program.circuit_seconds");
+    let _program = Profiler::global().phase(PhaseId::MlcProgram);
     // The programming pulse as one span on the program track; the
     // comparator-trip / chop instants from the termination monitor land
     // inside it, and the simulated latency rides in the args.

@@ -1,12 +1,12 @@
 //! Deterministic parallel Monte Carlo runner.
 
 use oxterm_telemetry::postmortem::{self, PostmortemReport};
-use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
+use oxterm_telemetry::profiler::monotonic_ns;
+use oxterm_telemetry::{Arg, PhaseId, Profiler, Telemetry, Tracer, Track};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 use crate::progress::CampaignProgress;
 
@@ -117,6 +117,8 @@ impl MonteCarlo {
         tel.incr("mc.engine.campaigns");
         tel.add("mc.engine.runs", self.runs as u64);
         let campaign_span = tel.span("mc.engine.campaign_seconds");
+        let prof = Profiler::global();
+        let _campaign = prof.phase(PhaseId::McCampaign);
         let h_run = tel.histogram("mc.engine.run_seconds");
         let h_busy = tel.histogram("mc.engine.worker_busy_seconds");
 
@@ -135,10 +137,11 @@ impl MonteCarlo {
                     let mut rng = self.rng_for_run(i);
                     let mut run_span = tracer.span(Track::McWorker(0), "run");
                     run_span.arg(Arg::u64("run", i as u64));
+                    let _run_phase = prof.phase(PhaseId::McWorkerRun);
                     if timed {
-                        let t0 = Instant::now();
+                        let t0 = monotonic_ns();
                         let value = f(i, &mut rng);
-                        let dt = t0.elapsed().as_secs_f64();
+                        let dt = monotonic_ns().wrapping_sub(t0) as f64 * 1e-9;
                         if let Some(h) = &h_run {
                             h.record(dt);
                         }
@@ -175,10 +178,11 @@ impl MonteCarlo {
                         let mut rng = self.rng_for_run(i);
                         let mut run_span = tracer.span(Track::McWorker(w as u16), "run");
                         run_span.arg(Arg::u64("run", i as u64));
+                        let _run_phase = prof.phase(PhaseId::McWorkerRun);
                         let value = if timed {
-                            let t0 = Instant::now();
+                            let t0 = monotonic_ns();
                             let value = f(i, &mut rng);
-                            let dt = t0.elapsed().as_secs_f64();
+                            let dt = monotonic_ns().wrapping_sub(t0) as f64 * 1e-9;
                             if let Some(h) = h_run {
                                 h.record(dt);
                             }

@@ -14,12 +14,14 @@
 //!
 //! [`MonteCarlo::try_run`]: crate::MonteCarlo::try_run
 
+use oxterm_telemetry::profiler::monotonic_ns;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
 
-/// Minimum wall time between status lines.
-const THROTTLE: Duration = Duration::from_millis(500);
+/// Minimum wall time between status lines, in nanoseconds (timestamps come
+/// from the sanctioned telemetry clock — `Instant::now` is lint-banned
+/// here).
+const THROTTLE_NS: u64 = 500_000_000;
 
 static FAILURES: AtomicU64 = AtomicU64::new(0);
 static RETRIES: AtomicU64 = AtomicU64::new(0);
@@ -81,8 +83,8 @@ pub struct CampaignProgress {
     threads: usize,
     done: AtomicUsize,
     busy_ns: AtomicU64,
-    started: Instant,
-    last_print: Mutex<Instant>,
+    started_ns: u64,
+    last_print_ns: Mutex<u64>,
 }
 
 impl CampaignProgress {
@@ -94,16 +96,16 @@ impl CampaignProgress {
         FAILURES.store(0, Ordering::Relaxed);
         RETRIES.store(0, Ordering::Relaxed);
         *LAST_FAILURE.lock() = None;
-        let now = Instant::now();
+        let now = monotonic_ns();
         CampaignProgress {
             enabled: oxterm_telemetry::progress::enabled(),
             total,
             threads: threads.max(1),
             done: AtomicUsize::new(0),
             busy_ns: AtomicU64::new(0),
-            started: now,
+            started_ns: now,
             // Backdate so the first completed run may print immediately.
-            last_print: Mutex::new(now.checked_sub(THROTTLE).unwrap_or(now)),
+            last_print_ns: Mutex::new(now.saturating_sub(THROTTLE_NS)),
         }
     }
 
@@ -128,9 +130,10 @@ impl CampaignProgress {
         }
         // Throttled print: whichever worker wins the try_lock checks the
         // clock; everyone else skips without blocking.
-        if let Some(mut last) = self.last_print.try_lock() {
-            if last.elapsed() >= THROTTLE {
-                *last = Instant::now();
+        if let Some(mut last) = self.last_print_ns.try_lock() {
+            let now = monotonic_ns();
+            if now.saturating_sub(*last) >= THROTTLE_NS {
+                *last = now;
                 drop(last);
                 self.print_line(done, false);
             }
@@ -147,7 +150,7 @@ impl CampaignProgress {
     }
 
     fn print_line(&self, done: usize, last: bool) {
-        let elapsed = self.started.elapsed().as_secs_f64();
+        let elapsed = monotonic_ns().saturating_sub(self.started_ns) as f64 / 1e9;
         let busy = self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
         let failures = FAILURES.load(Ordering::Relaxed);
         let retries = RETRIES.load(Ordering::Relaxed);

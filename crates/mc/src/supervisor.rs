@@ -22,8 +22,8 @@
 //!   artifact, stamped with `attempt`/`max_attempts`/run/seed.
 //! * **Budgets as deadlines.** `run_budget_s` bounds one run's *total*
 //!   wall-clock across its attempts; the ladder stops escalating when the
-//!   budget is spent. (Wall clocks are allowed in this crate only — the
-//!   solver crates are banned from `Instant::now` by `cargo xtask lint`.)
+//!   budget is spent. (Deadlines read the sanctioned telemetry clock —
+//!   `Instant::now` is lint-banned in this crate like the solver crates.)
 //! * **Checkpoint/resume.** Completed runs stream into a
 //!   [`Checkpoint`](crate::checkpoint::Checkpoint) every
 //!   `checkpoint_every` completions (atomic tmp+rename). `resume_from`
@@ -34,12 +34,12 @@
 //!   distinguishes clean (0), degraded (3) and quorum-breached (1).
 
 use oxterm_telemetry::postmortem::{self, PostmortemReport};
+use oxterm_telemetry::profiler::monotonic_ns;
 use oxterm_telemetry::Telemetry;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
 
 use crate::checkpoint::{Checkpoint, CheckpointHeader, CheckpointState, RunRecord};
 use crate::engine::{panic_message, splitmix64, MonteCarlo};
@@ -411,7 +411,7 @@ where
             return out;
         }
 
-        let started = Instant::now();
+        let started_ns = monotonic_ns();
         let prev_deferred = postmortem::set_deferred(true);
         if postmortem::is_active() {
             let _ = postmortem::take_last();
@@ -453,7 +453,7 @@ where
             // Attempt failed. Retry if the ladder and the budget allow.
             let budget_left = opts
                 .run_budget_s
-                .map(|b| started.elapsed().as_secs_f64() < b)
+                .map(|b| monotonic_ns().saturating_sub(started_ns) as f64 / 1e9 < b)
                 .unwrap_or(true);
             if attempt + 1 >= max_attempts || !budget_left {
                 if !budget_left {

@@ -19,7 +19,7 @@ use oxterm_numerics::roots::{newton_bisect, RootOptions};
 use crate::model;
 use crate::params::{InstanceVariation, OxramParams};
 use crate::RramError;
-use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
+use oxterm_telemetry::{Arg, PhaseId, Profiler, Telemetry, Tracer, Track};
 
 /// Conditions for a current-terminated RESET operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,6 +111,7 @@ pub fn simulate_reset_termination(
         });
     }
     let tel = Telemetry::global();
+    let _calib = Profiler::global().phase(PhaseId::RramCalib);
     tel.incr("rram.termination.runs");
     if oxterm_chaos::should_inject(oxterm_chaos::FaultKind::NewtonStall) {
         // Fast-path analogue of a forced Newton stall: the Monte Carlo
@@ -312,6 +313,7 @@ pub fn simulate_set(
     cond: &SetConditions,
 ) -> Result<SetOutcome, RramError> {
     params.validate()?;
+    let _calib = Profiler::global().phase(PhaseId::RramCalib);
     let mut rho = cond.rho_start;
     let mut t = 0.0;
     let mut energy = 0.0;

@@ -8,7 +8,7 @@ use oxterm_numerics::dense::DMatrix;
 use oxterm_numerics::sparse::TripletMatrix;
 use oxterm_numerics::sparse_lu::SparseLu;
 
-use oxterm_telemetry::Telemetry;
+use oxterm_telemetry::{PhaseId, Profiler, Telemetry};
 
 use crate::circuit::Circuit;
 use crate::device::{AnalysisKind, DenseSink, StampContext, TripletSink};
@@ -49,34 +49,39 @@ pub(crate) fn assemble_and_solve(
     };
 
     let tel = Telemetry::global();
+    let prof = Profiler::global();
     if n <= opts.sparse_threshold {
         let mut a = DMatrix::zeros(n, n);
         {
+            let _stamp = prof.phase(PhaseId::NewtonStamp);
             let mut sink = DenseSink {
                 a: &mut a,
                 b: &mut b,
             };
             stamp_all(&mut sink, n);
-        }
-        for i in 0..nn {
-            a.add(i, i, gshunt);
+            for i in 0..nn {
+                a.add(i, i, gshunt);
+            }
         }
         tel.incr("spice.newton.lu_dense");
+        let _solve = prof.phase(PhaseId::NewtonSolveLu);
         let lu = a.factorize()?;
         Ok(lu.solve(&b)?)
     } else {
         let mut a = TripletMatrix::new(n, n);
         {
+            let _stamp = prof.phase(PhaseId::NewtonStamp);
             let mut sink = TripletSink {
                 a: &mut a,
                 b: &mut b,
             };
             stamp_all(&mut sink, n);
-        }
-        for i in 0..nn {
-            a.add(i, i, gshunt);
+            for i in 0..nn {
+                a.add(i, i, gshunt);
+            }
         }
         tel.incr("spice.newton.lu_sparse");
+        let _solve = prof.phase(PhaseId::NewtonSolveLu);
         let lu = SparseLu::factorize(&a.to_csc())?;
         Ok(lu.solve(&b)?)
     }
@@ -109,6 +114,8 @@ pub(crate) fn newton_solve(
     let nn = circuit.n_nodes() - 1;
     let linear = !circuit.has_nonlinear();
     let tel = Telemetry::global();
+    let prof = Profiler::global();
+    let _newton = prof.phase(PhaseId::TranNewton);
     tel.incr("spice.newton.solves");
     let time = match kind {
         AnalysisKind::Dc => 0.0,
@@ -152,6 +159,7 @@ pub(crate) fn newton_solve(
             tel.record("spice.newton.iterations", 1.0);
             return Ok(NewtonOutcome { x: x_new, iters: 1 });
         }
+        let _residual = prof.phase(PhaseId::NewtonResidual);
         let mut converged = true;
         worst = 0.0;
         if diag_on {

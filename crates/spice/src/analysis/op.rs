@@ -1,6 +1,6 @@
 //! DC operating-point analysis with gmin and source stepping fallbacks.
 
-use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
+use oxterm_telemetry::{Arg, PhaseId, Profiler, Telemetry, Tracer, Track};
 
 use crate::analysis::{newton_solve, NewtonOutcome};
 use crate::circuit::Circuit;
@@ -48,6 +48,7 @@ pub fn solve_op_from(
     };
     let sim = &opts.sim;
     let tel = Telemetry::global();
+    let _op = Profiler::global().phase(PhaseId::OpSolve);
     tel.incr("spice.op.solves");
     // Convergence-aid escalation record, kept only while post-mortem
     // capture is active (one relaxed load when off).

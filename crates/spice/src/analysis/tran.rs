@@ -7,7 +7,7 @@
 //! rejection via [`MonitorAction::RedoWithDt`] lets monitors bisect onto a
 //! crossing with sub-step precision.
 
-use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
+use oxterm_telemetry::{Arg, PhaseId, Profiler, Telemetry, Tracer, Track};
 
 use crate::analysis::{newton_solve, op::solve_op, NewtonOutcome};
 use crate::circuit::{Circuit, ElementId, NodeId};
@@ -175,6 +175,8 @@ pub fn run_transient(
     let tel = Telemetry::global();
     tel.incr("spice.tran.runs");
     let run_span = tel.span("spice.tran.run_seconds");
+    let prof = Profiler::global();
+    let _tran = prof.phase(PhaseId::TranRun);
     let c_accept = tel.counter("spice.tran.steps_accepted");
     let c_rej_newton = tel.counter("spice.tran.steps_rejected_newton");
     let c_rej_dv = tel.counter("spice.tran.steps_rejected_dv");
@@ -348,6 +350,7 @@ pub fn run_transient(
             let sol = Solution::new(x_new.clone(), nn);
             let mut action = MonitorAction::Continue;
             {
+                let _monitors = prof.phase(PhaseId::TranMonitors);
                 let sample = TranSample {
                     time: t + dt_try,
                     dt: dt_try,
@@ -436,6 +439,7 @@ pub fn run_transient(
 
 /// Primes device states from the DC operating point (`dt = 0` convention).
 fn prime_states(circuit: &Circuit, solution: &[f64], state: &mut [f64], opts: &TranOptions) {
+    let _states = Profiler::global().phase(PhaseId::TranStates);
     let nn = circuit.n_nodes() - 1;
     for el in &circuit.elements {
         let ctx = UpdateContext {
@@ -460,6 +464,7 @@ fn advance_states(
     dt: f64,
     opts: &TranOptions,
 ) {
+    let _states = Profiler::global().phase(PhaseId::TranStates);
     let nn = circuit.n_nodes() - 1;
     for el in &circuit.elements {
         let ctx = UpdateContext {

@@ -1,0 +1,55 @@
+//! Process-wide allocation counting hook.
+//!
+//! This crate is `#![forbid(unsafe_code)]`, so the `GlobalAlloc` wrapper
+//! that actually intercepts allocations cannot live here. Instead this
+//! module owns a single relaxed atomic counter and binaries (or dedicated
+//! test harnesses) that want per-phase allocation attribution install their
+//! own counting `#[global_allocator]` that forwards to [`on_alloc`]:
+//!
+//! ```ignore
+//! // In a binary or test crate (outside forbid(unsafe_code)):
+//! struct CountingAlloc;
+//! unsafe impl GlobalAlloc for CountingAlloc {
+//!     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+//!         oxterm_telemetry::allocs::on_alloc();
+//!         unsafe { System.alloc(layout) }
+//!     }
+//!     // dealloc forwards without counting; realloc counts like alloc.
+//! }
+//! ```
+//!
+//! The phase profiler ([`crate::profiler`]) samples [`count`] at scope
+//! entry and exit; with no counting allocator installed the counter never
+//! moves and every per-phase allocation delta reads zero, which is the
+//! honest answer ("not measured"), not an error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one heap allocation (or reallocation). Called by
+/// binary-installed counting allocators; relaxed, wait-free.
+#[inline]
+pub fn on_alloc() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total allocations recorded so far (0 if no counting allocator is
+/// installed). Monotonic; consumers take deltas.
+#[inline]
+pub fn count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hook_is_monotonic() {
+        let before = count();
+        on_alloc();
+        on_alloc();
+        assert!(count() >= before + 2);
+    }
+}

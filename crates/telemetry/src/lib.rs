@@ -25,7 +25,12 @@
 //! Perfetto or an ASCII timeline ([`trace_export`]). [`Tracer`] mirrors
 //! the [`Telemetry`] handle pattern — disabled is one branch, installed
 //! per process. [`progress`] owns the opt-in switch for live Monte Carlo
-//! campaign progress on stderr. [`postmortem`] owns failure artifacts:
+//! campaign progress on stderr. [`profiler`] answers *where inside the
+//! solver*: a fixed catalog of nestable phases (stamp / factorize /
+//! residual / timestep control / MC workers) with self-vs-child wall time
+//! and allocation counts, and [`metrics`] renders the whole registry in
+//! Prometheus text format for `--metrics-out` / `--metrics-listen`.
+//! [`postmortem`] owns failure artifacts:
 //! solver layers hand it structured reports on non-convergence, and it is
 //! the only path that writes them to disk (solver crates are lint-banned
 //! from direct `std::fs` writes).
@@ -56,10 +61,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod allocs;
 mod counter;
 mod histogram;
 mod json;
+pub mod metrics;
 pub mod postmortem;
+pub mod profiler;
 pub mod progress;
 mod registry;
 mod report;
@@ -70,6 +78,8 @@ pub mod trace_export;
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use json::JsonWriter;
+pub use metrics::MetricsServer;
+pub use profiler::{PhaseGuard, PhaseId, PhaseRole, PhaseStats, ProfileSnapshot, Profiler};
 pub use registry::Registry;
 pub use report::RunReport;
 pub use span::Span;

@@ -1,0 +1,359 @@
+//! Prometheus text-format export of the telemetry registry.
+//!
+//! The seed of `oxterm-serve` (ROADMAP item 5): a run's [`RunReport`] —
+//! counters, histograms, and folded `profile.*` phase totals — renders to
+//! the Prometheus text exposition format (version 0.0.4), either written to
+//! a file (`--metrics-out=PATH`) or served by [`MetricsServer`], a
+//! deliberately minimal std-only blocking TCP responder that answers
+//! `GET /metrics` and nothing else (`--metrics-listen=ADDR`).
+//!
+//! Mapping:
+//! - counters → `# TYPE … counter` with the value as-is; metric names are
+//!   `oxterm_` + the dotted name with non-`[a-zA-Z0-9_:]` bytes folded to
+//!   `_` (`spice.newton.iterations` → `oxterm_spice_newton_iterations`).
+//! - histograms → `# TYPE … summary`: `{quantile="0.5|0.9|0.99"}` series
+//!   plus `_sum` and `_count`, matching the stats the JSON report carries.
+//! - notes → one `oxterm_note_events` counter per log (the total ever
+//!   appended), labeled with the log name.
+//!
+//! [`validate_prometheus`] is a strict line-level checker used by the
+//! integration tests (and available to external tooling) so the format
+//! claim is pinned, not assumed.
+
+use crate::report::RunReport;
+use crate::Telemetry;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Folds a dotted metric name into a valid Prometheus metric name with the
+/// workspace prefix: `spice.newton.iterations` →
+/// `oxterm_spice_newton_iterations`.
+pub fn metric_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 7);
+    out.push_str("oxterm_");
+    for c in dotted.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_float(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v:?}");
+    }
+}
+
+/// Renders `report` in the Prometheus text exposition format (0.0.4).
+/// Deterministic: metrics appear in `BTreeMap` order.
+pub fn to_prometheus(report: &RunReport) -> String {
+    let mut out = String::new();
+    for (name, value) in &report.counters {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# HELP {m} oxterm counter {name}");
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, h) in &report.histograms {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# HELP {m} oxterm histogram {name}");
+        let _ = writeln!(out, "# TYPE {m} summary");
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            if let Some(v) = h.quantile(q) {
+                let mut line = format!("{m}{{quantile=\"{label}\"}} ");
+                push_float(&mut line, v);
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        let mut sum_line = format!("{m}_sum ");
+        push_float(&mut sum_line, h.sum);
+        let _ = writeln!(out, "{sum_line}");
+        let _ = writeln!(out, "{m}_count {}", h.count);
+    }
+    for (name, log) in &report.notes {
+        let _ = writeln!(
+            out,
+            "# TYPE oxterm_note_events counter\noxterm_note_events{{log=\"{}\"}} {}",
+            escape_label(name),
+            log.total
+        );
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_sample_value(v: &str) -> bool {
+    matches!(v, "NaN" | "+Inf" | "-Inf" | "Inf") || v.parse::<f64>().is_ok()
+}
+
+/// Checks that `text` is well-formed Prometheus text exposition format:
+/// every non-empty line is a `# HELP`/`# TYPE` comment with a valid metric
+/// name (and a known type), or a sample `name[{labels}] value` whose name
+/// is valid and whose value parses. Returns the first offense.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kind = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            match kind {
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {n}: bad HELP metric name {name:?}"));
+                    }
+                }
+                "TYPE" => {
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {n}: bad TYPE metric name {name:?}"));
+                    }
+                    let ty = parts.next().unwrap_or("");
+                    if !matches!(
+                        ty,
+                        "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                    ) {
+                        return Err(format!("line {n}: unknown metric type {ty:?}"));
+                    }
+                }
+                _ => return Err(format!("line {n}: unknown comment kind {kind:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // Bare comments are legal.
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_part, value_part) = match line.find([' ', '{']) {
+            Some(i) if line.as_bytes()[i] == b'{' => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {n}: unclosed label braces"))?;
+                let labels = &line[i + 1..close];
+                for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {n}: bad label pair {pair:?}"))?;
+                    if !valid_metric_name(k) {
+                        return Err(format!("line {n}: bad label name {k:?}"));
+                    }
+                    if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                        return Err(format!("line {n}: unquoted label value {v:?}"));
+                    }
+                }
+                (&line[..i], line[close + 1..].trim())
+            }
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => return Err(format!("line {n}: sample without value: {line:?}")),
+        };
+        if !valid_metric_name(name_part) {
+            return Err(format!("line {n}: bad metric name {name_part:?}"));
+        }
+        let mut fields = value_part.split_whitespace();
+        let value = fields
+            .next()
+            .ok_or_else(|| format!("line {n}: sample without value: {line:?}"))?;
+        if !valid_sample_value(value) {
+            return Err(format!("line {n}: bad sample value {value:?}"));
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {n}: bad timestamp {ts:?}"));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {n}: trailing fields: {line:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// A minimal blocking `/metrics` responder: one accept loop on one thread,
+/// `GET /metrics` → 200 with a fresh render of the handle's report, any
+/// other request → 404. Std-only by design; this is the smallest thing
+/// Prometheus can scrape, not a web server.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for tests) and starts
+    /// answering scrapes of `tel`'s registry.
+    pub fn serve(addr: &str, tel: Telemetry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("oxterm-metrics".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        answer(stream, &tel);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful when binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with one last connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn answer(mut stream: TcpStream, tel: &Telemetry) {
+    // A scrape request is tiny but may arrive in several segments (e.g. a
+    // client that writes the request line piecewise); read until the header
+    // terminator, EOF, or a full buffer before answering.
+    let mut buf = [0u8; 1024];
+    let mut n = 0usize;
+    while n < buf.len() {
+        match stream.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(m) => {
+                n += m;
+                if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let first = request.lines().next().unwrap_or("");
+    let (status, body) = if first.starts_with("GET /metrics ") || first == "GET /metrics" {
+        ("200 OK", to_prometheus(&tel.report()))
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(
+            metric_name("spice.newton.iterations"),
+            "oxterm_spice_newton_iterations"
+        );
+        assert_eq!(
+            metric_name("profile.tran.newton.solve_lu.self_ns"),
+            "oxterm_profile_tran_newton_solve_lu_self_ns"
+        );
+        assert_eq!(metric_name("weird name-1"), "oxterm_weird_name_1");
+    }
+
+    #[test]
+    fn render_is_valid_and_complete() {
+        let tel = Telemetry::enabled();
+        tel.add("spice.newton.iterations", 185);
+        tel.record("mc.engine.run_seconds", 1.5e-3);
+        tel.record("mc.engine.run_seconds", 2.5e-3);
+        tel.note("mc.engine.failed_run", "run 7");
+        let text = to_prometheus(&tel.report());
+        validate_prometheus(&text).unwrap();
+        assert!(
+            text.contains("oxterm_spice_newton_iterations 185"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE oxterm_mc_engine_run_seconds summary"));
+        assert!(text.contains("oxterm_mc_engine_run_seconds_count 2"));
+        assert!(text.contains("quantile=\"0.5\""));
+        assert!(text.contains("oxterm_note_events{log=\"mc.engine.failed_run\"} 1"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_and_valid() {
+        let text = to_prometheus(&RunReport::empty());
+        assert!(text.is_empty());
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("1bad_name 3\n").is_err());
+        assert!(validate_prometheus("ok_name notanumber\n").is_err());
+        assert!(validate_prometheus("# TYPE x mystery\n").is_err());
+        assert!(validate_prometheus("name{label=unquoted} 1\n").is_err());
+        assert!(validate_prometheus("name{l=\"v\"} 1 2 3\n").is_err());
+        assert!(validate_prometheus("just_a_name\n").is_err());
+        validate_prometheus("name{l=\"v\"} 1 1700000000\n").unwrap();
+        validate_prometheus("x_total +Inf\n").unwrap();
+    }
+}

@@ -1,0 +1,756 @@
+//! Hierarchical phase profiler for the solver hot path.
+//!
+//! Aggregate counters say *how much* work ran and the flight recorder says
+//! *when*; neither says **where the time goes** inside one Newton solve.
+//! This module closes that gap with a fixed catalog of nestable phases
+//! ([`PhaseId`]) instrumented at the stamping / factorization / residual /
+//! timestep-control boundaries of the `spice` engine and around the Monte
+//! Carlo fast path. Each phase accumulates wall time, call count,
+//! child-attributed time (so self time is derivable), and allocation counts
+//! sampled from [`crate::allocs`].
+//!
+//! The design mirrors [`crate::Tracer`]:
+//!
+//! - [`Profiler`] is a cheap handle wrapping `Option<Arc<…>>`; the disabled
+//!   handle costs **one branch and zero allocations** per scope (pinned by
+//!   a counting-allocator test, like trace/chaos).
+//! - Library code uses the process-global handle ([`Profiler::global`]),
+//!   armed once by a binary via [`Profiler::install`] (`--profile`);
+//!   tests build private handles and never touch the global.
+//! - Recording is mutex-sharded: threads scatter across [`N_SHARDS`]
+//!   accumulators (round-robin by thread, like the trace rings) so Monte
+//!   Carlo workers rarely contend; [`Profiler::snapshot`] merges the
+//!   shards.
+//!
+//! Nesting is tracked per thread: a guard pushes a frame on construction
+//! and, on drop, charges its elapsed time to its phase and to the parent
+//! frame's child tally. *Self* time is `wall − child`, so a phase that only
+//! delegates (e.g. `tran/newton`) shows near-zero self time while its
+//! leaves (`tran/newton/stamp`, `tran/newton/solve_lu`) carry the
+//! attribution. Phases are statically pathed: `tran/newton/*` keeps that
+//! label even when the Newton loop is entered from the operating-point
+//! solver — the dynamic self/child arithmetic stays exact regardless of
+//! the caller.
+//!
+//! This module (with `span.rs` and `trace.rs`) is one of the few sanctioned
+//! wall-clock readers in the workspace: `cargo xtask lint` bans
+//! `Instant::now` in solver crates and in the rest of `telemetry`/`mc`.
+//! Crates that need a raw monotonic timestamp use [`monotonic_ns`].
+
+use crate::allocs;
+use crate::json::JsonWriter;
+use crate::Telemetry;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Number of sharded accumulators; threads are assigned round-robin.
+pub const N_SHARDS: usize = 16;
+
+/// Number of phases in the catalog (length of [`PhaseId::ALL`]).
+pub const N_PHASES: usize = 13;
+
+/// One phase of the fixed instrumentation catalog.
+///
+/// Paths are static and hierarchical (`/`-separated); the catalog is closed
+/// on purpose — a fixed enum keeps the armed hot path at "index into an
+/// array" with no name hashing, and keeps reports comparable across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PhaseId {
+    /// Whole-binary scope opened by `telemetry_cli` (`bench/run`).
+    BenchRun,
+    /// A Monte Carlo campaign: dispatch plus the join on its workers
+    /// (`mc/campaign`).
+    McCampaign,
+    /// One Monte Carlo run executing inside a worker (`mc/worker/run`).
+    McWorkerRun,
+    /// One MLC program operation, behavioral or circuit-level
+    /// (`mlc/program`).
+    MlcProgram,
+    /// The semi-analytic SET/terminated-RESET kernels (`rram/calib`).
+    RramCalib,
+    /// DC operating-point solve, including gmin/source stepping
+    /// (`op/solve`).
+    OpSolve,
+    /// One adaptive transient run (`tran/run`).
+    TranRun,
+    /// One Newton–Raphson solve (`tran/newton`).
+    TranNewton,
+    /// Device stamping into the MNA system (`tran/newton/stamp`).
+    NewtonStamp,
+    /// LU factorization + back-substitution (`tran/newton/solve_lu`).
+    NewtonSolveLu,
+    /// Convergence check and update damping (`tran/newton/residual`).
+    NewtonResidual,
+    /// Monitor callbacks between accepted steps (`tran/monitors`).
+    TranMonitors,
+    /// Device state priming/advancement (`tran/states`).
+    TranStates,
+}
+
+/// How a phase's *self* time is classified in coverage arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseRole {
+    /// Waiting / reporting scaffolding (`bench/run`, `mc/campaign`): its
+    /// self time is dominated by blocking on workers or rendering output,
+    /// so it is excluded from the attribution denominator.
+    Orchestration,
+    /// Real work that delegates most of its time to finer phases; its self
+    /// time counts *against* leaf coverage.
+    Interior,
+    /// A finest-grained phase; its self time is the attribution target.
+    Leaf,
+}
+
+impl PhaseId {
+    /// Every phase, ordered by path (the order snapshots report in).
+    pub const ALL: [PhaseId; N_PHASES] = [
+        PhaseId::BenchRun,
+        PhaseId::McCampaign,
+        PhaseId::McWorkerRun,
+        PhaseId::MlcProgram,
+        PhaseId::OpSolve,
+        PhaseId::RramCalib,
+        PhaseId::TranMonitors,
+        PhaseId::TranNewton,
+        PhaseId::NewtonResidual,
+        PhaseId::NewtonSolveLu,
+        PhaseId::NewtonStamp,
+        PhaseId::TranRun,
+        PhaseId::TranStates,
+    ];
+
+    /// The static hierarchical path, e.g. `tran/newton/stamp`.
+    pub const fn path(self) -> &'static str {
+        match self {
+            PhaseId::BenchRun => "bench/run",
+            PhaseId::McCampaign => "mc/campaign",
+            PhaseId::McWorkerRun => "mc/worker/run",
+            PhaseId::MlcProgram => "mlc/program",
+            PhaseId::OpSolve => "op/solve",
+            PhaseId::RramCalib => "rram/calib",
+            PhaseId::TranMonitors => "tran/monitors",
+            PhaseId::TranNewton => "tran/newton",
+            PhaseId::NewtonResidual => "tran/newton/residual",
+            PhaseId::NewtonSolveLu => "tran/newton/solve_lu",
+            PhaseId::NewtonStamp => "tran/newton/stamp",
+            PhaseId::TranRun => "tran/run",
+            PhaseId::TranStates => "tran/states",
+        }
+    }
+
+    /// The phase's role in coverage arithmetic (see [`PhaseRole`]).
+    pub const fn role(self) -> PhaseRole {
+        match self {
+            PhaseId::BenchRun | PhaseId::McCampaign => PhaseRole::Orchestration,
+            PhaseId::McWorkerRun
+            | PhaseId::MlcProgram
+            | PhaseId::OpSolve
+            | PhaseId::TranRun
+            | PhaseId::TranNewton => PhaseRole::Interior,
+            PhaseId::RramCalib
+            | PhaseId::TranMonitors
+            | PhaseId::NewtonResidual
+            | PhaseId::NewtonSolveLu
+            | PhaseId::NewtonStamp
+            | PhaseId::TranStates => PhaseRole::Leaf,
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            PhaseId::BenchRun => 0,
+            PhaseId::McCampaign => 1,
+            PhaseId::McWorkerRun => 2,
+            PhaseId::MlcProgram => 3,
+            PhaseId::OpSolve => 4,
+            PhaseId::RramCalib => 5,
+            PhaseId::TranMonitors => 6,
+            PhaseId::TranNewton => 7,
+            PhaseId::NewtonResidual => 8,
+            PhaseId::NewtonSolveLu => 9,
+            PhaseId::NewtonStamp => 10,
+            PhaseId::TranRun => 11,
+            PhaseId::TranStates => 12,
+        }
+    }
+}
+
+/// Raw monotonic nanoseconds since an arbitrary process-local origin.
+///
+/// The sanctioned clock for crates where `cargo xtask lint` bans
+/// `Instant::now` (solver crates, `mc`): monotonic, cheap, and only ever
+/// used as a difference of two samples.
+pub fn monotonic_ns() -> u64 {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseCell {
+    wall_ns: u64,
+    calls: u64,
+    child_ns: u64,
+    allocs: u64,
+    child_allocs: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShardTotals {
+    cells: [PhaseCell; N_PHASES],
+}
+
+#[derive(Debug)]
+struct ProfilerSink {
+    /// Distinguishes sinks so a thread interleaving guards from two
+    /// private handles (test scenarios) never cross-attributes child time.
+    serial: u64,
+    shards: [Mutex<ShardTotals>; N_SHARDS],
+}
+
+impl ProfilerSink {
+    fn new() -> Self {
+        static NEXT_SERIAL: AtomicU64 = AtomicU64::new(1);
+        ProfilerSink {
+            serial: NEXT_SERIAL.fetch_add(1, Ordering::Relaxed),
+            shards: std::array::from_fn(|_| Mutex::new(ShardTotals::default())),
+        }
+    }
+}
+
+/// Round-robin shard assignment per thread (same scheme as the trace
+/// rings): spreads Monte Carlo workers across accumulators so the drop
+/// path rarely contends.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// One open scope on this thread's stack: accumulates the time and
+/// allocations of directly nested guards so the parent can subtract them.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    sink_serial: u64,
+    child_ns: u64,
+    child_allocs: u64,
+}
+
+thread_local! {
+    static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one phase scope; records into the profiler on drop.
+///
+/// The inert (disarmed) variant is a `None` — constructing and dropping it
+/// touches neither the clock nor thread-local state.
+#[derive(Debug)]
+pub struct PhaseGuard {
+    inner: Option<GuardInner>,
+}
+
+#[derive(Debug)]
+struct GuardInner {
+    sink: Arc<ProfilerSink>,
+    id: PhaseId,
+    start: Instant,
+    start_allocs: u64,
+}
+
+impl PhaseGuard {
+    /// Whether this guard will record on drop.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Ends the scope now instead of at scope exit.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let Some(g) = self.inner.take() else {
+            return;
+        };
+        let elapsed_ns = g.start.elapsed().as_nanos() as u64;
+        let allocs = allocs::count().wrapping_sub(g.start_allocs);
+        // Pop this scope's frame and charge the elapsed totals upward.
+        let frame = FRAMES.with(|frames| {
+            let mut frames = frames.borrow_mut();
+            let frame = frames.pop().unwrap_or(Frame {
+                sink_serial: g.sink.serial,
+                child_ns: 0,
+                child_allocs: 0,
+            });
+            if let Some(parent) = frames.last_mut() {
+                if parent.sink_serial == g.sink.serial {
+                    parent.child_ns = parent.child_ns.saturating_add(elapsed_ns);
+                    parent.child_allocs = parent.child_allocs.saturating_add(allocs);
+                }
+            }
+            frame
+        });
+        let mut shard = g.sink.shards[shard_index()]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let cell = &mut shard.cells[g.id.index()];
+        cell.wall_ns = cell.wall_ns.saturating_add(elapsed_ns);
+        cell.calls += 1;
+        cell.child_ns = cell.child_ns.saturating_add(frame.child_ns);
+        cell.allocs = cell.allocs.saturating_add(allocs);
+        cell.child_allocs = cell.child_allocs.saturating_add(frame.child_allocs);
+    }
+}
+
+/// The merged totals of one phase, as reported by a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Which phase.
+    pub id: PhaseId,
+    /// Number of completed scopes.
+    pub calls: u64,
+    /// Total wall time spent inside the scope, nanoseconds (summed across
+    /// threads, so it can exceed real time under parallelism).
+    pub wall_ns: u64,
+    /// Wall time attributed to directly nested profiled scopes.
+    pub child_ns: u64,
+    /// Allocations observed inside the scope (0 unless the binary installs
+    /// a counting allocator; see [`crate::allocs`]).
+    pub allocs: u64,
+    /// Allocations attributed to directly nested profiled scopes.
+    pub child_allocs: u64,
+}
+
+impl PhaseStats {
+    /// The static path of this phase.
+    pub fn path(&self) -> &'static str {
+        self.id.path()
+    }
+
+    /// Wall time not attributed to any nested profiled scope.
+    pub fn self_ns(&self) -> u64 {
+        self.wall_ns.saturating_sub(self.child_ns)
+    }
+
+    /// Allocations not attributed to any nested profiled scope.
+    pub fn self_allocs(&self) -> u64 {
+        self.allocs.saturating_sub(self.child_allocs)
+    }
+}
+
+/// A merged point-in-time view of every phase that ever completed a scope.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSnapshot {
+    /// Per-phase totals, ordered by path; phases with zero calls elided.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl ProfileSnapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The stats for `id`, if it recorded.
+    pub fn phase(&self, id: PhaseId) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.id == id)
+    }
+
+    /// Total self time of non-orchestration phases — the attribution
+    /// denominator. Orchestration self time (blocking on workers,
+    /// rendering reports) is excluded; see [`PhaseRole`].
+    pub fn work_self_ns(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.id.role() != PhaseRole::Orchestration)
+            .map(|p| p.self_ns())
+            .sum()
+    }
+
+    /// Total self time of leaf phases.
+    pub fn leaf_self_ns(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.id.role() == PhaseRole::Leaf)
+            .map(|p| p.self_ns())
+            .sum()
+    }
+
+    /// Self time of orchestration phases (reported, never counted).
+    pub fn orchestration_self_ns(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.id.role() == PhaseRole::Orchestration)
+            .map(|p| p.self_ns())
+            .sum()
+    }
+
+    /// Fraction of profiled solver work attributed to leaf phases
+    /// (`None` when nothing non-orchestration recorded). The hot-path
+    /// report's headline number: the sparse-LU rewrite is gated on this
+    /// staying ≥ 0.9 so "time we can't name" never silently grows.
+    pub fn leaf_coverage(&self) -> Option<f64> {
+        let work = self.work_self_ns();
+        if work == 0 {
+            return None;
+        }
+        Some(self.leaf_self_ns() as f64 / work as f64)
+    }
+
+    /// A phase's share of the attribution denominator (`None` for
+    /// orchestration phases and when nothing recorded).
+    pub fn share(&self, stats: &PhaseStats) -> Option<f64> {
+        if stats.id.role() == PhaseRole::Orchestration {
+            return None;
+        }
+        let work = self.work_self_ns();
+        if work == 0 {
+            return None;
+        }
+        Some(stats.self_ns() as f64 / work as f64)
+    }
+
+    /// Renders the snapshot as an indented ASCII tree with per-phase
+    /// calls, wall, self, allocation, and share columns.
+    pub fn to_ascii_tree(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("profile: no phases recorded\n");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10} {:>11} {:>11} {:>10} {:>7}",
+            "phase", "calls", "wall", "self", "allocs", "share"
+        );
+        let _ = writeln!(
+            out,
+            "{:-<34} {:->10} {:->11} {:->11} {:->10} {:->7}",
+            "", "", "", "", "", ""
+        );
+        for p in &self.phases {
+            let path = p.path();
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{}{}", "  ".repeat(depth), name);
+            let share = match self.share(p) {
+                Some(s) => format!("{:.1}%", s * 100.0),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<34} {:>10} {:>11} {:>11} {:>10} {:>7}",
+                label,
+                p.calls,
+                fmt_ns(p.wall_ns),
+                fmt_ns(p.self_ns()),
+                p.self_allocs(),
+                share
+            );
+        }
+        let _ = match self.leaf_coverage() {
+            Some(cov) => writeln!(
+                out,
+                "leaf coverage: {:.1}% of {} profiled solver work ({} orchestration self excluded)",
+                cov * 100.0,
+                fmt_ns(self.work_self_ns()),
+                fmt_ns(self.orchestration_self_ns())
+            ),
+            None => writeln!(out, "leaf coverage: n/a (no solver work profiled)"),
+        };
+        out
+    }
+
+    /// Serializes the snapshot as compact JSON (`oxterm-profile/1`).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.string("schema", "oxterm-profile/1");
+        w.begin_object_key("phases");
+        for p in &self.phases {
+            w.begin_object_key(p.path());
+            w.u64("calls", p.calls);
+            w.u64("wall_ns", p.wall_ns);
+            w.u64("self_ns", p.self_ns());
+            w.u64("child_ns", p.child_ns);
+            w.u64("allocs", p.allocs);
+            w.u64("self_allocs", p.self_allocs());
+            w.f64_opt("share", self.share(p));
+            w.end_object();
+        }
+        w.end_object();
+        w.u64("work_self_ns", self.work_self_ns());
+        w.u64("leaf_self_ns", self.leaf_self_ns());
+        w.u64("orchestration_self_ns", self.orchestration_self_ns());
+        w.f64_opt("leaf_coverage", self.leaf_coverage());
+        w.end_object();
+        w.finish()
+    }
+
+    /// Folds the per-phase totals into `tel`'s registry as `profile.*`
+    /// counters (path with `/` → `.`), so phase totals ride the existing
+    /// report/JSON/Prometheus surfaces.
+    pub fn fold_into(&self, tel: &Telemetry) {
+        for p in &self.phases {
+            let dotted = p.path().replace('/', ".");
+            tel.add(&format!("profile.{dotted}.calls"), p.calls);
+            tel.add(&format!("profile.{dotted}.wall_ns"), p.wall_ns);
+            tel.add(&format!("profile.{dotted}.self_ns"), p.self_ns());
+            if p.self_allocs() > 0 {
+                tel.add(&format!("profile.{dotted}.allocs"), p.self_allocs());
+            }
+        }
+    }
+}
+
+/// Human-readable nanosecond quantity for tree cells.
+fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 * 1e-9;
+    if ns == 0 {
+        "0".to_string()
+    } else if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A cheap, cloneable profiler handle; `None` inside means disarmed and a
+/// phase scope costs one branch and zero allocations.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    inner: Option<Arc<ProfilerSink>>,
+}
+
+static GLOBAL: OnceLock<Profiler> = OnceLock::new();
+static DISABLED: Profiler = Profiler { inner: None };
+
+impl Profiler {
+    /// A disarmed handle: scopes are inert.
+    pub const fn disabled() -> Self {
+        Profiler { inner: None }
+    }
+
+    /// A fresh armed handle with its own empty accumulators.
+    pub fn enabled() -> Self {
+        Profiler {
+            inner: Some(Arc::new(ProfilerSink::new())),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The process-global handle used by library instrumentation points;
+    /// disarmed until a binary calls [`Profiler::install`] (`--profile`).
+    #[inline]
+    pub fn global() -> &'static Profiler {
+        GLOBAL.get().unwrap_or(&DISABLED)
+    }
+
+    /// Installs `handle` as the process-global profiler. First call wins;
+    /// returns `false` if one was already installed.
+    pub fn install(handle: Profiler) -> bool {
+        GLOBAL.set(handle).is_ok()
+    }
+
+    /// Opens a phase scope; the returned guard records on drop. Disarmed:
+    /// one branch, no clock read, no thread-local touch, no allocation.
+    #[inline]
+    pub fn phase(&self, id: PhaseId) -> PhaseGuard {
+        match &self.inner {
+            Some(sink) => {
+                FRAMES.with(|frames| {
+                    frames.borrow_mut().push(Frame {
+                        sink_serial: sink.serial,
+                        child_ns: 0,
+                        child_allocs: 0,
+                    });
+                });
+                PhaseGuard {
+                    inner: Some(GuardInner {
+                        sink: Arc::clone(sink),
+                        id,
+                        start: Instant::now(),
+                        start_allocs: allocs::count(),
+                    }),
+                }
+            }
+            None => PhaseGuard { inner: None },
+        }
+    }
+
+    /// Merges every shard into a deterministic snapshot (empty when
+    /// disarmed). Scopes still open on other threads are not included —
+    /// snapshot after joining workers.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let Some(sink) = &self.inner else {
+            return ProfileSnapshot::default();
+        };
+        let mut merged = [PhaseCell::default(); N_PHASES];
+        for shard in &sink.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            for (m, c) in merged.iter_mut().zip(shard.cells.iter()) {
+                m.wall_ns += c.wall_ns;
+                m.calls += c.calls;
+                m.child_ns += c.child_ns;
+                m.allocs += c.allocs;
+                m.child_allocs += c.child_allocs;
+            }
+        }
+        let phases = PhaseId::ALL
+            .iter()
+            .filter_map(|&id| {
+                let c = merged[id.index()];
+                (c.calls > 0).then_some(PhaseStats {
+                    id,
+                    calls: c.calls,
+                    wall_ns: c.wall_ns,
+                    child_ns: c.child_ns,
+                    allocs: c.allocs,
+                    child_allocs: c.child_allocs,
+                })
+            })
+            .collect();
+        ProfileSnapshot { phases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn catalog_is_ordered_and_indexed_consistently() {
+        for (i, id) in PhaseId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i, "{:?}", id);
+        }
+        let paths: Vec<&str> = PhaseId::ALL.iter().map(|id| id.path()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort_unstable();
+        assert_eq!(paths, sorted, "ALL must be path-ordered");
+    }
+
+    #[test]
+    fn nested_scopes_attribute_self_and_child_time() {
+        let prof = Profiler::enabled();
+        {
+            let _outer = prof.phase(PhaseId::TranNewton);
+            std::thread::sleep(Duration::from_millis(4));
+            {
+                let _inner = prof.phase(PhaseId::NewtonStamp);
+                std::thread::sleep(Duration::from_millis(6));
+            }
+        }
+        let snap = prof.snapshot();
+        let outer = snap.phase(PhaseId::TranNewton).unwrap();
+        let inner = snap.phase(PhaseId::NewtonStamp).unwrap();
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(inner.wall_ns >= 6_000_000, "inner {}", inner.wall_ns);
+        assert_eq!(outer.child_ns, inner.wall_ns);
+        assert!(outer.self_ns() >= 4_000_000, "self {}", outer.self_ns());
+        assert!(outer.wall_ns >= inner.wall_ns + outer.self_ns());
+    }
+
+    #[test]
+    fn disarmed_phase_is_inert() {
+        let prof = Profiler::disabled();
+        assert!(!prof.is_enabled());
+        let g = prof.phase(PhaseId::NewtonStamp);
+        assert!(!g.is_active());
+        drop(g);
+        assert!(prof.snapshot().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_calls_merge_exactly() {
+        let prof = Profiler::enabled();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let p = prof.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let _outer = p.phase(PhaseId::McWorkerRun);
+                        let _inner = p.phase(PhaseId::RramCalib);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = prof.snapshot();
+        assert_eq!(snap.phase(PhaseId::McWorkerRun).unwrap().calls, 4000);
+        assert_eq!(snap.phase(PhaseId::RramCalib).unwrap().calls, 4000);
+        // Deterministic: a second merge sees the same totals.
+        let again = prof.snapshot();
+        assert_eq!(snap.phases, again.phases);
+    }
+
+    #[test]
+    fn coverage_counts_leaves_against_interior() {
+        let prof = Profiler::enabled();
+        {
+            let _run = prof.phase(PhaseId::TranRun);
+            let _leaf = prof.phase(PhaseId::NewtonStamp);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = prof.snapshot();
+        let cov = snap.leaf_coverage().unwrap();
+        assert!(cov > 0.5, "coverage {cov}");
+        assert!(cov <= 1.0);
+    }
+
+    #[test]
+    fn tree_and_json_render_paths() {
+        let prof = Profiler::enabled();
+        {
+            let _g = prof.phase(PhaseId::NewtonSolveLu);
+        }
+        let snap = prof.snapshot();
+        let tree = snap.to_ascii_tree();
+        assert!(tree.contains("solve_lu"), "{tree}");
+        assert!(tree.contains("leaf coverage"), "{tree}");
+        let json = snap.to_json();
+        assert!(json.contains("\"oxterm-profile/1\""), "{json}");
+        assert!(json.contains("\"tran/newton/solve_lu\""), "{json}");
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+    }
+
+    #[test]
+    fn fold_into_exports_profile_counters() {
+        let prof = Profiler::enabled();
+        {
+            let _g = prof.phase(PhaseId::RramCalib);
+        }
+        let tel = Telemetry::enabled();
+        prof.snapshot().fold_into(&tel);
+        let report = tel.report();
+        assert_eq!(report.counter("profile.rram.calib.calls"), Some(1));
+        assert!(report.counter("profile.rram.calib.wall_ns").is_some());
+    }
+
+    #[test]
+    fn monotonic_ns_advances() {
+        let a = monotonic_ns();
+        std::thread::sleep(Duration::from_millis(1));
+        let b = monotonic_ns();
+        assert!(b > a);
+    }
+}

@@ -83,7 +83,7 @@ fn mc_margins_match_fig11_shape() {
         .levels()
         .iter()
         .map(|spec| {
-            let r = MonteCarlo::new(200, 0xF16_11 + spec.code as u64).run(|_, rng| {
+            let r = MonteCarlo::new(200, 0x000F_1611 + spec.code as u64).run(|_, rng| {
                 program_cell_mc(&params, &alloc, spec.code, &cond, &var, rng)
                     .expect("programmable")
                     .r_read_ohms
@@ -126,7 +126,7 @@ fn sigma_growth_matches_fig12() {
     let cond = ProgramConditions::paper();
     let var = McVariability::default();
     let sigma_of = |code: u16| {
-        let r = MonteCarlo::new(200, 0xF16_12 + code as u64).run(|_, rng| {
+        let r = MonteCarlo::new(200, 0x000F_1612 + code as u64).run(|_, rng| {
             program_cell_mc(&params, &alloc, code, &cond, &var, rng)
                 .expect("programmable")
                 .r_read_ohms

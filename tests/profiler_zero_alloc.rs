@@ -1,0 +1,72 @@
+//! The disarmed profiler's scope path must not allocate.
+//!
+//! The phase profiler's contract (mirroring trace/chaos) is that a binary
+//! which never passes `--profile` pays one branch per instrumentation
+//! point: no clock read, no thread-local push, no heap traffic. This
+//! binary installs a counting `#[global_allocator]` and holds the guard
+//! create/drop path to that promise. It contains exactly one test so no
+//! concurrent test can allocate on another thread mid-measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use oxterm_telemetry::{PhaseId, Profiler};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disarmed_profiler_scope_path_allocates_nothing() {
+    // Never install a global profiler here: the point is the disarmed path
+    // every un-flagged binary takes.
+    let prof = Profiler::global();
+    assert!(!prof.is_enabled());
+
+    // Warm up lazy statics outside the window.
+    drop(prof.phase(PhaseId::TranNewton));
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000u64 {
+        let _newton = prof.phase(PhaseId::TranNewton);
+        let stamp = prof.phase(PhaseId::NewtonStamp);
+        assert!(!stamp.is_active());
+        stamp.finish();
+        drop(prof.phase(PhaseId::NewtonSolveLu));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disarmed scope path allocated {} times over 30k scopes",
+        after - before
+    );
+
+    // Sanity: the same scopes against an armed handle do record (so the
+    // zero above measures the branch, not dead code).
+    let armed = Profiler::enabled();
+    {
+        let _g = armed.phase(PhaseId::NewtonSolveLu);
+    }
+    let snap = armed.snapshot();
+    assert_eq!(snap.phase(PhaseId::NewtonSolveLu).unwrap().calls, 1);
+}
