@@ -27,7 +27,16 @@ pub const DEFAULT_HISTORY_PATH: &str = "BENCH_history.jsonl";
 /// `-dirty` suffix so a history line never silently impersonates a
 /// committed state.
 pub fn git_rev() -> Option<String> {
-    let out = std::process::Command::new("git")
+    git_rev_with_command("git")
+}
+
+/// [`git_rev`] with the `git` executable name injectable, so the
+/// degradation path — no `git` in the environment means the history
+/// line stamps `"unknown"` rather than erroring — is testable without
+/// mutating `PATH`. Every failure mode (spawn error, nonzero exit,
+/// non-UTF-8 or empty output) folds to `None`.
+pub fn git_rev_with_command(git: &str) -> Option<String> {
+    let out = std::process::Command::new(git)
         .args(["rev-parse", "--short=12", "HEAD"])
         .output()
         .ok()?;
@@ -38,7 +47,7 @@ pub fn git_rev() -> Option<String> {
     if rev.is_empty() {
         return None;
     }
-    let dirty = std::process::Command::new("git")
+    let dirty = std::process::Command::new(git)
         .args(["status", "--porcelain"])
         .output()
         .ok()
@@ -192,6 +201,17 @@ mod tests {
         assert!(tail.contains("cccc00000003"), "{tail}");
         assert!(tail.contains("2.50"), "{tail}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unavailable_git_degrades_to_unknown_stamp() {
+        // A missing `git` binary must not error the history pipeline:
+        // the rev lookup folds to `None` and the line stamps "unknown".
+        let rev = git_rev_with_command("oxterm-definitely-not-a-git-binary");
+        assert_eq!(rev, None);
+        let line = history_line(SUMMARY, rev.as_deref()).unwrap();
+        let parsed = parse_flat_json(&line).unwrap();
+        assert_eq!(parsed["rev"], BenchValue::Str("unknown".into()));
     }
 
     #[test]

@@ -8,13 +8,18 @@ use oxterm_bench::campaigns::{paper_qlc_campaign, probe_designated_run, supervis
 use oxterm_bench::chart::boxplot_row;
 use oxterm_bench::table::{eng, Table};
 use oxterm_bench::telemetry_cli;
-use oxterm_mlc::margins::analyze;
+use oxterm_mlc::margins::{analyze, LevelSamples};
+use oxterm_telemetry::LevelTracker;
 
 fn main() {
     let (args, mut tel_cli) = telemetry_cli::init("fig11").unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(e.code);
     });
+    // Always arm the streaming level tracker: the batch statistics below
+    // are cross-checked against it, so the two paths can never silently
+    // diverge. (A no-op when `--dashboard` already installed it.)
+    LevelTracker::install(LevelTracker::enabled());
     // The campaign itself runs on the circuit-free fast path; `--probes`
     // captures the designated run 0 — the Fig 10 testbench pulsed at the
     // level-'0000' compliance current — at circuit level instead.
@@ -65,6 +70,10 @@ fn main() {
     }
     let samples: Vec<_> = campaign.iter().map(|c| c.to_level_samples()).collect();
     let report = analyze(&samples).expect("16 populated levels");
+    // Batch vs streaming agreement gate (stderr: resume replays see a
+    // partial tracker feed and stdout must stay byte-stable for the
+    // kill/resume smoke).
+    cross_check_streaming(&samples);
 
     // Box-plot strip, low-R states at the bottom like the figure.
     let lo = 30e3;
@@ -140,5 +149,71 @@ fn main() {
         if code != 0 {
             std::process::exit(code);
         }
+    }
+}
+
+/// Asserts that the streaming level tracker agrees with the batch sample
+/// vectors it was fed from: per level, identical counts and means (the
+/// Welford merge is exact) and a median within the sketch's rank-error
+/// bound of the exact empirical rank. Divergence is a hard failure —
+/// the two statistics paths must never drift apart silently.
+///
+/// Levels whose tracker count differs from the batch count are skipped
+/// with a note: a `--resume` replay serves completed runs from the
+/// checkpoint without re-executing them, so the tracker legitimately
+/// sees only the remainder.
+fn cross_check_streaming(samples: &[LevelSamples]) {
+    let snap = LevelTracker::global().snapshot();
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    for s in samples {
+        let Some(level) = snap.levels.iter().find(|l| l.code == s.code) else {
+            skipped += 1;
+            continue;
+        };
+        if level.n as usize != s.r.len() {
+            skipped += 1;
+            continue;
+        }
+        let n = s.r.len();
+        let batch_mean = s.r.iter().sum::<f64>() / n as f64;
+        let mean_rel = (level.mean - batch_mean).abs() / batch_mean.abs().max(1e-12);
+        if mean_rel > 1e-9 {
+            eprintln!(
+                "fig11: STREAMING CROSS-CHECK FAILED: level {:04b} mean \
+                 batch {batch_mean:.6e} vs streaming {:.6e}",
+                s.code, level.mean
+            );
+            std::process::exit(1);
+        }
+        // The sketch's median must land within ε (+ discretisation) of
+        // the exact rank 0.5 in the batch vector.
+        let mut sorted = s.r.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = sorted.iter().filter(|&&x| x <= level.p50).count() as f64;
+        let target = 0.5 * (n - 1) as f64 + 1.0;
+        let tol_frac = level.sketch.rank_error_bound() + 2.0 / n as f64;
+        let err = (rank - target).abs() / n as f64;
+        if err > tol_frac {
+            eprintln!(
+                "fig11: STREAMING CROSS-CHECK FAILED: level {:04b} p50 {} has \
+                 rank error {err:.4} (bound {tol_frac:.4})",
+                s.code,
+                eng(level.p50, "Ω")
+            );
+            std::process::exit(1);
+        }
+        checked += 1;
+    }
+    if skipped > 0 {
+        eprintln!(
+            "fig11: streaming cross-check: {checked} level(s) agree, {skipped} skipped \
+             (tracker saw a partial feed — expected under --resume)"
+        );
+    } else {
+        eprintln!(
+            "fig11: streaming cross-check: batch and sketch statistics agree on all \
+             {checked} levels (means exact, medians within rank error)"
+        );
     }
 }

@@ -1,18 +1,31 @@
 //! Fig 12 — standard deviation and resistance margin versus the RESET
 //! compliance current: both grow as IrefR falls, and the std-dev growth is
 //! super-linear (the paper calls it exponential).
+//!
+//! The batch analysis is followed by the *streaming* level report built
+//! from the bounded-memory tracker the campaign feeds — the same sigma
+//! and margin story with confidence intervals, demonstrating that fig12
+//! no longer needs full sample vectors (the 10k+-run campaigns of the
+//! scale push won't keep them).
 
 use oxterm_bench::campaigns::paper_qlc_campaign;
 use oxterm_bench::chart::{xy_chart, Scale};
+use oxterm_bench::levels_report::LevelReport;
 use oxterm_bench::table::{eng, Table};
+use oxterm_bench::telemetry_cli;
 use oxterm_mlc::margins::analyze;
 use oxterm_numerics::stats::linear_fit;
+use oxterm_telemetry::LevelTracker;
 
 fn main() {
-    let runs = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500);
+    let (args, tel_cli) = telemetry_cli::init("fig12").unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(e.code);
+    });
+    // Arm the streaming tracker: the second half of the figure is built
+    // entirely from it. (No-op when `--dashboard` already installed it.)
+    LevelTracker::install(LevelTracker::enabled());
+    let runs = args.first().and_then(|s| s.parse().ok()).unwrap_or(500);
     println!("== Fig 12: σ(R_HRS) and margin vs compliance current ({runs} MC runs) ==\n");
     let campaign = paper_qlc_campaign(runs);
     let samples: Vec<_> = campaign.iter().map(|c| c.to_level_samples()).collect();
@@ -66,4 +79,18 @@ fn main() {
         fit.slope, fit.r2
     );
     println!("margin shape tracks σ, motivating the ISO-ΔI choice of wider gaps at low current.");
+
+    // The same margins, regenerated from streaming state alone — with
+    // BER upper bounds and the 3/4/5/6-bit feasibility verdicts.
+    match LevelReport::from_snapshot(&LevelTracker::global().snapshot()) {
+        Ok(streaming) => {
+            println!("\n== streaming level report (sketch-derived, bounded memory) ==\n");
+            print!("{}", streaming.to_table());
+        }
+        Err(e) => {
+            eprintln!("fig12: STREAMING LEVEL REPORT UNAVAILABLE: {e}");
+            std::process::exit(1);
+        }
+    }
+    tel_cli.finish();
 }

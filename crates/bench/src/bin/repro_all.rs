@@ -23,11 +23,25 @@
 //! * `--bench-history[=PATH]` — append the fresh summary (stamped with the
 //!   git revision) to the JSONL trajectory (default `BENCH_history.jsonl`)
 //!   and print the recent tail.
+//! * `--check-levels[=PCT]` — compare the streaming per-level
+//!   distribution report against the committed
+//!   `results/levels_baseline.json` and fail the run when any level
+//!   quantile or sigma moves more than `PCT` percent in *either*
+//!   direction (default 5); the report names the worst-drifting level.
+//! * `--save-levels-baseline` — overwrite the committed baseline with
+//!   this run's flat level summary (the blessing step after an
+//!   intentional model or allocation change).
+//!
+//! The nested `oxterm-levels/1` artifact is always written to
+//! `results/levels_repro_all.json`, and the flat summary gains
+//! `level.<code>.p50` / `levels.worst_*` keys so the perf-history
+//! trajectory carries the distribution story too.
 
 use oxterm_array::cycling::{cycle_array, CyclingConfig};
 use oxterm_bench::bench_history;
 use oxterm_bench::campaigns::{mc_campaign, supervised_qlc_campaign};
 use oxterm_bench::hotpath::matrix_stats;
+use oxterm_bench::levels_report::{compare_levels, LevelReport, DEFAULT_DRIFT_FRAC};
 use oxterm_bench::table::{eng, Table};
 use oxterm_bench::telemetry_cli;
 use oxterm_mlc::levels::LevelAllocation;
@@ -39,7 +53,7 @@ use oxterm_mlc::projection::{project, ProjectionConfig};
 use oxterm_rram::calib::{simulate_reset_termination, CalibrationTarget, ResetConditions};
 use oxterm_rram::params::{InstanceVariation, OxramParams};
 use oxterm_spice::probe::ProbePlan;
-use oxterm_telemetry::{Profiler, Telemetry};
+use oxterm_telemetry::{LevelTracker, Profiler, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,6 +76,10 @@ fn main() {
     // too.
     Telemetry::install(Telemetry::enabled());
     Profiler::install(Profiler::enabled());
+    // The streaming level tracker is armed unconditionally as well: the
+    // MC campaign feeds it one observation per programmed level per run,
+    // and the drift gate plus the levels artifact read it back at exit.
+    LevelTracker::install(LevelTracker::enabled());
     // `--check-bench[=PCT]`: snapshot the committed baseline before this
     // run overwrites it, then gate the exit status on the throughput diff
     // (PCT is the relative-change threshold in percent, default 25).
@@ -72,6 +90,21 @@ fn main() {
     let baseline = check_bench
         .is_some()
         .then(|| std::fs::read_to_string("BENCH_telemetry.json").ok())
+        .flatten();
+    // `--check-levels[=PCT]`: snapshot the committed distribution
+    // baseline before `--save-levels-baseline` could overwrite it.
+    let check_levels = parse_check_levels(&mut args).unwrap_or_else(|e| {
+        eprintln!("repro_all: {e}");
+        std::process::exit(2);
+    });
+    let save_levels = {
+        let found = args.iter().any(|a| a == "--save-levels-baseline");
+        args.retain(|a| a != "--save-levels-baseline");
+        found
+    };
+    let levels_baseline = check_levels
+        .is_some()
+        .then(|| std::fs::read_to_string(LEVELS_BASELINE_PATH).ok())
         .flatten();
     // `--bench-history[=PATH]`: append this run's summary to the JSONL
     // perf trajectory.
@@ -286,8 +319,30 @@ fn main() {
         }
     );
 
-    let summary = write_bench_summary(t_start.elapsed().as_secs_f64());
+    // Streaming per-level distribution report: the nested artifact is
+    // always written; the flat form feeds the drift gate and (on
+    // `--save-levels-baseline`) replaces the committed baseline.
+    let level_report = match LevelReport::from_snapshot(&LevelTracker::global().snapshot()) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("repro_all: streaming level report unavailable: {e}");
+            None
+        }
+    };
+    if let Some(report) = &level_report {
+        write_results_file("results/levels_repro_all.json", &report.to_json());
+        if save_levels {
+            write_results_file(LEVELS_BASELINE_PATH, &report.to_flat_json());
+            println!("levels baseline blessed at {LEVELS_BASELINE_PATH}");
+        }
+    }
+    let summary = write_bench_summary(t_start.elapsed().as_secs_f64(), level_report.as_ref());
     let bench_ok = check_bench_baseline(check_bench, baseline.as_deref());
+    let levels_ok = check_levels_baseline(
+        check_levels,
+        levels_baseline.as_deref(),
+        level_report.as_ref(),
+    );
     if let Some(path) = &history_to {
         match bench_history::append_history(path, &summary, bench_history::git_rev().as_deref()) {
             Ok(()) => {
@@ -303,7 +358,11 @@ fn main() {
     tel_cli.finish();
     // Anchor/bench failures dominate; otherwise the supervised campaign's
     // code reports graceful degradation (3) or a quorum breach (1).
-    let mut code = if all_pass && bench_ok { 0 } else { 1 };
+    let mut code = if all_pass && bench_ok && levels_ok {
+        0
+    } else {
+        1
+    };
     if code == 0 {
         if let Some((_, outcome)) = &supervision {
             code = outcome.exit_code();
@@ -334,6 +393,33 @@ fn parse_check_bench(args: &mut Vec<String>) -> Result<Option<f64>, String> {
         }
     }
     args.retain(|a| a != "--check-bench" && !a.starts_with("--check-bench="));
+    Ok(threshold)
+}
+
+/// Committed distribution baseline (flat `oxterm-levels-flat/1` form).
+const LEVELS_BASELINE_PATH: &str = "results/levels_baseline.json";
+
+/// Parses (and strips) `--check-levels[=PCT]`, returning the two-sided
+/// relative drift threshold as a fraction. `PCT` must be a finite
+/// percentage in `(0, 100]`.
+fn parse_check_levels(args: &mut Vec<String>) -> Result<Option<f64>, String> {
+    let mut threshold = None;
+    for a in args.iter() {
+        if a == "--check-levels" {
+            threshold = Some(DEFAULT_DRIFT_FRAC);
+        } else if let Some(pct) = a.strip_prefix("--check-levels=") {
+            let v: f64 = pct
+                .parse()
+                .map_err(|_| format!("bad --check-levels percentage {pct:?}"))?;
+            if !v.is_finite() || v <= 0.0 || v > 100.0 {
+                return Err(format!(
+                    "--check-levels percentage must be within (0, 100], got {pct}"
+                ));
+            }
+            threshold = Some(v / 100.0);
+        }
+    }
+    args.retain(|a| a != "--check-levels" && !a.starts_with("--check-levels="));
     Ok(threshold)
 }
 
@@ -413,11 +499,68 @@ fn check_bench_baseline(threshold: Option<f64>, baseline: Option<&str>) -> bool 
     }
 }
 
+/// `--check-levels[=PCT]`: compares the streaming level report against
+/// the pre-run baseline. Returns `false` on drift — or when the gate
+/// was requested but the report could not be built at all (a campaign
+/// that feeds no levels is itself a reproduction break).
+fn check_levels_baseline(
+    threshold: Option<f64>,
+    baseline: Option<&str>,
+    report: Option<&LevelReport>,
+) -> bool {
+    let Some(threshold) = threshold else {
+        return true;
+    };
+    let Some(report) = report else {
+        eprintln!("--check-levels: no streaming level report to compare");
+        return false;
+    };
+    let Some(baseline) = baseline else {
+        println!(
+            "\n--check-levels: no committed {LEVELS_BASELINE_PATH} baseline; skipping \
+             (bless one with --save-levels-baseline)"
+        );
+        return true;
+    };
+    println!(
+        "\n== levels check (two-sided threshold ±{:.1}%) ==\n",
+        threshold * 100.0
+    );
+    match compare_levels(baseline, &report.to_flat_json(), threshold) {
+        Ok(drift) => {
+            println!("{}", drift.render().trim_end());
+            drift.drifted().is_empty()
+        }
+        Err(e) => {
+            eprintln!("--check-levels: {e}");
+            false
+        }
+    }
+}
+
+/// Writes one artifact under `results/`, creating the directory on
+/// first use; failure is reported but never takes the checklist down.
+fn write_results_file(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("could not create {dir:?}: {e}");
+            return;
+        }
+    }
+    match std::fs::write(path, contents) {
+        Ok(()) => println!("levels artifact written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 /// Writes `BENCH_telemetry.json`: the headline throughput figures the perf
 /// trajectory tracks across commits, plus the per-phase wall-time shares
-/// from the hot-path profiler (`phase_share.<path>` keys, informational).
-/// Returns the summary JSON for the history appender.
-fn write_bench_summary(wall_s: f64) -> String {
+/// from the hot-path profiler (`phase_share.<path>` keys, informational),
+/// plus the level-distribution rollups (`level.<code>.p50`,
+/// `levels.worst_*` — informational for the bench gate; `--check-levels`
+/// is the gate that owns them). Returns the summary JSON for the
+/// history appender.
+fn write_bench_summary(wall_s: f64, levels: Option<&LevelReport>) -> String {
     let report = Telemetry::global().report();
     let newton_iters = report
         .histogram("spice.newton.iterations")
@@ -453,6 +596,15 @@ fn write_bench_summary(wall_s: f64) -> String {
     }
     if let Some(coverage) = snapshot.leaf_coverage() {
         w.f64("phase_leaf_coverage", coverage);
+    }
+    if let Some(report) = levels {
+        for l in &report.levels {
+            w.f64(&format!("level.{:04b}.p50", l.code), l.p50);
+        }
+        if let Some(worst) = report.worst_margin() {
+            w.f64("levels.worst_sigma_margin", worst.sigma_margin);
+            w.f64("levels.worst_ber_cp_upper", worst.ber_cp_upper);
+        }
     }
     w.end_object();
     let json = w.finish();

@@ -17,6 +17,7 @@ use oxterm_mlc::program::{
 use oxterm_mlc::MlcError;
 use oxterm_rram::params::OxramParams;
 use oxterm_spice::probe::{ProbeCapture, ProbePlan};
+use oxterm_telemetry::levels::LevelTracker;
 
 /// All Monte Carlo outcomes for one level.
 #[derive(Debug, Clone)]
@@ -70,9 +71,16 @@ pub fn mc_campaign(
     let var = McVariability::default();
     let levels: Vec<LevelSpec> = alloc.levels().to_vec();
     // The fallible sweep records any failed run (with its replayable seed)
-    // in telemetry before this function panics on it.
+    // in telemetry before this function panics on it. Successful runs
+    // additionally feed the streaming level tracker (one branch when
+    // disarmed), which is where the dashboard and the level report get
+    // their distributions from.
     let results = sweep_mc_try(&levels, MonteCarlo::new(runs, seed), |spec, _, rng| {
-        program_cell_mc(params, alloc, spec.code, &cond, &var, rng)
+        let out = program_cell_mc(params, alloc, spec.code, &cond, &var, rng);
+        if let Ok(o) = &out {
+            LevelTracker::global().observe(spec.code, spec.i_ref, o.r_read_ohms);
+        }
+        out
     });
     results
         .into_iter()
@@ -121,7 +129,14 @@ pub fn supervised_qlc_campaign(
     let total = levels.len() * runs;
     let outcome = run_supervised(MonteCarlo::new(total, 0xD47E_2021), opts, |attempt, rng| {
         let spec = &levels[attempt.run_index as usize / runs];
-        program_cell_mc(&params, &alloc, spec.code, &cond, &var, rng).map_err(|e| e.to_string())
+        let out = program_cell_mc(&params, &alloc, spec.code, &cond, &var, rng)
+            .map_err(|e| e.to_string())?;
+        // Feed the streaming tracker only on success: failed attempts
+        // (including injected chaos faults) must not pollute the level
+        // distributions, and a retried run contributes exactly its one
+        // successful outcome.
+        LevelTracker::global().observe(spec.code, spec.i_ref, out.r_read_ohms);
+        Ok(out)
     })?;
     let campaigns = levels
         .iter()

@@ -41,5 +41,6 @@ pub mod bench_history;
 pub mod campaigns;
 pub mod chart;
 pub mod hotpath;
+pub mod levels_report;
 pub mod table;
 pub mod telemetry_cli;

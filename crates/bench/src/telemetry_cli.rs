@@ -26,6 +26,12 @@
 //!   <https://ui.perfetto.dev>), plus an ASCII timeline on stdout.
 //! * `--trace=PATH` — same, to an explicit path.
 //! * `--progress` — live Monte Carlo campaign status lines on stderr.
+//! * `--dashboard` — live multi-line campaign panel on stderr (implies
+//!   `--progress`): the status line plus one row per programmed level
+//!   with observation counts, streaming median/σ and an in-place
+//!   mini-histogram. Arms the per-level distribution tracker; falls
+//!   back to plain `--progress` lines when stderr is not a TTY, so
+//!   redirected logs never see ANSI control sequences.
 //! * `--lint` — run the netlint preflight over this binary's corpus slice
 //!   before the experiment; findings go to stderr and the counts land in
 //!   the telemetry report (`netlint.findings.deny` / `.warn`).
@@ -146,6 +152,9 @@ pub struct ParsedFlags {
     pub trace: Option<Option<String>>,
     /// Whether `--progress` was present.
     pub progress: bool,
+    /// Whether `--dashboard` was present (implies progress and arms the
+    /// per-level distribution tracker).
+    pub dashboard: bool,
     /// Netlint preflight mode (`--lint[=deny]`).
     pub lint: LintMode,
     /// `Some(explicit_spec)` when `--probes[=SPEC]` was present (`None`
@@ -188,6 +197,7 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
         mode: TelemetryMode::Off,
         trace: None,
         progress: false,
+        dashboard: false,
         lint: LintMode::Off,
         probes: None,
         artifacts_dir: None,
@@ -215,6 +225,8 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
             parsed.trace = Some(Some(path.to_string()));
         } else if a == "--progress" {
             parsed.progress = true;
+        } else if a == "--dashboard" {
+            parsed.dashboard = true;
         } else if a == "--lint" {
             parsed.lint = LintMode::Warn;
         } else if a == "--lint=deny" {
@@ -350,6 +362,14 @@ pub fn init_from(
     });
     if parsed.progress {
         oxterm_telemetry::progress::set_enabled(true);
+    }
+    if parsed.dashboard {
+        // The dashboard rides the progress reporter and renders from the
+        // level tracker, so it arms both. `mc::progress` still degrades
+        // to plain lines when stderr is not a terminal.
+        oxterm_telemetry::progress::set_enabled(true);
+        oxterm_telemetry::progress::set_dashboard(true);
+        oxterm_telemetry::LevelTracker::install(oxterm_telemetry::LevelTracker::enabled());
     }
     if let Some(dir) = &parsed.artifacts_dir {
         let dir = dir
@@ -518,9 +538,13 @@ impl TelemetryCli {
             }
         }
         // The Prometheus artifact renders last so the `profile.*` fold and
-        // every late counter are included.
+        // every late counter are included; level-distribution gauges are
+        // appended when the tracker was armed and fed.
         if let Some(path) = &self.metrics_out {
-            let text = oxterm_telemetry::metrics::to_prometheus(&Telemetry::global().report());
+            let mut text = oxterm_telemetry::metrics::to_prometheus(&Telemetry::global().report());
+            text.push_str(&oxterm_telemetry::metrics::render_levels(
+                &oxterm_telemetry::LevelTracker::global().snapshot(),
+            ));
             match ensure_parent(path).and_then(|()| std::fs::write(path, &text)) {
                 Ok(()) => println!("prometheus metrics written to {path}"),
                 Err(e) => eprintln!("could not write {path}: {e}"),
@@ -735,6 +759,14 @@ mod tests {
         assert_eq!(p.trace, Some(None));
         assert_eq!(p.mode, TelemetryMode::Table);
         assert_eq!(p.rest, vec!["500".to_string()]);
+    }
+
+    #[test]
+    fn dashboard_flag_parses_and_defaults_off() {
+        let p = parse(&["--dashboard", "500"]);
+        assert!(p.dashboard);
+        assert_eq!(p.rest, vec!["500".to_string()]);
+        assert!(!parse(&["500"]).dashboard);
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //!
 //! [`MonteCarlo::try_run`]: crate::MonteCarlo::try_run
 
+use oxterm_telemetry::levels::{LevelCounts, LevelTracker, LevelsSnapshot};
 use oxterm_telemetry::profiler::monotonic_ns;
 use parking_lot::Mutex;
+use std::io::IsTerminal as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Minimum wall time between status lines, in nanoseconds (timestamps come
@@ -79,12 +81,20 @@ fn last_failure_suffix(failures: u64) -> String {
 #[derive(Debug)]
 pub struct CampaignProgress {
     enabled: bool,
+    /// Render the in-place multi-line dashboard instead of plain lines.
+    /// Requires both the process-wide dashboard switch *and* stderr
+    /// being a TTY — redirected stderr (CI logs) always gets plain
+    /// lines, never ANSI control sequences.
+    dashboard: bool,
     total: usize,
     threads: usize,
     done: AtomicUsize,
     busy_ns: AtomicU64,
     started_ns: u64,
     last_print_ns: Mutex<u64>,
+    /// Lines the previous dashboard frame occupied (0 before the first
+    /// frame), so the next frame knows how far to move the cursor up.
+    panel_height: Mutex<usize>,
 }
 
 impl CampaignProgress {
@@ -97,8 +107,14 @@ impl CampaignProgress {
         RETRIES.store(0, Ordering::Relaxed);
         *LAST_FAILURE.lock() = None;
         let now = monotonic_ns();
+        let enabled = oxterm_telemetry::progress::enabled();
         CampaignProgress {
-            enabled: oxterm_telemetry::progress::enabled(),
+            enabled,
+            dashboard: dashboard_mode(
+                enabled,
+                oxterm_telemetry::progress::dashboard(),
+                std::io::stderr().is_terminal(),
+            ),
             total,
             threads: threads.max(1),
             done: AtomicUsize::new(0),
@@ -106,6 +122,7 @@ impl CampaignProgress {
             started_ns: now,
             // Backdate so the first completed run may print immediately.
             last_print_ns: Mutex::new(now.saturating_sub(THROTTLE_NS)),
+            panel_height: Mutex::new(0),
         }
     }
 
@@ -154,20 +171,123 @@ impl CampaignProgress {
         let busy = self.busy_ns.load(Ordering::Relaxed) as f64 / 1e9;
         let failures = FAILURES.load(Ordering::Relaxed);
         let retries = RETRIES.load(Ordering::Relaxed);
-        eprintln!(
-            "{}",
-            compose_line(
-                done,
-                self.total,
-                self.threads,
-                elapsed,
-                busy,
-                failures,
-                retries,
-                last,
-                &last_failure_suffix(failures),
-            )
+        let status = compose_line(
+            done,
+            self.total,
+            self.threads,
+            elapsed,
+            busy,
+            failures,
+            retries,
+            last,
+            &last_failure_suffix(failures),
         );
+        let tracker = LevelTracker::global();
+        if self.dashboard {
+            self.draw_panel(&status, &tracker.snapshot());
+        } else {
+            eprintln!("{status}{}", compose_level_part(&tracker.counts()));
+        }
+    }
+
+    /// Redraws the multi-line dashboard in place: the status line plus
+    /// one row (count, quantiles, mini-histogram) per observed level.
+    /// Only ever called on the TTY path.
+    fn draw_panel(&self, status: &str, snap: &LevelsSnapshot) {
+        use std::fmt::Write as _;
+        let rows = dashboard_rows(snap);
+        let mut height = self.panel_height.lock();
+        let mut out = String::new();
+        if *height > 0 {
+            // Move back to the top of the previous frame.
+            let _ = write!(out, "\x1b[{}A", *height);
+        }
+        let _ = writeln!(out, "\r\x1b[2K{status}");
+        for row in &rows {
+            let _ = writeln!(out, "\x1b[2K{row}");
+        }
+        // A shrinking panel (never expected, but cheap to guard) must
+        // not leave stale rows behind.
+        for _ in rows.len() + 1..*height {
+            out.push_str("\x1b[2K\n");
+        }
+        *height = rows.len() + 1;
+        eprint!("{out}");
+    }
+}
+
+/// Whether the in-place ANSI dashboard should render. Pure so the
+/// fallback contract is unit-testable: a requested dashboard on a
+/// non-TTY stderr (CI logs, redirected output) must degrade to plain
+/// lines, never emit control sequences.
+fn dashboard_mode(progress_enabled: bool, requested: bool, stderr_is_tty: bool) -> bool {
+    progress_enabled && requested && stderr_is_tty
+}
+
+/// Unicode eighth-blocks for the dashboard mini-histograms.
+const SPARK_BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders histogram bins as a fixed-width sparkline, scaled to the
+/// fullest bin; empty bins render as spaces so level modes stand out.
+fn sparkline(bins: &[u64]) -> String {
+    let peak = bins.iter().copied().max().unwrap_or(0);
+    bins.iter()
+        .map(|&b| {
+            if b == 0 || peak == 0 {
+                ' '
+            } else {
+                let idx = (b * 8).div_ceil(peak).clamp(1, 8) - 1;
+                SPARK_BLOCKS[idx as usize]
+            }
+        })
+        .collect()
+}
+
+/// Engineering-style resistance label for dashboard rows.
+fn fmt_ohms(v: f64) -> String {
+    if !v.is_finite() {
+        "--".to_string()
+    } else if v.abs() >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v.abs() >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// One dashboard row per observed level: code, observation count,
+/// streaming median and sigma, and the mini-histogram.
+fn dashboard_rows(snap: &LevelsSnapshot) -> Vec<String> {
+    snap.levels
+        .iter()
+        .map(|l| {
+            format!(
+                "  {:>6} {:>4.0}uA n {:>6}  p50 {:>7}  sigma {:>7}  |{}|",
+                format!("{:04b}", l.code),
+                l.i_ref * 1e6,
+                l.n,
+                fmt_ohms(l.p50),
+                fmt_ohms(l.std_dev),
+                sparkline(&l.bins),
+            )
+        })
+        .collect()
+}
+
+/// Plain-line suffix with per-level completion counts (empty while the
+/// level tracker is disarmed or has seen nothing).
+fn compose_level_part(counts: &LevelCounts) -> String {
+    if counts.levels == 0 {
+        return String::new();
+    }
+    if counts.min_n == counts.max_n {
+        format!(" | levels {} n {}", counts.levels, counts.max_n)
+    } else {
+        format!(
+            " | levels {} n {}..{}",
+            counts.levels, counts.min_n, counts.max_n
+        )
     }
 }
 
@@ -291,6 +411,64 @@ mod tests {
         assert!(RETRIES.load(Ordering::Relaxed) >= 2);
         let _p = CampaignProgress::start(5, 1);
         assert_eq!(RETRIES.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_fullest_bin() {
+        let s = sparkline(&[0, 1, 4, 8, 4, 1, 0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 7);
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[3], '█');
+        assert!(chars[1] < chars[2], "{s}");
+        // All-empty histograms render as pure whitespace, never panic.
+        assert!(sparkline(&[0, 0, 0]).chars().all(|c| c == ' '));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn level_part_summarises_completion() {
+        assert_eq!(compose_level_part(&LevelCounts::default()), "");
+        let even = LevelCounts {
+            levels: 16,
+            min_n: 30,
+            max_n: 30,
+            total: 480,
+        };
+        assert_eq!(compose_level_part(&even), " | levels 16 n 30");
+        let ragged = LevelCounts {
+            levels: 16,
+            min_n: 29,
+            max_n: 31,
+            total: 479,
+        };
+        assert_eq!(compose_level_part(&ragged), " | levels 16 n 29..31");
+    }
+
+    #[test]
+    fn dashboard_rows_render_each_level_without_ansi() {
+        let tracker = LevelTracker::enabled();
+        for i in 0..40 {
+            tracker.observe(5, 30e-6, 60e3 + i as f64 * 200.0);
+        }
+        let rows = dashboard_rows(&tracker.snapshot());
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].contains("0101"), "{}", rows[0]);
+        assert!(rows[0].contains("n     40"), "{}", rows[0]);
+        assert!(rows[0].contains("p50"), "{}", rows[0]);
+        // Rows themselves carry no control sequences — the ANSI framing
+        // lives only in the TTY draw path.
+        assert!(!rows[0].contains('\x1b'), "{}", rows[0]);
+    }
+
+    #[test]
+    fn dashboard_requires_tty_even_when_requested() {
+        // The CI-logs guarantee: a requested dashboard degrades to
+        // plain lines whenever stderr is not a terminal.
+        assert!(!dashboard_mode(true, true, false));
+        assert!(!dashboard_mode(true, false, true));
+        assert!(!dashboard_mode(false, true, true));
+        assert!(dashboard_mode(true, true, true));
     }
 
     #[test]

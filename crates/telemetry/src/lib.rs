@@ -65,12 +65,14 @@ pub mod allocs;
 mod counter;
 mod histogram;
 mod json;
+pub mod levels;
 pub mod metrics;
 pub mod postmortem;
 pub mod profiler;
 pub mod progress;
 mod registry;
 mod report;
+pub mod sketch;
 mod span;
 pub mod trace;
 pub mod trace_export;
@@ -78,10 +80,12 @@ pub mod trace_export;
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use json::JsonWriter;
+pub use levels::{LevelCounts, LevelSummary, LevelTracker, LevelsSnapshot};
 pub use metrics::MetricsServer;
 pub use profiler::{PhaseGuard, PhaseId, PhaseRole, PhaseStats, ProfileSnapshot, Profiler};
 pub use registry::Registry;
 pub use report::RunReport;
+pub use sketch::{QuantileSketch, Welford};
 pub use span::Span;
 pub use trace::{Arg, ArgValue, EventKind, TraceEvent, TraceSnapshot, TraceSpan, Tracer, Track};
 pub use trace_export::CounterTrack;

@@ -107,6 +107,59 @@ pub fn to_prometheus(report: &RunReport) -> String {
     out
 }
 
+/// Renders a per-level distribution snapshot as Prometheus gauges, one
+/// sample per (level, statistic). Levels are labeled by their binary
+/// code (`level="0011"`), matching the figure binaries' row labels.
+/// Deterministic: the snapshot is already code-ordered. The output
+/// concatenates cleanly after [`to_prometheus`].
+#[must_use]
+pub fn render_levels(snap: &crate::levels::LevelsSnapshot) -> String {
+    let mut out = String::new();
+    if snap.levels.is_empty() {
+        return out;
+    }
+    let label = |code: u16| format!("{code:04b}");
+    let _ = writeln!(
+        out,
+        "# HELP oxterm_levels_observations oxterm per-level MC observations"
+    );
+    let _ = writeln!(out, "# TYPE oxterm_levels_observations counter");
+    for l in &snap.levels {
+        let _ = writeln!(
+            out,
+            "oxterm_levels_observations{{level=\"{}\"}} {}",
+            label(l.code),
+            l.n
+        );
+    }
+    let _ = writeln!(
+        out,
+        "# HELP oxterm_levels_quantile_ohms oxterm streaming read-resistance quantiles"
+    );
+    let _ = writeln!(out, "# TYPE oxterm_levels_quantile_ohms gauge");
+    for l in &snap.levels {
+        for (q, v) in [("0.01", l.p01), ("0.5", l.p50), ("0.99", l.p99)] {
+            let mut line = format!(
+                "oxterm_levels_quantile_ohms{{level=\"{}\",quantile=\"{q}\"}} ",
+                label(l.code)
+            );
+            push_float(&mut line, v);
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP oxterm_levels_sigma_ohms oxterm per-level resistance standard deviation"
+    );
+    let _ = writeln!(out, "# TYPE oxterm_levels_sigma_ohms gauge");
+    for l in &snap.levels {
+        let mut line = format!("oxterm_levels_sigma_ohms{{level=\"{}\"}} ", label(l.code));
+        push_float(&mut line, l.std_dev);
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
 fn valid_metric_name(name: &str) -> bool {
     let mut chars = name.chars();
     match chars.next() {
@@ -317,6 +370,23 @@ mod tests {
             "oxterm_profile_tran_newton_solve_lu_self_ns"
         );
         assert_eq!(metric_name("weird name-1"), "oxterm_weird_name_1");
+    }
+
+    #[test]
+    fn levels_render_is_valid_and_labeled() {
+        let tracker = crate::levels::LevelTracker::enabled();
+        for i in 0..50 {
+            tracker.observe(3, 20e-6, 40e3 + i as f64 * 25.0);
+            tracker.observe(12, 80e-6, 150e3 + i as f64 * 50.0);
+        }
+        let text = render_levels(&tracker.snapshot());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("oxterm_levels_observations{level=\"0011\"} 50"));
+        assert!(text.contains("oxterm_levels_quantile_ohms{level=\"1100\",quantile=\"0.5\"}"));
+        assert!(text.contains("oxterm_levels_sigma_ohms{level=\"0011\"}"));
+        // An empty snapshot renders as nothing, so concatenation after
+        // to_prometheus stays valid even when the tracker is disarmed.
+        assert!(render_levels(&crate::levels::LevelsSnapshot::default()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Property harness for the streaming quantile sketch: every answer must
+//! stay within the advertised rank-error contract of the *exact* batch
+//! quantile from `oxterm_numerics::stats` — including when the stream is
+//! sharded across sketches and merged, the deployment shape the MC
+//! worker pool uses. A sketch that silently loosened its ε under merge
+//! would make the level report's margins and BER bounds quietly wrong,
+//! so the contract is pinned here property-style over distribution
+//! shapes, seeds, and query points.
+
+use oxterm_numerics::stats::quantile;
+use oxterm_telemetry::QuantileSketch;
+use proptest::prelude::*;
+
+/// Samples per case — the campaign scale the sketch is specified at.
+const N: usize = 10_000;
+
+/// Rank tolerance: the ±1% acceptance bound, plus the discretisation
+/// slack of querying a finite sample (the sketch returns a *sample*,
+/// the reference interpolates between two).
+fn rank_tolerance(n: usize) -> f64 {
+    0.01 + 2.0 / n as f64
+}
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+/// A unit uniform from the generator's top bits.
+fn unit(x: &mut u64) -> f64 {
+    (xorshift(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic synthetic sample in one of three shapes the resistance
+/// data actually takes: uniform, log-normal-ish (skewed HRS tail), and
+/// bimodal (two adjacent levels pooled).
+fn sample(seed: u64, shape: u8) -> Vec<f64> {
+    let mut x = seed | 1;
+    (0..N)
+        .map(|_| match shape {
+            0 => 1e3 + 99e3 * unit(&mut x),
+            1 => {
+                // Sum of uniforms through exp: right-skewed like R_HRS.
+                let g = unit(&mut x) + unit(&mut x) + unit(&mut x) - 1.5;
+                40e3 * (0.8 * g).exp()
+            }
+            _ => {
+                let mode = if unit(&mut x) < 0.5 { 40e3 } else { 160e3 };
+                mode + 5e3 * (unit(&mut x) - 0.5)
+            }
+        })
+        .collect()
+}
+
+/// Empirical rank (count ≤ v) of a value in sorted data.
+fn rank_of(sorted: &[f64], v: f64) -> f64 {
+    sorted.iter().filter(|&&x| x <= v).count() as f64
+}
+
+/// Asserts the sketch's answer at `q` lands within the rank tolerance
+/// of the exact batch answer, both as a rank and as a value bracketed
+/// by the exact quantiles one tolerance away.
+fn assert_rank_contract(sk: &QuantileSketch, data: &[f64], q: f64) -> Result<(), String> {
+    let v = sk.quantile(q).expect("non-empty sketch answers");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = data.len() as f64;
+    let target = q * (n - 1.0) + 1.0;
+    let err = (rank_of(&sorted, v) - target).abs() / n;
+    let tol = rank_tolerance(data.len());
+    prop_assert!(
+        err <= tol,
+        "q={q}: rank error {err:.4} exceeds {tol:.4} (answer {v})"
+    );
+    // The same statement through the reference implementation: the
+    // answer must sit between the exact quantiles one tolerance away.
+    let lo = quantile(data, (q - tol).max(0.0)).expect("valid input");
+    let hi = quantile(data, (q + tol).min(1.0)).expect("valid input");
+    prop_assert!(
+        (lo - 1e-9..=hi + 1e-9).contains(&v),
+        "q={q}: answer {v} outside exact bracket [{lo}, {hi}]"
+    );
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn sketch_rank_error_stays_within_one_percent(
+        seed in any::<u64>(),
+        shape in 0u8..3,
+        qi in 0usize..=100,
+    ) {
+        let data = sample(seed, shape);
+        let mut sk = QuantileSketch::new(0.005);
+        for &v in &data {
+            sk.insert(v);
+        }
+        prop_assert_eq!(sk.count(), N as u64);
+        prop_assert!(sk.rank_error_bound() <= 0.005 + 1e-12);
+        // Bounded memory is the point: far fewer tuples than samples.
+        prop_assert!(sk.summary_len() < N / 4, "{} tuples", sk.summary_len());
+        assert_rank_contract(&sk, &data, qi as f64 / 100.0)?;
+    }
+
+    #[test]
+    fn sharded_merge_preserves_the_rank_contract(
+        seed in any::<u64>(),
+        shape in 0u8..3,
+        shards in 2usize..9,
+        qi in 0usize..=100,
+    ) {
+        let data = sample(seed, shape);
+        // Round-robin split across worker shards, one sketch each.
+        let mut parts = vec![QuantileSketch::new(0.005); shards];
+        for (i, &v) in data.iter().enumerate() {
+            parts[i % shards].insert(v);
+        }
+        let mut merged = parts[0].clone();
+        for p in &parts[1..] {
+            merged.merge_from(p);
+        }
+        prop_assert_eq!(merged.count(), N as u64);
+        assert_rank_contract(&merged, &data, qi as f64 / 100.0)?;
+    }
+
+    #[test]
+    fn merge_is_order_symmetric(seed in any::<u64>(), shape in 0u8..3) {
+        let data = sample(seed, shape);
+        let (left, right) = data.split_at(N / 3);
+        let mut a = QuantileSketch::new(0.005);
+        let mut b = QuantileSketch::new(0.005);
+        for &v in left {
+            a.insert(v);
+        }
+        for &v in right {
+            b.insert(v);
+        }
+        let ab = QuantileSketch::merged(&a, &b);
+        let ba = QuantileSketch::merged(&b, &a);
+        prop_assert_eq!(ab.summary_len(), ba.summary_len());
+        for qi in 0..=100u32 {
+            let q = f64::from(qi) / 100.0;
+            prop_assert!(
+                ab.quantile(q) == ba.quantile(q),
+                "merge order changed the answer at q = {q}: {:?} vs {:?}",
+                ab.quantile(q),
+                ba.quantile(q)
+            );
+        }
+    }
+}
