@@ -5,17 +5,26 @@
 //! latency 4.01 µs at 6 µA, average 1.65 µs; SET adds ~20 pJ and its ~100 ns
 //! pulse is excluded from the latency numbers.
 
-use oxterm_bench::campaigns::{paper_qlc_campaign, probe_designated_run, supervised_qlc_campaign};
+use oxterm_bench::campaigns::{
+    paper_qlc_campaign, probe_designated_run, supervised_qlc_campaign, LevelCampaign,
+};
 use oxterm_bench::chart::boxplot_row;
 use oxterm_bench::table::{eng, Table};
 use oxterm_bench::telemetry_cli;
 use oxterm_numerics::stats::{box_stats, summary};
+use oxterm_telemetry::joule::JouleLedger;
 
 fn main() {
     let (args, mut tel_cli) = telemetry_cli::init("fig13").unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(e.code);
     });
+    // The campaign feeds one (energy, latency) observation per successful
+    // program into the streaming joule ledger; the in-binary cross-check
+    // below then pits those bounded-memory statistics against the batch
+    // vectors this figure plots, so Fig 13 cannot silently diverge from
+    // the energy artifact repro_all ships.
+    JouleLedger::install(JouleLedger::enabled());
     // The campaign itself runs on the circuit-free fast path; `--probes`
     // captures the designated run 0 — the Fig 10 testbench pulsed at the
     // level-'0000' compliance current — at circuit level instead. That is
@@ -66,6 +75,8 @@ fn main() {
             outcome.quorum,
         );
     }
+
+    cross_check_streaming(&campaign);
 
     let mut all_energy = Vec::new();
     let mut all_latency = Vec::new();
@@ -150,5 +161,57 @@ fn main() {
         if code != 0 {
             std::process::exit(code);
         }
+    }
+}
+
+/// Pits the joule ledger's streaming per-level means against the batch
+/// energy/latency vectors this figure plots. Means must agree to 1e-9
+/// relative — the ledger and the campaign saw the exact same outcomes, so
+/// anything larger is an accumulation bug, not noise. Levels whose
+/// streaming count disagrees with the batch vector are skipped rather
+/// than failed: under `--resume` the replayed runs never re-execute, so
+/// the ledger legitimately sees only the fresh tail of the campaign.
+fn cross_check_streaming(campaign: &[LevelCampaign]) {
+    let snap = JouleLedger::global().snapshot();
+    let mut checked = 0usize;
+    let mut skipped = 0usize;
+    for lc in campaign {
+        let Some(level) = snap.levels.iter().find(|l| l.code == lc.spec.code) else {
+            skipped += 1;
+            continue;
+        };
+        if level.n as usize != lc.outcomes.len() {
+            skipped += 1;
+            continue;
+        }
+        let n = lc.outcomes.len() as f64;
+        let pairs = [
+            ("energy", lc.energies(), level.mean_j),
+            ("latency", lc.latencies(), level.mean_latency_s),
+        ];
+        for (what, batch, streaming_mean) in pairs {
+            let batch_mean = batch.iter().sum::<f64>() / n;
+            let rel = (streaming_mean - batch_mean).abs() / batch_mean.abs().max(1e-30);
+            if rel > 1e-9 {
+                eprintln!(
+                    "fig13: STREAMING CROSS-CHECK FAILED: level {:04b} mean {what} \
+                     batch {batch_mean:.6e} vs streaming {streaming_mean:.6e}",
+                    lc.spec.code
+                );
+                std::process::exit(1);
+            }
+        }
+        checked += 1;
+    }
+    if skipped > 0 {
+        eprintln!(
+            "fig13: streaming cross-check: {checked} level(s) agree, {skipped} skipped \
+             (ledger saw a partial feed — expected under --resume)"
+        );
+    } else {
+        eprintln!(
+            "fig13: streaming cross-check: batch and ledger statistics agree on all \
+             {checked} levels (energy and latency means within 1e-9)"
+        );
     }
 }

@@ -36,10 +36,28 @@
 //! `results/levels_repro_all.json`, and the flat summary gains
 //! `level.<code>.p50` / `levels.worst_*` keys so the perf-history
 //! trajectory carries the distribution story too.
+//!
+//! The energy story rides the same rails:
+//!
+//! * `--check-energy[=PCT]` — compare the streaming per-level
+//!   energy/latency report against the committed
+//!   `results/energy_baseline.json` and fail the run when any gated
+//!   statistic moves more than `PCT` percent in either direction
+//!   (default 5).
+//! * `--save-energy-baseline` — bless this run's flat energy summary as
+//!   the committed baseline.
+//!
+//! The nested `oxterm-energy/1` artifact (per-level energy/latency,
+//! termination savings vs the worst-case open-loop pulse, and role×phase
+//! attribution) is always written to `results/energy_repro_all.json`, and
+//! the bench summary gains informational `energy.*` rollup keys.
 
 use oxterm_array::cycling::{cycle_array, CyclingConfig};
 use oxterm_bench::bench_history;
 use oxterm_bench::campaigns::{mc_campaign, supervised_qlc_campaign};
+use oxterm_bench::energy_report::{
+    compare_energy, EnergyReport, WorstCaseBaseline, DEFAULT_ENERGY_DRIFT_FRAC,
+};
 use oxterm_bench::hotpath::matrix_stats;
 use oxterm_bench::levels_report::{compare_levels, LevelReport, DEFAULT_DRIFT_FRAC};
 use oxterm_bench::table::{eng, Table};
@@ -53,6 +71,7 @@ use oxterm_mlc::projection::{project, ProjectionConfig};
 use oxterm_rram::calib::{simulate_reset_termination, CalibrationTarget, ResetConditions};
 use oxterm_rram::params::{InstanceVariation, OxramParams};
 use oxterm_spice::probe::ProbePlan;
+use oxterm_telemetry::joule::JouleLedger;
 use oxterm_telemetry::{LevelTracker, Profiler, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,6 +99,11 @@ fn main() {
     // MC campaign feeds it one observation per programmed level per run,
     // and the drift gate plus the levels artifact read it back at exit.
     LevelTracker::install(LevelTracker::enabled());
+    // And the joule ledger beside it: every device power integral of the
+    // circuit transient, every fast-path RESET/SET energy split, and one
+    // (energy, latency) observation per successful program feed it; the
+    // energy artifact and the --check-energy gate read it back at exit.
+    JouleLedger::install(JouleLedger::enabled());
     // `--check-bench[=PCT]`: snapshot the committed baseline before this
     // run overwrites it, then gate the exit status on the throughput diff
     // (PCT is the relative-change threshold in percent, default 25).
@@ -105,6 +129,21 @@ fn main() {
     let levels_baseline = check_levels
         .is_some()
         .then(|| std::fs::read_to_string(LEVELS_BASELINE_PATH).ok())
+        .flatten();
+    // `--check-energy[=PCT]` / `--save-energy-baseline`: same contract as
+    // the levels gate, over the joule ledger's flat summary.
+    let check_energy = parse_check_energy(&mut args).unwrap_or_else(|e| {
+        eprintln!("repro_all: {e}");
+        std::process::exit(2);
+    });
+    let save_energy = {
+        let found = args.iter().any(|a| a == "--save-energy-baseline");
+        args.retain(|a| a != "--save-energy-baseline");
+        found
+    };
+    let energy_baseline = check_energy
+        .is_some()
+        .then(|| std::fs::read_to_string(ENERGY_BASELINE_PATH).ok())
         .flatten();
     // `--bench-history[=PATH]`: append this run's summary to the JSONL
     // perf trajectory.
@@ -336,12 +375,37 @@ fn main() {
             println!("levels baseline blessed at {LEVELS_BASELINE_PATH}");
         }
     }
-    let summary = write_bench_summary(t_start.elapsed().as_secs_f64(), level_report.as_ref());
+    // Streaming energy/latency report: the Fig 13/14 story (per-level
+    // energy, latency and termination savings vs the worst-case open-loop
+    // pulse) plus the role × phase attribution of every integrated joule.
+    let energy_report = WorstCaseBaseline::paper_open_loop()
+        .and_then(|worst| EnergyReport::from_snapshot(&JouleLedger::global().snapshot(), worst))
+        .map_err(|e| eprintln!("repro_all: streaming energy report unavailable: {e}"))
+        .ok();
+    if let Some(report) = &energy_report {
+        println!("\n== per-level energy / latency (streaming joule ledger) ==\n");
+        print!("{}", report.to_table());
+        write_results_file("results/energy_repro_all.json", &report.to_json());
+        if save_energy {
+            write_results_file(ENERGY_BASELINE_PATH, &report.to_flat_json());
+            println!("energy baseline blessed at {ENERGY_BASELINE_PATH}");
+        }
+    }
+    let summary = write_bench_summary(
+        t_start.elapsed().as_secs_f64(),
+        level_report.as_ref(),
+        energy_report.as_ref(),
+    );
     let bench_ok = check_bench_baseline(check_bench, baseline.as_deref());
     let levels_ok = check_levels_baseline(
         check_levels,
         levels_baseline.as_deref(),
         level_report.as_ref(),
+    );
+    let energy_ok = check_energy_baseline(
+        check_energy,
+        energy_baseline.as_deref(),
+        energy_report.as_ref(),
     );
     if let Some(path) = &history_to {
         match bench_history::append_history(path, &summary, bench_history::git_rev().as_deref()) {
@@ -358,7 +422,7 @@ fn main() {
     tel_cli.finish();
     // Anchor/bench failures dominate; otherwise the supervised campaign's
     // code reports graceful degradation (3) or a quorum breach (1).
-    let mut code = if all_pass && bench_ok && levels_ok {
+    let mut code = if all_pass && bench_ok && levels_ok && energy_ok {
         0
     } else {
         1
@@ -420,6 +484,33 @@ fn parse_check_levels(args: &mut Vec<String>) -> Result<Option<f64>, String> {
         }
     }
     args.retain(|a| a != "--check-levels" && !a.starts_with("--check-levels="));
+    Ok(threshold)
+}
+
+/// Committed energy baseline (flat `oxterm-energy-flat/1` form).
+const ENERGY_BASELINE_PATH: &str = "results/energy_baseline.json";
+
+/// Parses (and strips) `--check-energy[=PCT]`, returning the two-sided
+/// relative drift threshold as a fraction. `PCT` must be a finite
+/// percentage in `(0, 100]`.
+fn parse_check_energy(args: &mut Vec<String>) -> Result<Option<f64>, String> {
+    let mut threshold = None;
+    for a in args.iter() {
+        if a == "--check-energy" {
+            threshold = Some(DEFAULT_ENERGY_DRIFT_FRAC);
+        } else if let Some(pct) = a.strip_prefix("--check-energy=") {
+            let v: f64 = pct
+                .parse()
+                .map_err(|_| format!("bad --check-energy percentage {pct:?}"))?;
+            if !v.is_finite() || v <= 0.0 || v > 100.0 {
+                return Err(format!(
+                    "--check-energy percentage must be within (0, 100], got {pct}"
+                ));
+            }
+            threshold = Some(v / 100.0);
+        }
+    }
+    args.retain(|a| a != "--check-energy" && !a.starts_with("--check-energy="));
     Ok(threshold)
 }
 
@@ -538,6 +629,45 @@ fn check_levels_baseline(
     }
 }
 
+/// `--check-energy[=PCT]`: compares the streaming energy report against
+/// the pre-run baseline. Returns `false` on drift — or when the gate was
+/// requested but no energy report could be built (a campaign that
+/// integrates no joules is itself a reproduction break).
+fn check_energy_baseline(
+    threshold: Option<f64>,
+    baseline: Option<&str>,
+    report: Option<&EnergyReport>,
+) -> bool {
+    let Some(threshold) = threshold else {
+        return true;
+    };
+    let Some(report) = report else {
+        eprintln!("--check-energy: no streaming energy report to compare");
+        return false;
+    };
+    let Some(baseline) = baseline else {
+        println!(
+            "\n--check-energy: no committed {ENERGY_BASELINE_PATH} baseline; skipping \
+             (bless one with --save-energy-baseline)"
+        );
+        return true;
+    };
+    println!(
+        "\n== energy check (two-sided threshold ±{:.1}%) ==\n",
+        threshold * 100.0
+    );
+    match compare_energy(baseline, &report.to_flat_json(), threshold) {
+        Ok(drift) => {
+            println!("{}", drift.render().trim_end());
+            drift.drifted().is_empty()
+        }
+        Err(e) => {
+            eprintln!("--check-energy: {e}");
+            false
+        }
+    }
+}
+
 /// Writes one artifact under `results/`, creating the directory on
 /// first use; failure is reported but never takes the checklist down.
 fn write_results_file(path: &str, contents: &str) {
@@ -548,7 +678,7 @@ fn write_results_file(path: &str, contents: &str) {
         }
     }
     match std::fs::write(path, contents) {
-        Ok(()) => println!("levels artifact written to {path}"),
+        Ok(()) => println!("artifact written to {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
@@ -558,9 +688,14 @@ fn write_results_file(path: &str, contents: &str) {
 /// from the hot-path profiler (`phase_share.<path>` keys, informational),
 /// plus the level-distribution rollups (`level.<code>.p50`,
 /// `levels.worst_*` — informational for the bench gate; `--check-levels`
-/// is the gate that owns them). Returns the summary JSON for the
-/// history appender.
-fn write_bench_summary(wall_s: f64, levels: Option<&LevelReport>) -> String {
+/// is the gate that owns them), plus the energy rollups (`energy.*` —
+/// informational here too; `--check-energy` owns the per-level
+/// statistics). Returns the summary JSON for the history appender.
+fn write_bench_summary(
+    wall_s: f64,
+    levels: Option<&LevelReport>,
+    energy: Option<&EnergyReport>,
+) -> String {
     let report = Telemetry::global().report();
     let newton_iters = report
         .histogram("spice.newton.iterations")
@@ -605,6 +740,14 @@ fn write_bench_summary(wall_s: f64, levels: Option<&LevelReport>) -> String {
             w.f64("levels.worst_sigma_margin", worst.sigma_margin);
             w.f64("levels.worst_ber_cp_upper", worst.ber_cp_upper);
         }
+    }
+    if let Some(report) = energy {
+        let (mean_e, mean_t) = report.grand_means();
+        w.f64("energy.mean_reset_j", mean_e);
+        w.f64("energy.mean_reset_latency_s", mean_t);
+        w.f64("energy.total_dissipated_j", report.total_dissipated_j);
+        w.f64("energy.attributed_frac", report.attributed_frac);
+        w.f64("energy.worst_case_j", report.worst_case.energy_j);
     }
     w.end_object();
     let json = w.finish();

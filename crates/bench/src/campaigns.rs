@@ -17,6 +17,7 @@ use oxterm_mlc::program::{
 use oxterm_mlc::MlcError;
 use oxterm_rram::params::OxramParams;
 use oxterm_spice::probe::{ProbeCapture, ProbePlan};
+use oxterm_telemetry::joule::JouleLedger;
 use oxterm_telemetry::levels::LevelTracker;
 
 /// All Monte Carlo outcomes for one level.
@@ -79,6 +80,7 @@ pub fn mc_campaign(
         let out = program_cell_mc(params, alloc, spec.code, &cond, &var, rng);
         if let Ok(o) = &out {
             LevelTracker::global().observe(spec.code, spec.i_ref, o.r_read_ohms);
+            JouleLedger::global().observe_level(spec.code, spec.i_ref, o.energy_j, o.latency_s);
         }
         out
     });
@@ -136,6 +138,7 @@ pub fn supervised_qlc_campaign(
         // distributions, and a retried run contributes exactly its one
         // successful outcome.
         LevelTracker::global().observe(spec.code, spec.i_ref, out.r_read_ohms);
+        JouleLedger::global().observe_level(spec.code, spec.i_ref, out.energy_j, out.latency_s);
         Ok(out)
     })?;
     let campaigns = levels

@@ -40,6 +40,7 @@ pub mod bench_diff;
 pub mod bench_history;
 pub mod campaigns;
 pub mod chart;
+pub mod energy_report;
 pub mod hotpath;
 pub mod levels_report;
 pub mod table;

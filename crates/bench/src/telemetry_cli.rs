@@ -29,9 +29,11 @@
 //! * `--dashboard` — live multi-line campaign panel on stderr (implies
 //!   `--progress`): the status line plus one row per programmed level
 //!   with observation counts, streaming median/σ and an in-place
-//!   mini-histogram. Arms the per-level distribution tracker; falls
-//!   back to plain `--progress` lines when stderr is not a TTY, so
-//!   redirected logs never see ANSI control sequences.
+//!   mini-histogram, plus per-level median energy/latency columns when
+//!   the joule ledger has observations. Arms the per-level distribution
+//!   tracker and the joule ledger; falls back to plain `--progress`
+//!   lines when stderr is not a TTY, so redirected logs never see ANSI
+//!   control sequences.
 //! * `--lint` — run the netlint preflight over this binary's corpus slice
 //!   before the experiment; findings go to stderr and the counts land in
 //!   the telemetry report (`netlint.findings.deny` / `.warn`).
@@ -370,6 +372,11 @@ pub fn init_from(
         oxterm_telemetry::progress::set_enabled(true);
         oxterm_telemetry::progress::set_dashboard(true);
         oxterm_telemetry::LevelTracker::install(oxterm_telemetry::LevelTracker::enabled());
+        // The panel's energy/latency rows read the joule ledger, so the
+        // dashboard arms it alongside the distribution tracker.
+        oxterm_telemetry::joule::JouleLedger::install(
+            oxterm_telemetry::joule::JouleLedger::enabled(),
+        );
     }
     if let Some(dir) = &parsed.artifacts_dir {
         let dir = dir
@@ -514,11 +521,17 @@ impl TelemetryCli {
         if let Some(path) = self.trace_to.take() {
             let snapshot = Tracer::global().snapshot();
             record_drops(Telemetry::global(), &snapshot);
-            let counters: Vec<_> = self
+            let mut counters: Vec<_> = self
                 .captures
                 .iter()
                 .flat_map(ProbeCapture::counter_tracks)
                 .collect();
+            // Cumulative dissipated energy over wall time, when the joule
+            // ledger was armed and fed: one more counter lane next to the
+            // probe tracks.
+            if let Some(track) = oxterm_telemetry::joule::JouleLedger::global().counter_track() {
+                counters.push(track);
+            }
             write_trace(&path, &snapshot, &counters);
             println!("\n== trace timeline ({}) ==\n", self.name);
             println!("{}", snapshot.to_ascii(100));
@@ -544,6 +557,9 @@ impl TelemetryCli {
             let mut text = oxterm_telemetry::metrics::to_prometheus(&Telemetry::global().report());
             text.push_str(&oxterm_telemetry::metrics::render_levels(
                 &oxterm_telemetry::LevelTracker::global().snapshot(),
+            ));
+            text.push_str(&oxterm_telemetry::metrics::render_energy(
+                &oxterm_telemetry::joule::JouleLedger::global().snapshot(),
             ));
             match ensure_parent(path).and_then(|()| std::fs::write(path, &text)) {
                 Ok(()) => println!("prometheus metrics written to {path}"),

@@ -25,6 +25,7 @@ use oxterm_spice::analysis::tran::{run_transient, TranOptions};
 use oxterm_spice::circuit::Circuit;
 use oxterm_spice::probe::{ProbeCapture, ProbePlan};
 use oxterm_spice::waveform::CrossDir;
+use oxterm_telemetry::joule::{self, ProgramPhase};
 use oxterm_telemetry::{Arg, PhaseId, Profiler, Telemetry, Tracer, Track};
 use rand::Rng;
 
@@ -124,13 +125,19 @@ pub fn program_cell_fast(
     span.arg(Arg::u64("code", u64::from(code)));
     let level = alloc.level(code)?;
     span.arg(Arg::f64("i_ref_a", level.i_ref));
-    let set = simulate_set(params, inst, &cond.set)?;
+    let set = {
+        let _phase = joule::enter_phase(ProgramPhase::Set);
+        simulate_set(params, inst, &cond.set)?
+    };
     let reset_cond = ResetConditions {
         i_ref: level.i_ref,
         rho_start: set.rho_final,
         ..cond.reset
     };
-    let out = simulate_reset_termination(params, inst, &reset_cond)?;
+    let out = {
+        let _phase = joule::enter_phase(ProgramPhase::Reset);
+        simulate_reset_termination(params, inst, &reset_cond)?
+    };
     Ok(ProgramOutcome {
         code,
         i_ref: level.i_ref,
@@ -232,10 +239,16 @@ pub fn program_cell_mc<R: Rng + ?Sized>(
     let level = alloc.level(code)?;
     span.arg(Arg::f64("i_ref_a", level.i_ref));
     let (inst, mut cond, i_ref_factor) = var.sample(params, cond, rng);
-    let set = simulate_set(params, &inst, &cond.set)?;
+    let set = {
+        let _phase = joule::enter_phase(ProgramPhase::Set);
+        simulate_set(params, &inst, &cond.set)?
+    };
     cond.reset.i_ref = level.i_ref * i_ref_factor;
     cond.reset.rho_start = set.rho_final;
-    let out = simulate_reset_termination(params, &inst, &cond.reset)?;
+    let out = {
+        let _phase = joule::enter_phase(ProgramPhase::Reset);
+        simulate_reset_termination(params, &inst, &cond.reset)?
+    };
     // Filament-discreteness state noise (grows at low programming current).
     let state_noise = (standard_normal(rng) * var.sigma_ln_r(level.i_ref)).exp();
     Ok(ProgramOutcome {
@@ -441,13 +454,21 @@ pub fn program_cell_circuit_probed(
     } = handles;
     let tran_opts = program_tran_options(opts).with_probes(probes.clone());
 
-    let (result, fired) = match i_ref {
-        Some(i_ref) => {
-            let (mut monitor, flag) = behavioral_monitor(sense, vsl, BehavioralOptions::new(i_ref));
-            let res = run_transient(&mut c, &tran_opts, &mut [&mut monitor])?;
-            (res, flag.fired_at())
+    // The whole transient is a RESET programming pulse for the joule
+    // ledger; the termination monitor flips the thread phase to Tail at
+    // the trip (and Bisection while hunting the crossing), and the scope
+    // guard restores whatever phase the caller was in.
+    let (result, fired) = {
+        let _phase = joule::enter_phase(ProgramPhase::Reset);
+        match i_ref {
+            Some(i_ref) => {
+                let (mut monitor, flag) =
+                    behavioral_monitor(sense, vsl, BehavioralOptions::new(i_ref));
+                let res = run_transient(&mut c, &tran_opts, &mut [&mut monitor])?;
+                (res, flag.fired_at())
+            }
+            None => (run_transient(&mut c, &tran_opts, &mut [])?, None),
         }
-        None => (run_transient(&mut c, &tran_opts, &mut [])?, None),
     };
 
     let i_cell = result.branch_trace(&c, sense, 0)?;

@@ -18,6 +18,7 @@ use oxterm_devices::passive::Capacitor;
 use oxterm_devices::sources::{CurrentSource, SourceWave, VoltageSource};
 use oxterm_spice::analysis::tran::{MonitorAction, TranSample};
 use oxterm_spice::circuit::{Circuit, ElementId, NodeId};
+use oxterm_telemetry::joule::{self, ProgramPhase};
 use oxterm_telemetry::{Arg, Telemetry, Tracer, Track};
 
 /// Options for the behavioral termination monitor.
@@ -105,6 +106,9 @@ pub fn behavioral_monitor(
         }
         // Crossing detected. Refine the step if it was coarse.
         if sample.dt > opts.dt_fine * 1.5 && i_prev > opts.i_ref {
+            // Crossing-refinement steps bill to the bisection phase until
+            // the trip flips the thread to the post-trip tail.
+            joule::set_phase(ProgramPhase::Bisection);
             tel.incr("mlc.termination.bisections");
             tracer.instant(
                 Track::Program,
@@ -118,6 +122,10 @@ pub fn behavioral_monitor(
         }
         chopped_at = Some(sample.time);
         flag_out.set(sample.time);
+        // Everything after the trip is post-trip tail energy (chop fall +
+        // hold) for the joule ledger; the caller's phase scope restores the
+        // thread phase when the programming op returns.
+        joule::set_phase(ProgramPhase::Tail);
         if tel.is_enabled() {
             tel.incr("mlc.termination.trips");
             tel.record("mlc.termination.chop_time_s", sample.time);

@@ -10,7 +10,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext, StampTopology};
+use oxterm_spice::device::{Device, DeviceClass, StampContext, StampTopology, UpdateContext};
 
 /// A linear voltage-controlled voltage source:
 /// `v(p) − v(n) = gain · (v(cp) − v(cn))`.
@@ -87,6 +87,16 @@ impl Device for Vcvs {
             voltage_edges: vec![(self.p, self.n)],
             ..StampTopology::default()
         })
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Behavioral
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, _state: &[f64]) -> f64 {
+        // Output branch current flows p → n inside the source, so this is
+        // negative while the source delivers energy to the circuit.
+        (ctx.v(self.p) - ctx.v(self.n)) * ctx.i_branch(0)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -195,6 +205,15 @@ impl Device for Comparator {
             voltage_edges: vec![(self.out, oxterm_spice::circuit::Circuit::gnd())],
             ..StampTopology::default()
         })
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Behavioral
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, _state: &[f64]) -> f64 {
+        // The output stage sources/sinks its branch current at v(out).
+        ctx.v(self.out) * ctx.i_branch(0)
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -3,7 +3,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext, StampTopology};
+use oxterm_spice::device::{Device, DeviceClass, StampContext, StampTopology, UpdateContext};
 
 use crate::VT_300K;
 
@@ -99,6 +99,15 @@ impl Device for Diode {
             dc_conductances: vec![(self.p, self.n)],
             ..StampTopology::default()
         })
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Diode
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, _state: &[f64]) -> f64 {
+        let v = ctx.v(self.p) - ctx.v(self.n);
+        v * self.i_g(v).0
     }
 
     fn as_any(&self) -> &dyn Any {

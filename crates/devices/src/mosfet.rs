@@ -24,7 +24,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext, StampTopology};
+use oxterm_spice::device::{Device, DeviceClass, StampContext, StampTopology, UpdateContext};
 use oxterm_telemetry::Telemetry;
 
 use crate::VT_300K;
@@ -412,6 +412,23 @@ impl Device for Mosfet {
             dc_conductances: vec![(self.d, self.s), (self.d, self.b), (self.s, self.b)],
             ..StampTopology::default()
         })
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Mosfet
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, state: &[f64]) -> f64 {
+        let (vd, vg, vs, vb) = (ctx.v(self.d), ctx.v(self.g), ctx.v(self.s), ctx.v(self.b));
+        let e = self.eval(vd, vg, vs, vb);
+        let vds = vd - vs;
+        // Channel dissipation, including the stamped gds_min aid.
+        let mut p = vds * (e.id + self.gds_min * vds);
+        // Gate-cap charging power (post-update state currents).
+        if state.len() >= 4 {
+            p += (vg - vs) * state[ST_IGS] + (vg - vd) * state[ST_IGD];
+        }
+        p
     }
 
     fn as_any(&self) -> &dyn Any {

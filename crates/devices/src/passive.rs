@@ -4,7 +4,8 @@ use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
 use oxterm_spice::device::{
-    AnalysisKind, Device, IntegrationMethod, StampContext, StampTopology, UpdateContext,
+    AnalysisKind, Device, DeviceClass, IntegrationMethod, StampContext, StampTopology,
+    UpdateContext,
 };
 
 /// A linear resistor.
@@ -83,6 +84,15 @@ impl Device for Resistor {
             dc_conductances: vec![(self.a, self.b)],
             ..StampTopology::default()
         })
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Resistor
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, _state: &[f64]) -> f64 {
+        let v = ctx.v(self.a) - ctx.v(self.b);
+        v * v / self.ohms
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -190,6 +200,18 @@ impl Device for Capacitor {
     fn stamp_topology(&self) -> Option<StampTopology> {
         // Open at DC: connects nothing conductively.
         Some(StampTopology::default())
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Capacitor
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, state: &[f64]) -> f64 {
+        // v·i with the post-update branch current: positive while the
+        // capacitor charges (stores energy), negative while it gives it
+        // back.
+        let v = ctx.v(self.a) - ctx.v(self.b);
+        v * state[STATE_I]
     }
 
     fn as_any(&self) -> &dyn Any {

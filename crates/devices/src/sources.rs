@@ -9,7 +9,7 @@ use std::any::Any;
 
 use oxterm_numerics::interp::Pwl;
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext, StampTopology, UpdateContext};
+use oxterm_spice::device::{Device, DeviceClass, StampContext, StampTopology, UpdateContext};
 
 /// A time-domain source waveform.
 #[derive(Debug, Clone, PartialEq)]
@@ -266,6 +266,16 @@ impl Device for VoltageSource {
         })
     }
 
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::VoltageSource
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, _state: &[f64]) -> f64 {
+        // Branch current flows p → source → n, so a delivering source
+        // (current out of the + terminal) absorbs negative power.
+        self.level_at(ctx.time()) * ctx.i_branch(0)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -330,6 +340,16 @@ impl Device for CurrentSource {
             current_injections: vec![(self.from, self.to)],
             ..StampTopology::default()
         })
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::CurrentSource
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, _state: &[f64]) -> f64 {
+        // The programmed current flows internally from `from` to `to`;
+        // absorbed power is the drop across the source times that current.
+        (ctx.v(self.from) - ctx.v(self.to)) * self.wave.eval(ctx.time())
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -8,7 +8,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext, StampTopology};
+use oxterm_spice::device::{Device, DeviceClass, StampContext, StampTopology, UpdateContext};
 
 /// Switch parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -125,6 +125,17 @@ impl Device for VSwitch {
             dc_conductances: vec![(self.p, self.n)],
             ..StampTopology::default()
         })
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Switch
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, _state: &[f64]) -> f64 {
+        let vc = ctx.v(self.cp) - ctx.v(self.cn);
+        let v = ctx.v(self.p) - ctx.v(self.n);
+        let (g, _) = self.g_and_dg(vc);
+        g * v * v
     }
 
     fn as_any(&self) -> &dyn Any {

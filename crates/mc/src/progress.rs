@@ -14,6 +14,7 @@
 //!
 //! [`MonteCarlo::try_run`]: crate::MonteCarlo::try_run
 
+use oxterm_telemetry::joule::{JouleCounts, JouleLedger, JouleSnapshot};
 use oxterm_telemetry::levels::{LevelCounts, LevelTracker, LevelsSnapshot};
 use oxterm_telemetry::profiler::monotonic_ns;
 use parking_lot::Mutex;
@@ -183,19 +184,25 @@ impl CampaignProgress {
             &last_failure_suffix(failures),
         );
         let tracker = LevelTracker::global();
+        let ledger = JouleLedger::global();
         if self.dashboard {
-            self.draw_panel(&status, &tracker.snapshot());
+            self.draw_panel(&status, &tracker.snapshot(), &ledger.snapshot());
         } else {
-            eprintln!("{status}{}", compose_level_part(&tracker.counts()));
+            eprintln!(
+                "{status}{}{}",
+                compose_level_part(&tracker.counts()),
+                compose_energy_part(&ledger.counts()),
+            );
         }
     }
 
     /// Redraws the multi-line dashboard in place: the status line plus
-    /// one row (count, quantiles, mini-histogram) per observed level.
+    /// one row (count, quantiles, mini-histogram, and — when the joule
+    /// ledger is fed — median energy/latency) per observed level.
     /// Only ever called on the TTY path.
-    fn draw_panel(&self, status: &str, snap: &LevelsSnapshot) {
+    fn draw_panel(&self, status: &str, snap: &LevelsSnapshot, joules: &JouleSnapshot) {
         use std::fmt::Write as _;
-        let rows = dashboard_rows(snap);
+        let rows = dashboard_rows(snap, joules);
         let mut height = self.panel_height.lock();
         let mut out = String::new();
         if *height > 0 {
@@ -256,13 +263,33 @@ fn fmt_ohms(v: f64) -> String {
     }
 }
 
+/// Engineering-style label for small SI quantities (energy, latency):
+/// `3.4e-11 J` → `34.0p`.
+fn fmt_si(v: f64) -> String {
+    if !v.is_finite() {
+        "--".to_string()
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1e-3 {
+        format!("{:.1}m", v * 1e3)
+    } else if v.abs() >= 1e-6 {
+        format!("{:.1}u", v * 1e6)
+    } else if v.abs() >= 1e-9 {
+        format!("{:.1}n", v * 1e9)
+    } else {
+        format!("{:.1}p", v * 1e12)
+    }
+}
+
 /// One dashboard row per observed level: code, observation count,
-/// streaming median and sigma, and the mini-histogram.
-fn dashboard_rows(snap: &LevelsSnapshot) -> Vec<String> {
+/// streaming median and sigma, the mini-histogram, and — when the joule
+/// ledger has samples for the level — the median program energy and
+/// latency.
+fn dashboard_rows(snap: &LevelsSnapshot, joules: &JouleSnapshot) -> Vec<String> {
     snap.levels
         .iter()
         .map(|l| {
-            format!(
+            let mut row = format!(
                 "  {:>6} {:>4.0}uA n {:>6}  p50 {:>7}  sigma {:>7}  |{}|",
                 format!("{:04b}", l.code),
                 l.i_ref * 1e6,
@@ -270,9 +297,28 @@ fn dashboard_rows(snap: &LevelsSnapshot) -> Vec<String> {
                 fmt_ohms(l.p50),
                 fmt_ohms(l.std_dev),
                 sparkline(&l.bins),
-            )
+            );
+            if let Some(e) = joules.levels.iter().find(|e| e.code == l.code) {
+                use std::fmt::Write as _;
+                let _ = write!(
+                    row,
+                    "  E {:>6}J t {:>6}s",
+                    fmt_si(e.p50_j),
+                    fmt_si(e.p50_latency_s)
+                );
+            }
+            row
         })
         .collect()
+}
+
+/// Plain-line suffix with the ledger's running totals (empty while the
+/// joule ledger is disarmed or has integrated nothing).
+fn compose_energy_part(counts: &JouleCounts) -> String {
+    if counts.total_obs == 0 && counts.dissipated_j == 0.0 {
+        return String::new();
+    }
+    format!(" | E {}J", fmt_si(counts.dissipated_j))
 }
 
 /// Plain-line suffix with per-level completion counts (empty while the
@@ -451,14 +497,58 @@ mod tests {
         for i in 0..40 {
             tracker.observe(5, 30e-6, 60e3 + i as f64 * 200.0);
         }
-        let rows = dashboard_rows(&tracker.snapshot());
+        let rows = dashboard_rows(&tracker.snapshot(), &JouleLedger::disabled().snapshot());
         assert_eq!(rows.len(), 1);
         assert!(rows[0].contains("0101"), "{}", rows[0]);
         assert!(rows[0].contains("n     40"), "{}", rows[0]);
         assert!(rows[0].contains("p50"), "{}", rows[0]);
+        // Without joule observations the row carries no energy column.
+        assert!(!rows[0].contains("E "), "{}", rows[0]);
         // Rows themselves carry no control sequences — the ANSI framing
         // lives only in the TTY draw path.
         assert!(!rows[0].contains('\x1b'), "{}", rows[0]);
+    }
+
+    #[test]
+    fn dashboard_rows_append_energy_and_latency_when_fed() {
+        let tracker = LevelTracker::enabled();
+        let ledger = JouleLedger::enabled();
+        for i in 0..40 {
+            tracker.observe(9, 18e-6, 90e3 + i as f64 * 100.0);
+            ledger.observe_level(9, 18e-6, 35e-12, 1.2e-6);
+        }
+        let rows = dashboard_rows(&tracker.snapshot(), &ledger.snapshot());
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].contains("E  35.0pJ"), "{}", rows[0]);
+        assert!(rows[0].contains("t   1.2us"), "{}", rows[0]);
+        assert!(!rows[0].contains('\x1b'), "{}", rows[0]);
+    }
+
+    #[test]
+    fn energy_part_summarises_the_ledger_totals() {
+        assert_eq!(
+            compose_energy_part(&JouleCounts {
+                levels: 0,
+                total_obs: 0,
+                dissipated_j: 0.0
+            }),
+            ""
+        );
+        let part = compose_energy_part(&JouleCounts {
+            levels: 16,
+            total_obs: 480,
+            dissipated_j: 1.7e-8,
+        });
+        assert_eq!(part, " | E 17.0nJ");
+    }
+
+    #[test]
+    fn fmt_si_spans_the_pico_to_unit_range() {
+        assert_eq!(fmt_si(34.8e-12), "34.8p");
+        assert_eq!(fmt_si(1.65e-6), "1.7u");
+        assert_eq!(fmt_si(2.5e-3), "2.5m");
+        assert_eq!(fmt_si(3.0), "3.0");
+        assert_eq!(fmt_si(f64::NAN), "--");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use oxterm_numerics::roots::{newton_bisect, RootOptions};
 use crate::model;
 use crate::params::{InstanceVariation, OxramParams};
 use crate::RramError;
+use oxterm_telemetry::joule::{DeviceClass, JouleLedger, Role};
 use oxterm_telemetry::{Arg, PhaseId, Profiler, Telemetry, Tracer, Track};
 
 /// Conditions for a current-terminated RESET operation.
@@ -127,7 +128,9 @@ pub fn simulate_reset_termination(
     let mut rho = cond.rho_start;
     let mut t = 0.0;
     let mut energy = 0.0;
+    let mut e_cell = 0.0;
     let mut i_prev = f64::NAN;
+    let mut vc_prev = 0.0;
     let mut i_initial = 0.0;
     let mut steps = 0u64;
     loop {
@@ -135,6 +138,12 @@ pub fn simulate_reset_termination(
         let i = model::cell_current(params, inst, vc, rho);
         if t == 0.0 {
             i_initial = i;
+        } else {
+            // Trapezoidal energy over the step just completed — same
+            // convention as `spice::Waveform::integral`, so the fast path
+            // and the circuit-level meter agree on quadrature.
+            energy += 0.5 * cond.v_drive * (i_prev + i) * cond.dt;
+            e_cell += 0.5 * (vc_prev * i_prev + vc * i) * cond.dt;
         }
         if i <= cond.i_ref {
             // Interpolate the crossing within the last step.
@@ -156,6 +165,19 @@ pub fn simulate_reset_termination(
             }
             trace_span.arg(Arg::u64("steps", steps));
             trace_span.arg(Arg::f64("latency_sim_s", latency.max(0.0)));
+            let ledger = JouleLedger::global();
+            if ledger.is_enabled() {
+                // The cell dissipates v_c·i; the balance of the drive,
+                // (v_drive − v_c)·i, drops across the series path (access
+                // transistor + line), which is what r_series models.
+                ledger.record_energy(DeviceClass::RramCell, Role::RramCell, e_cell);
+                ledger.record_energy(
+                    DeviceClass::Resistor,
+                    Role::AccessTransistor,
+                    energy - e_cell,
+                );
+                ledger.mark(oxterm_telemetry::profiler::monotonic_ns());
+            }
             return Ok(TerminationOutcome {
                 rho_final: rho,
                 r_read_ohms: model::read_resistance(params, inst, rho, cond.v_read),
@@ -177,9 +199,9 @@ pub fn simulate_reset_termination(
                 i_final: i,
             });
         }
-        energy += cond.v_drive * i * cond.dt;
         rho = model::advance_state(params, inst, rho, -vc, cond.dt);
         i_prev = i;
+        vc_prev = vc;
         steps += 1;
         t += cond.dt;
     }
@@ -231,16 +253,25 @@ pub fn simulate_standard_reset(
     let mut t = 0.0;
     let mut energy = 0.0;
     let mut i_initial = 0.0;
+    let mut p_prev = 0.0;
     while t < pulse.width {
         let vc = solve_divider(params, inst, rho, pulse.v_drive, pulse.r_series)?;
         let i = model::cell_current(params, inst, vc, rho);
+        let p = pulse.v_drive * i;
         if t == 0.0 {
             i_initial = i;
+        } else {
+            energy += 0.5 * (p_prev + p) * pulse.dt;
         }
-        energy += pulse.v_drive * i * pulse.dt;
+        p_prev = p;
         rho = model::advance_state(params, inst, rho, -vc, pulse.dt);
         t += pulse.dt;
     }
+    // Close the final trapezoid at the pulse edge with the post-advance
+    // state, so the covered measure matches the rectangle rule's.
+    let vc = solve_divider(params, inst, rho, pulse.v_drive, pulse.r_series)?;
+    let i_end = model::cell_current(params, inst, vc, rho);
+    energy += 0.5 * (p_prev + pulse.v_drive * i_end) * pulse.dt;
     Ok(TerminationOutcome {
         rho_final: rho,
         r_read_ohms: model::read_resistance(params, inst, rho, v_read),
@@ -248,6 +279,33 @@ pub fn simulate_standard_reset(
         energy_j: energy,
         i_initial,
     })
+}
+
+/// The worst-case open-loop RESET used as the termination-savings baseline:
+/// the *same* drive as `cond` (`v_drive` through `r_series`) held for the
+/// full termination budget `cond.t_max` with the comparator disabled.
+///
+/// Every terminated write saves `worst.energy_j − energy_j` joules and
+/// `cond.t_max − latency_s` seconds against this run. The dynamics do not
+/// depend on `i_ref`, so one call covers every level programmed under the
+/// same conditions. The run is hypothetical (no write uses it), so it does
+/// **not** feed the [`JouleLedger`].
+///
+/// # Errors
+///
+/// Propagates divider-solve failures and invalid cards.
+pub fn simulate_worst_case_reset(
+    params: &OxramParams,
+    inst: &InstanceVariation,
+    cond: &ResetConditions,
+) -> Result<TerminationOutcome, RramError> {
+    let pulse = StandardResetPulse {
+        v_drive: cond.v_drive,
+        r_series: cond.r_series,
+        width: cond.t_max,
+        dt: cond.dt,
+    };
+    simulate_standard_reset(params, inst, &pulse, cond.rho_start, cond.v_read)
 }
 
 /// Conditions for a SET operation with compliance current.
@@ -314,23 +372,51 @@ pub fn simulate_set(
 ) -> Result<SetOutcome, RramError> {
     params.validate()?;
     let _calib = Profiler::global().phase(PhaseId::RramCalib);
+    // Operating point at state `rho`, with the access-transistor compliance
+    // clamp: when the divider current would exceed it, the transistor
+    // saturates and the cell voltage is re-solved at the clamped current.
+    let solve_point = |rho: f64| -> Result<(f64, f64), RramError> {
+        let vc_div = solve_divider(params, inst, rho, cond.v_drive, cond.r_series)?;
+        let i_div = model::cell_current(params, inst, vc_div, rho);
+        if i_div > cond.i_compliance {
+            let f = |v: f64| model::cell_current(params, inst, v, rho) - cond.i_compliance;
+            let vc = newton_bisect(f, 0.0, cond.v_drive, RootOptions::default())?;
+            Ok((vc, cond.i_compliance))
+        } else {
+            Ok((vc_div, i_div))
+        }
+    };
     let mut rho = cond.rho_start;
     let mut t = 0.0;
     let mut energy = 0.0;
+    let mut e_cell = 0.0;
+    let mut p_prev = 0.0;
+    let mut pc_prev = 0.0;
     while t < cond.width {
-        let vc_div = solve_divider(params, inst, rho, cond.v_drive, cond.r_series)?;
-        let i_div = model::cell_current(params, inst, vc_div, rho);
-        let (vc, i) = if i_div > cond.i_compliance {
-            // Compliance: invert I(v_c) = i_compliance.
-            let f = |v: f64| model::cell_current(params, inst, v, rho) - cond.i_compliance;
-            let vc = newton_bisect(f, 0.0, cond.v_drive, RootOptions::default())?;
-            (vc, cond.i_compliance)
-        } else {
-            (vc_div, i_div)
-        };
-        energy += cond.v_drive * i * cond.dt;
+        let (vc, i) = solve_point(rho)?;
+        let p = cond.v_drive * i;
+        let pc = vc * i;
+        if t > 0.0 {
+            energy += 0.5 * (p_prev + p) * cond.dt;
+            e_cell += 0.5 * (pc_prev + pc) * cond.dt;
+        }
+        p_prev = p;
+        pc_prev = pc;
         rho = model::advance_state(params, inst, rho, vc, cond.dt);
         t += cond.dt;
+    }
+    // Close the final trapezoid at the pulse edge.
+    let (vc, i) = solve_point(rho)?;
+    energy += 0.5 * (p_prev + cond.v_drive * i) * cond.dt;
+    e_cell += 0.5 * (pc_prev + vc * i) * cond.dt;
+    let ledger = JouleLedger::global();
+    if ledger.is_enabled() {
+        ledger.record_energy(DeviceClass::RramCell, Role::RramCell, e_cell);
+        ledger.record_energy(
+            DeviceClass::Resistor,
+            Role::AccessTransistor,
+            energy - e_cell,
+        );
     }
     Ok(SetOutcome {
         rho_final: rho,
@@ -621,6 +707,49 @@ mod tests {
         let r_weak = simulate_set(&p, &inst, &weak).unwrap();
         // Lower compliance → less energy.
         assert!(r_weak.energy_j < r_strong.energy_j);
+    }
+
+    #[test]
+    fn trapezoid_energy_differs_from_rectangle_by_a_bounded_margin() {
+        // Replays the terminated-RESET trajectory with the old left-endpoint
+        // rectangle rule and quantifies the quadrature change: nonzero (the
+        // conversion really changed the number) but sub-percent (nobody's
+        // calibration anchor moved materially).
+        let (p, inst) = nominal();
+        let cond = ResetConditions::paper_defaults(10e-6);
+        let out = simulate_reset_termination(&p, &inst, &cond).unwrap();
+        let mut rho = cond.rho_start;
+        let mut rect = 0.0;
+        loop {
+            let vc = solve_divider(&p, &inst, rho, cond.v_drive, cond.r_series).unwrap();
+            let i = model::cell_current(&p, &inst, vc, rho);
+            if i <= cond.i_ref {
+                break;
+            }
+            rect += cond.v_drive * i * cond.dt;
+            rho = model::advance_state(&p, &inst, rho, -vc, cond.dt);
+        }
+        let rel = (out.energy_j - rect).abs() / rect;
+        assert!(rel > 1e-7, "trapezoid should differ from rectangle: {rel}");
+        assert!(rel < 1e-2, "quadrature change too large: {rel}");
+    }
+
+    #[test]
+    fn worst_case_reset_bounds_every_terminated_run() {
+        let (p, inst) = nominal();
+        let cond = ResetConditions::paper_defaults(6e-6);
+        let worst = simulate_worst_case_reset(&p, &inst, &cond).unwrap();
+        assert!((worst.latency_s - cond.t_max).abs() < 1e-12);
+        // 6 µA is the slowest, most energetic level; even it saves energy
+        // and time against the open-loop budget pulse.
+        let term = simulate_reset_termination(&p, &inst, &cond).unwrap();
+        assert!(
+            worst.energy_j > term.energy_j,
+            "{} vs {}",
+            worst.energy_j,
+            term.energy_j
+        );
+        assert!(worst.latency_s > term.latency_s);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::any::Any;
 
 use oxterm_spice::circuit::NodeId;
-use oxterm_spice::device::{Device, StampContext, StampTopology, UpdateContext};
+use oxterm_spice::device::{Device, DeviceClass, StampContext, StampTopology, UpdateContext};
 use rand::Rng;
 
 use crate::model;
@@ -159,6 +159,16 @@ impl Device for OxramCell {
             dc_conductances: vec![(self.te, self.be)],
             ..StampTopology::default()
         })
+    }
+
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::RramCell
+    }
+
+    fn power(&self, ctx: &UpdateContext<'_>, state: &[f64]) -> f64 {
+        let v = ctx.v(self.te) - ctx.v(self.be);
+        let inst = self.effective_variation();
+        v * model::cell_current(&self.params, &inst, v, state[0])
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -7,6 +7,7 @@
 //! rejection via [`MonitorAction::RedoWithDt`] lets monitors bisect onto a
 //! crossing with sub-step precision.
 
+use oxterm_telemetry::joule::{self, JouleLedger, N_PHASES, PHASES};
 use oxterm_telemetry::{Arg, PhaseId, Profiler, Telemetry, Tracer, Track};
 
 use crate::analysis::{newton_solve, op::solve_op, NewtonOutcome};
@@ -201,6 +202,17 @@ pub fn run_transient(
     let op = solve_op(circuit, &OpOptions { sim })?;
     let mut state = circuit.initial_state();
     prime_states(circuit, op.as_slice(), &mut state, opts);
+    // Per-device energy integration: armed only when the process-global
+    // joule ledger is; disarmed runs pay one branch here and nothing in
+    // the step loop.
+    let mut meter = {
+        let ledger = JouleLedger::global().clone();
+        ledger.is_enabled().then(|| {
+            let mut m = PowerMeter::new(circuit, ledger);
+            m.prime(circuit, op.as_slice(), &state, opts);
+            m
+        })
+    };
     if !probes.is_empty() {
         probes.record(0.0, op.as_slice(), tracer.now_ns());
     }
@@ -384,6 +396,9 @@ pub fn run_transient(
             advance_states(circuit, &x_new, &mut state, t + dt_try, dt_try, opts);
             t += dt_try;
             x = x_new;
+            if let Some(m) = &mut meter {
+                m.accumulate(circuit, &x, &state, t, dt_try, opts);
+            }
             result.times.push(t);
             result.data.push(x.clone());
             result.states.push(state.clone());
@@ -420,6 +435,14 @@ pub fn run_transient(
             if action == MonitorAction::Stop {
                 result.stopped_early = true;
                 result.probes = probes.into_capture();
+                if let Some(m) = &meter {
+                    m.flush(
+                        circuit,
+                        tracer
+                            .now_ns()
+                            .unwrap_or_else(oxterm_telemetry::profiler::monotonic_ns),
+                    );
+                }
                 tran_span.arg(Arg::u64("steps_accepted", accepted as u64));
                 tran_span.arg(Arg::f64("t_end_sim_s", t));
                 tran_span.finish();
@@ -430,11 +453,112 @@ pub fn run_transient(
         }
     }
     result.probes = probes.into_capture();
+    if let Some(m) = &meter {
+        m.flush(
+            circuit,
+            tracer
+                .now_ns()
+                .unwrap_or_else(oxterm_telemetry::profiler::monotonic_ns),
+        );
+    }
     tran_span.arg(Arg::u64("steps_accepted", accepted as u64));
     tran_span.arg(Arg::f64("t_end_sim_s", t));
     tran_span.finish();
     run_span.finish();
     Ok(result)
+}
+
+/// Per-device trapezoidal energy integrator for one transient run.
+///
+/// Samples every device's instantaneous absorbed power at each accepted
+/// step and keeps one running integral per device per [`ProgramPhase`]
+/// bucket (the thread-local phase tag is read once per step, so a monitor
+/// flipping the phase mid-run — the write-termination trip — splits the
+/// pulse from its tail). Flushed to the ledger once at run end; error
+/// paths drop the partial integrals with the failed run.
+///
+/// [`ProgramPhase`]: oxterm_telemetry::joule::ProgramPhase
+struct PowerMeter {
+    ledger: JouleLedger,
+    prev: Vec<f64>,
+    energy: Vec<[f64; N_PHASES]>,
+}
+
+impl PowerMeter {
+    fn new(circuit: &Circuit, ledger: JouleLedger) -> Self {
+        let n = circuit.elements.len();
+        PowerMeter {
+            ledger,
+            prev: vec![0.0; n],
+            energy: vec![[0.0; N_PHASES]; n],
+        }
+    }
+
+    /// Samples the `t = 0` power from the operating point (the left edge
+    /// of the first trapezoid).
+    fn prime(&mut self, circuit: &Circuit, solution: &[f64], state: &[f64], opts: &TranOptions) {
+        let nn = circuit.n_nodes() - 1;
+        for (k, el) in circuit.elements.iter().enumerate() {
+            let ctx = UpdateContext {
+                solution,
+                time: 0.0,
+                dt: 0.0,
+                method: opts.method,
+                branch_base: nn + el.branch_offset,
+            };
+            self.prev[k] = el.device.power(
+                &ctx,
+                &state[el.state_offset..el.state_offset + el.state_len],
+            );
+        }
+    }
+
+    /// Integrates one accepted step: `e += ½·(p_prev + p)·dt` per device,
+    /// into the calling thread's current phase bucket.
+    fn accumulate(
+        &mut self,
+        circuit: &Circuit,
+        solution: &[f64],
+        state: &[f64],
+        time: f64,
+        dt: f64,
+        opts: &TranOptions,
+    ) {
+        let nn = circuit.n_nodes() - 1;
+        let phase = joule::current_phase().index();
+        for (k, el) in circuit.elements.iter().enumerate() {
+            let ctx = UpdateContext {
+                solution,
+                time,
+                dt,
+                method: opts.method,
+                branch_base: nn + el.branch_offset,
+            };
+            let p = el.device.power(
+                &ctx,
+                &state[el.state_offset..el.state_offset + el.state_len],
+            );
+            self.energy[k][phase] += 0.5 * (self.prev[k] + p) * dt;
+            self.prev[k] = p;
+        }
+    }
+
+    /// Flushes every device's per-phase integrals to the ledger (one
+    /// record per nonzero bucket) and marks the cumulative-energy counter
+    /// track at `now_ns`.
+    fn flush(&self, circuit: &Circuit, now_ns: u64) {
+        for (k, el) in circuit.elements.iter().enumerate() {
+            let class = el.device.device_class();
+            let role = joule::classify_role(class, el.device.name());
+            for (pi, &e) in self.energy[k].iter().enumerate() {
+                if e != 0.0 {
+                    self.ledger
+                        .record_energy_in_phase(class, role, PHASES[pi], e);
+                }
+            }
+        }
+        self.ledger.mark(now_ns);
+    }
 }
 
 /// Primes device states from the DC operating point (`dt = 0` convention).

@@ -10,6 +10,8 @@
 use std::any::Any;
 use std::fmt;
 
+pub use oxterm_telemetry::joule::DeviceClass;
+
 use crate::circuit::NodeId;
 
 /// Numerical integration method used for dynamic (charge/state) devices.
@@ -354,6 +356,26 @@ pub trait Device: fmt::Debug + Send {
     /// produce false floating-node findings.
     fn stamp_topology(&self) -> Option<StampTopology> {
         None
+    }
+
+    /// The energy-ledger class of this device, for joule attribution
+    /// (alongside [`Device::stamp_topology`]'s structural metadata).
+    fn device_class(&self) -> DeviceClass {
+        DeviceClass::Other
+    }
+
+    /// Instantaneous absorbed power (W) at an accepted solution point,
+    /// using the passive sign convention: positive means the device
+    /// dissipates or stores energy, negative means it delivers (an active
+    /// source). `state` is the device's *post-update* internal state for
+    /// the accepted step. The transient engine samples this at every
+    /// accepted timestep and integrates trapezoidally per device into the
+    /// [`oxterm_telemetry::joule::JouleLedger`].
+    ///
+    /// The default (0 W) keeps devices without a power model invisible to
+    /// the ledger rather than mis-attributed.
+    fn power(&self, _ctx: &UpdateContext<'_>, _state: &[f64]) -> f64 {
+        0.0
     }
 
     /// Shared [`Any`] access for read-only parameter inspection (the static

@@ -64,6 +64,7 @@
 pub mod allocs;
 mod counter;
 mod histogram;
+pub mod joule;
 mod json;
 pub mod levels;
 pub mod metrics;
@@ -79,6 +80,7 @@ pub mod trace_export;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use joule::{DeviceClass, JouleLedger, JouleSnapshot, ProgramPhase, Role};
 pub use json::JsonWriter;
 pub use levels::{LevelCounts, LevelSummary, LevelTracker, LevelsSnapshot};
 pub use metrics::MetricsServer;

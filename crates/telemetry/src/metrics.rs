@@ -160,6 +160,106 @@ pub fn render_levels(snap: &crate::levels::LevelsSnapshot) -> String {
     out
 }
 
+/// Renders a joule-ledger snapshot as Prometheus series: per-level energy
+/// and latency gauges (labeled like [`render_levels`]), per-role×phase
+/// absorbed-energy gauges, and the observation counters. Deterministic
+/// (snapshot vectors are code- and role-ordered) and empty when the
+/// ledger saw nothing, so it concatenates cleanly after
+/// [`to_prometheus`].
+#[must_use]
+pub fn render_energy(snap: &crate::joule::JouleSnapshot) -> String {
+    let mut out = String::new();
+    if snap.is_empty() {
+        return out;
+    }
+    let label = |code: u16| format!("{code:04b}");
+    if !snap.levels.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP oxterm_energy_observations oxterm per-level program observations"
+        );
+        let _ = writeln!(out, "# TYPE oxterm_energy_observations counter");
+        for l in &snap.levels {
+            let _ = writeln!(
+                out,
+                "oxterm_energy_observations{{level=\"{}\"}} {}",
+                label(l.code),
+                l.n
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP oxterm_energy_level_joules oxterm per-level RESET energy"
+        );
+        let _ = writeln!(out, "# TYPE oxterm_energy_level_joules gauge");
+        for l in &snap.levels {
+            for (stat, v) in [("mean", l.mean_j), ("p50", l.p50_j), ("max", l.max_j)] {
+                let mut line = format!(
+                    "oxterm_energy_level_joules{{level=\"{}\",stat=\"{stat}\"}} ",
+                    label(l.code)
+                );
+                push_float(&mut line, v);
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP oxterm_energy_level_latency_seconds oxterm per-level program latency"
+        );
+        let _ = writeln!(out, "# TYPE oxterm_energy_level_latency_seconds gauge");
+        for l in &snap.levels {
+            for (stat, v) in [
+                ("mean", l.mean_latency_s),
+                ("p50", l.p50_latency_s),
+                ("max", l.max_latency_s),
+            ] {
+                let mut line = format!(
+                    "oxterm_energy_level_latency_seconds{{level=\"{}\",stat=\"{stat}\"}} ",
+                    label(l.code)
+                );
+                push_float(&mut line, v);
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+    let roles: Vec<_> = snap
+        .roles
+        .iter()
+        .filter(|r| r.phase_j.iter().any(|&j| j != 0.0))
+        .collect();
+    if !roles.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP oxterm_energy_role_joules oxterm absorbed energy by circuit role and program phase"
+        );
+        let _ = writeln!(out, "# TYPE oxterm_energy_role_joules gauge");
+        for r in &roles {
+            for p in crate::joule::PHASES {
+                let j = r.phase_j[p.index()];
+                if j == 0.0 {
+                    continue;
+                }
+                let mut line = format!(
+                    "oxterm_energy_role_joules{{role=\"{}\",phase=\"{}\"}} ",
+                    r.role.label(),
+                    p.label()
+                );
+                push_float(&mut line, j);
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP oxterm_energy_dissipated_joules_total oxterm total dissipated energy"
+        );
+        let _ = writeln!(out, "# TYPE oxterm_energy_dissipated_joules_total gauge");
+        let mut line = "oxterm_energy_dissipated_joules_total ".to_string();
+        push_float(&mut line, snap.total_dissipated_j());
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
 fn valid_metric_name(name: &str) -> bool {
     let mut chars = name.chars();
     match chars.next() {
@@ -387,6 +487,31 @@ mod tests {
         // An empty snapshot renders as nothing, so concatenation after
         // to_prometheus stays valid even when the tracker is disarmed.
         assert!(render_levels(&crate::levels::LevelsSnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn energy_render_is_valid_and_labeled() {
+        use crate::joule::{DeviceClass, JouleLedger, ProgramPhase, Role};
+        let ledger = JouleLedger::enabled();
+        for i in 0..40 {
+            ledger.observe_level(5, 26e-6, 20e-12 + i as f64 * 1e-13, 0.5e-6);
+        }
+        ledger.record_energy_in_phase(
+            DeviceClass::RramCell,
+            Role::RramCell,
+            ProgramPhase::Reset,
+            9e-10,
+        );
+        let text = render_energy(&ledger.snapshot());
+        validate_prometheus(&text).unwrap();
+        assert!(text.contains("oxterm_energy_observations{level=\"0101\"} 40"));
+        assert!(text.contains("oxterm_energy_level_joules{level=\"0101\",stat=\"p50\"}"));
+        assert!(text.contains("oxterm_energy_level_latency_seconds{level=\"0101\",stat=\"mean\"}"));
+        assert!(text.contains("oxterm_energy_role_joules{role=\"rram_cell\",phase=\"reset\"}"));
+        assert!(text.contains("oxterm_energy_dissipated_joules_total"));
+        // A disarmed/unfed ledger renders as nothing, keeping the
+        // concatenation after to_prometheus valid.
+        assert!(render_energy(&JouleLedger::disabled().snapshot()).is_empty());
     }
 
     #[test]

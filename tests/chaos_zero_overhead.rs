@@ -8,17 +8,26 @@
 //! no concurrent test can allocate on another thread mid-measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use oxterm_chaos::ALL_KINDS;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    // Per-thread count: the libtest harness thread allocates concurrently
+    // (timers, captured output), and the contract is about the measuring
+    // thread only — a process-wide counter flakes on harness noise.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn local_allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -27,7 +36,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -48,13 +57,13 @@ fn disarmed_should_inject_allocates_nothing() {
     }
     oxterm_chaos::begin_run(0, 0);
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = local_allocations();
     for _ in 0..100_000u64 {
         for kind in ALL_KINDS {
             assert!(!oxterm_chaos::should_inject(kind));
         }
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = local_allocations();
     oxterm_chaos::end_run();
 
     assert_eq!(

@@ -1,18 +1,18 @@
-//! The disarmed level tracker's observe path must not allocate.
+//! The disarmed joule ledger's observe paths must not allocate.
 //!
-//! Every MC campaign run calls `LevelTracker::observe` once per
-//! programmed level whether or not anyone asked for the dashboard or the
-//! level report. The tracker's contract (mirroring trace/chaos/profiler)
+//! Every accepted transient step and every successful fast-path program
+//! calls into the ledger whether or not anyone asked for the energy
+//! report. The ledger's contract (mirroring trace/chaos/profiler/levels)
 //! is that the disarmed path costs one branch: no mutex, no sketch
 //! insert, no heap traffic. This binary installs a counting
-//! `#[global_allocator]` and holds `observe` to that promise. It
-//! contains exactly one test so no concurrent test can allocate on
-//! another thread mid-measurement.
+//! `#[global_allocator]` and holds `observe_level` and `record_energy`
+//! to that promise. It contains exactly one test so no concurrent test
+//! can allocate on another thread mid-measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use oxterm_telemetry::LevelTracker;
+use oxterm_telemetry::joule::{DeviceClass, JouleLedger, Role};
 
 struct CountingAlloc;
 
@@ -47,31 +47,38 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
 
 #[test]
-fn disarmed_observe_path_allocates_nothing() {
-    // Never install a global tracker here: the point is the disarmed
-    // path every un-flagged binary takes.
-    let tracker = LevelTracker::global();
-    assert!(!tracker.is_enabled());
+fn disarmed_observe_paths_allocate_nothing() {
+    // Never install a global ledger here: the point is the disarmed path
+    // every un-flagged binary takes.
+    let ledger = JouleLedger::global();
+    assert!(!ledger.is_enabled());
 
     // Warm up lazy statics outside the measurement window.
-    tracker.observe(0, 6e-6, 267e3);
-    let _ = tracker.counts();
+    ledger.observe_level(0, 6e-6, 80e-12, 4e-6);
+    ledger.record_energy(DeviceClass::RramCell, Role::RramCell, 1e-12);
+    ledger.mark(1);
+    let _ = ledger.counts();
 
     let before = local_allocations();
     for i in 0..10_000u64 {
-        tracker.observe((i % 16) as u16, 10e-6, 40e3 + i as f64);
+        ledger.observe_level((i % 16) as u16, 10e-6, 20e-12 + i as f64 * 1e-15, 1e-6);
+        ledger.record_energy(DeviceClass::Resistor, Role::AccessTransistor, 1e-13);
+        ledger.mark(i);
     }
     let after = local_allocations();
     assert_eq!(
         after - before,
         0,
-        "disarmed observe path allocated {} times over 10k observations",
+        "disarmed joule paths allocated {} times over 10k iterations",
         after - before
     );
 
     // Sanity: an armed handle really records (the zero above measures
     // the branch, not dead code).
-    let armed = LevelTracker::enabled();
-    armed.observe(5, 20e-6, 120e3);
-    assert_eq!(armed.counts().total, 1);
+    let armed = JouleLedger::enabled();
+    armed.observe_level(5, 20e-6, 30e-12, 0.8e-6);
+    armed.record_energy(DeviceClass::RramCell, Role::RramCell, 2e-12);
+    let counts = armed.counts();
+    assert_eq!(counts.total_obs, 1);
+    assert!(counts.dissipated_j > 0.0);
 }

@@ -9,7 +9,7 @@
 //! allocate on another thread mid-measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use oxterm_devices::passive::{Capacitor, Resistor};
 use oxterm_devices::sources::{SourceWave, VoltageSource};
@@ -18,11 +18,20 @@ use oxterm_spice::probe::{ProbePlan, ProbeRecorder};
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    // Per-thread count: the libtest harness thread allocates concurrently
+    // (timers, captured output), and the contract is about the measuring
+    // thread only — a process-wide counter flakes on harness noise.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn local_allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -31,7 +40,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -68,13 +77,13 @@ fn probe_record_path_allocates_nothing_after_warmup() {
         rec.record(i as f64 * 1e-9, &x, Some(i));
     }
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = local_allocations();
     // 10k records over a 64-sample budget forces many decimation passes;
     // none of it may allocate.
     for i in 200..10_200u64 {
         rec.record(i as f64 * 1e-9, &x, Some(i));
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = local_allocations();
     assert_eq!(
         after - before,
         0,

@@ -8,17 +8,26 @@
 //! concurrent test can allocate on another thread mid-measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use oxterm_telemetry::{Arg, Tracer, Track};
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    // Per-thread count: the libtest harness thread allocates concurrently
+    // (timers, captured output), and the contract is about the measuring
+    // thread only — a process-wide counter flakes on harness noise.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn local_allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -27,7 +36,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -46,7 +55,7 @@ fn disabled_tracer_emit_path_allocates_nothing() {
     tracer.instant(Track::Solver, "warmup", &[Arg::f64("x", 1.0)]);
     drop(tracer.span(Track::Program, "warmup"));
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let before = local_allocations();
     for i in 0..10_000u64 {
         tracer.instant(
             Track::Solver,
@@ -61,7 +70,7 @@ fn disabled_tracer_emit_path_allocates_nothing() {
         // Dropped at scope end, like the instrumented call sites.
         drop(scoped);
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    let after = local_allocations();
     assert_eq!(
         after - before,
         0,
