@@ -1,0 +1,177 @@
+//! `--submit=ADDR` support: run a figure binary's campaign as jobs on an
+//! `oxterm-serve` instance instead of in-process.
+//!
+//! The binary becomes a thin client — it submits its campaign broken into
+//! jobs (with idempotency tokens, so the client's retries through dropped
+//! connections and `queue_full` backpressure never duplicate work), polls
+//! each job to a terminal state, and prints the service's summaries. The
+//! local solver never runs; the figure's full statistical rendering needs
+//! the in-process sample vectors and stays with the default path.
+
+use oxterm_serve::{Client, JobKind, JobSpec};
+use std::time::Duration;
+
+/// Per-job wait ceiling: generous enough for a loaded service running a
+/// full-size 500-run sweep behind other jobs.
+const JOB_WAIT: Duration = Duration::from_secs(600);
+
+/// One job to run remotely: a display label plus its spec. The label also
+/// salts the idempotency token.
+#[derive(Debug, Clone)]
+pub struct RemoteJob {
+    /// Short display label (`level 0101`, `qlc sweep`, ...).
+    pub label: String,
+    /// The job to submit.
+    pub spec: JobSpec,
+}
+
+/// Submits every job to the service at `addr`, waits for all of them, and
+/// prints one summary line per job. Returns a process exit code: 0 when
+/// every job reached `done`, 1 otherwise.
+pub fn run_remote(name: &str, addr: &str, jobs: Vec<RemoteJob>) -> i32 {
+    let client = Client::new(addr);
+    if let Err(e) = client.ping() {
+        eprintln!("{name}: cannot reach oxterm-serve at {addr}: {e}");
+        return 1;
+    }
+    println!(
+        "== {name} via oxterm-serve at {addr}: {} job(s) ==\n",
+        jobs.len()
+    );
+    let mut handles = Vec::new();
+    for job in jobs {
+        match client.submit(&job.spec) {
+            Ok(submitted) => {
+                let note = match (submitted.deduped, submitted.rejections) {
+                    (true, _) => " (deduped)".to_string(),
+                    (false, 0) => String::new(),
+                    (false, n) => format!(" ({n} queue_full retries absorbed)"),
+                };
+                eprintln!("{name}: job {} = {}{note}", submitted.job, job.label);
+                handles.push((job.label, submitted.job));
+            }
+            Err(e) => {
+                eprintln!("{name}: submit {} failed: {e}", job.label);
+                return 1;
+            }
+        }
+    }
+    let mut failures = 0usize;
+    for (label, id) in handles {
+        match client.wait(id, JOB_WAIT) {
+            Ok(status) if status.state == "done" => {
+                println!(
+                    "{label:<14} [job {id}, {} attempt(s)] {}",
+                    status.attempts, status.summary
+                );
+            }
+            Ok(status) => {
+                failures += 1;
+                println!(
+                    "{label:<14} [job {id}] {}: {}",
+                    status.state.to_uppercase(),
+                    status.summary
+                );
+            }
+            Err(e) => {
+                failures += 1;
+                println!("{label:<14} [job {id}] WAIT FAILED: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{name}: {failures} remote job(s) did not finish cleanly");
+        1
+    } else {
+        0
+    }
+}
+
+/// Fig 11 as remote work: one `program_level` job per QLC level, so the
+/// 16 levels spread across the service's workers.
+pub fn fig11_jobs(runs: u64) -> Vec<RemoteJob> {
+    (0u16..16)
+        .map(|code| RemoteJob {
+            label: format!("level {code:04b}"),
+            spec: JobSpec {
+                kind: JobKind::ProgramLevel,
+                code,
+                runs,
+                seed: 0xD47E_2021 ^ u64::from(code),
+                token: format!("fig11-{code:04b}-r{runs}"),
+                ..JobSpec::default()
+            },
+        })
+        .collect()
+}
+
+/// Fig 13 as remote work: the full QLC sweep plus the deterministic
+/// R–I_ref characterization of the termination circuit.
+pub fn fig13_jobs(runs: u64) -> Vec<RemoteJob> {
+    vec![
+        RemoteJob {
+            label: "qlc sweep".to_string(),
+            spec: JobSpec {
+                kind: JobKind::McSweep,
+                runs,
+                seed: 0xD47E_2021,
+                token: format!("fig13-sweep-r{runs}"),
+                ..JobSpec::default()
+            },
+        },
+        RemoteJob {
+            label: "characterize".to_string(),
+            spec: JobSpec {
+                kind: JobKind::Characterize,
+                points: 16,
+                token: "fig13-characterize-p16".to_string(),
+                ..JobSpec::default()
+            },
+        },
+    ]
+}
+
+/// `repro_all` as remote work: the sweep, a worst-case single level, and
+/// the characterization — a cross-kind smoke of the whole service.
+pub fn repro_all_jobs(runs: u64) -> Vec<RemoteJob> {
+    let mut jobs = fig13_jobs(runs);
+    for job in &mut jobs {
+        job.spec.token = format!("repro-{}", job.spec.token);
+    }
+    jobs.push(RemoteJob {
+        label: "level 0000".to_string(),
+        spec: JobSpec {
+            kind: JobKind::ProgramLevel,
+            code: 0,
+            runs,
+            seed: 0xD47E_2021,
+            token: format!("repro-level0-r{runs}"),
+            ..JobSpec::default()
+        },
+    });
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_sets_cover_the_campaign_with_unique_tokens() {
+        let f11 = fig11_jobs(100);
+        assert_eq!(f11.len(), 16);
+        let mut tokens: Vec<_> = f11.iter().map(|j| j.spec.token.clone()).collect();
+        tokens.extend(fig13_jobs(100).iter().map(|j| j.spec.token.clone()));
+        tokens.extend(repro_all_jobs(100).iter().map(|j| j.spec.token.clone()));
+        let n = tokens.len();
+        tokens.sort();
+        tokens.dedup();
+        assert_eq!(tokens.len(), n, "idempotency tokens must be unique");
+    }
+
+    #[test]
+    fn remote_runner_fails_fast_without_a_service() {
+        // Reserved port with nothing listening: ping must fail, exit 1.
+        assert_eq!(run_remote("t", "127.0.0.1:1", Vec::new()), 1);
+    }
+}

@@ -71,6 +71,12 @@
 //!   for the lifetime of the run. Counters folded only at exit (the
 //!   `profile.*` family) appear in the last scrape and in
 //!   `--metrics-out`.
+//! * `--submit=ADDR` — run the binary's Monte Carlo campaigns as jobs on
+//!   an `oxterm-serve` instance at `ADDR` instead of in-process: the
+//!   binary becomes a client, submitting with idempotency tokens,
+//!   absorbing `queue_full` backpressure, and polling for the results.
+//!   The local solver never runs; figure binaries print the job
+//!   summaries the service returns.
 //!
 //! Any of the four campaign flags switches the binary's Monte Carlo
 //! campaigns onto [`oxterm_mc::run_supervised`] (retry ladder, panic
@@ -179,6 +185,8 @@ pub struct ParsedFlags {
     pub metrics_out: Option<String>,
     /// The `--metrics-listen=ADDR` address, if present.
     pub metrics_listen: Option<String>,
+    /// The `--submit=ADDR` job-service address, if present.
+    pub submit: Option<String>,
     /// Remaining (positional) arguments, in order.
     pub rest: Vec<String>,
 }
@@ -210,6 +218,7 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
         profile: None,
         metrics_out: None,
         metrics_listen: None,
+        submit: None,
         rest: Vec::new(),
     };
     for a in args {
@@ -259,6 +268,8 @@ pub fn parse_flags(args: impl Iterator<Item = String>) -> ParsedFlags {
             parsed.metrics_out = Some(path.to_string());
         } else if let Some(addr) = a.strip_prefix("--metrics-listen=") {
             parsed.metrics_listen = Some(addr.to_string());
+        } else if let Some(addr) = a.strip_prefix("--submit=") {
+            parsed.submit = Some(addr.to_string());
         } else {
             parsed.rest.push(a);
         }
@@ -298,6 +309,8 @@ pub struct TelemetryCli {
     /// Structural stats of the run's representative circuit, handed in by
     /// the binary via [`TelemetryCli::record_matrix_stats`].
     matrix: Option<MatrixStats>,
+    /// The `--submit=ADDR` job-service address, if present.
+    submit: Option<String>,
 }
 
 /// Parses `std::env::args`, installs global telemetry/tracing if requested,
@@ -407,6 +420,7 @@ pub fn init_from(
             metrics_server,
             run_phase: Some(run_phase),
             matrix: None,
+            submit: parsed.submit,
         },
     ))
 }
@@ -505,6 +519,13 @@ impl TelemetryCli {
     /// Whether `--profile[=PATH]` armed the profiler via this CLI.
     pub fn profile_requested(&self) -> bool {
         self.profile_to.is_some()
+    }
+
+    /// The `oxterm-serve` address from `--submit=ADDR`, if the binary was
+    /// asked to run its campaigns through the job service instead of
+    /// in-process.
+    pub fn submit_addr(&self) -> Option<&str> {
+        self.submit.as_deref()
     }
 
     /// Writes the trace artifacts (Chrome JSON + ASCII timeline), prints
@@ -904,6 +925,20 @@ mod tests {
         assert_eq!(off.profile, None);
         assert_eq!(off.metrics_out, None);
         assert_eq!(off.metrics_listen, None);
+    }
+
+    #[test]
+    fn submit_flag_parses_and_reaches_the_cli() {
+        let p = parse(&["--submit=127.0.0.1:7077", "500"]);
+        assert_eq!(p.submit, Some("127.0.0.1:7077".to_string()));
+        assert_eq!(p.rest, vec!["500".to_string()]);
+        assert_eq!(parse(&["500"]).submit, None);
+        let (_, cli) = init_from(
+            "cli_test",
+            ["--submit=127.0.0.1:7077".to_string()].into_iter(),
+        )
+        .expect("init accepts a submit flag");
+        assert_eq!(cli.submit_addr(), Some("127.0.0.1:7077"));
     }
 
     #[test]

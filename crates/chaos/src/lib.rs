@@ -54,23 +54,46 @@ pub enum FaultKind {
     Panic,
     /// Forced timestep collapse to `dt_min` in transient analysis.
     SlowStep,
+    /// Service layer: the job queue reports itself full regardless of its
+    /// actual depth, forcing the backpressure/reject path.
+    QueueFull,
+    /// Service layer: a job-service worker stalls mid-job until its
+    /// deadline (or cancellation) fires.
+    WorkerStall,
+    /// Service layer: the server drops a client connection without a
+    /// response, exercising client retry/idempotency.
+    ConnDrop,
+    /// Service layer: a job-journal append is torn mid-line (no newline),
+    /// exercising the truncated-tail recovery on the next append/replay.
+    JournalTornWrite,
 }
 
+/// Number of fault kinds (sizes the per-kind tables).
+pub const KIND_COUNT: usize = 8;
+
 /// All fault kinds, in canonical (spec/schedule) order.
-pub const ALL_KINDS: [FaultKind; 4] = [
+pub const ALL_KINDS: [FaultKind; KIND_COUNT] = [
     FaultKind::NewtonStall,
     FaultKind::NanStamp,
     FaultKind::Panic,
     FaultKind::SlowStep,
+    FaultKind::QueueFull,
+    FaultKind::WorkerStall,
+    FaultKind::ConnDrop,
+    FaultKind::JournalTornWrite,
 ];
 
 /// Per-kind salts decorrelating the injection decisions of different
 /// fault kinds at the same `(run, attempt)`.
-const KIND_SALTS: [u64; 4] = [
+const KIND_SALTS: [u64; KIND_COUNT] = [
     0x9D39_247E_3377_6D41,
     0x2FDD_81DB_E69A_F2E2,
     0x4C16_93DE_BDB8_1A7C,
     0xA5F1_D1E2_7B3C_9F05,
+    0x61C8_8646_80B5_83EB,
+    0x3C79_AC49_2BA7_B653,
+    0x1D8E_4E27_C47D_124F,
+    0xEB44_ACCA_B455_D165,
 ];
 
 impl FaultKind {
@@ -81,6 +104,10 @@ impl FaultKind {
             FaultKind::NanStamp => 1,
             FaultKind::Panic => 2,
             FaultKind::SlowStep => 3,
+            FaultKind::QueueFull => 4,
+            FaultKind::WorkerStall => 5,
+            FaultKind::ConnDrop => 6,
+            FaultKind::JournalTornWrite => 7,
         }
     }
 
@@ -91,6 +118,10 @@ impl FaultKind {
             FaultKind::NanStamp => "nan_stamp",
             FaultKind::Panic => "panic",
             FaultKind::SlowStep => "slow_step",
+            FaultKind::QueueFull => "queue_full",
+            FaultKind::WorkerStall => "worker_stall",
+            FaultKind::ConnDrop => "conn_drop",
+            FaultKind::JournalTornWrite => "journal_torn_write",
         }
     }
 
@@ -140,7 +171,7 @@ fn parse_err(message: impl Into<String>) -> ChaosParseError {
 /// Seed used when the spec string has no `seed=N` entry.
 pub const DEFAULT_SEED: u64 = 0xC4A0_5EED_0000_0001;
 
-/// A seeded, deterministic injection plan over the four fault kinds.
+/// A seeded, deterministic injection plan over the fault kinds.
 ///
 /// `Copy` by design: the armed plan is copied into a thread-local run
 /// context by [`begin_run`], so the per-hook decision path never takes a
@@ -148,7 +179,7 @@ pub const DEFAULT_SEED: u64 = 0xC4A0_5EED_0000_0001;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
-    specs: [Option<FaultSpec>; 4],
+    specs: [Option<FaultSpec>; KIND_COUNT],
 }
 
 impl FaultPlan {
@@ -156,7 +187,7 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
-            specs: [None; 4],
+            specs: [None; KIND_COUNT],
         }
     }
 
@@ -180,7 +211,8 @@ impl FaultPlan {
     ///
     /// Grammar: comma-separated entries, each either `seed=N` (decimal or
     /// `0x` hex) or `KIND:p=FLOAT[:transient]` with `KIND` one of
-    /// `newton_stall`, `nan_stamp`, `panic`, `slow_step` and the
+    /// `newton_stall`, `nan_stamp`, `panic`, `slow_step`, `queue_full`,
+    /// `worker_stall`, `conn_drop`, `journal_torn_write` and the
     /// probability in `[0, 1]`.
     pub fn parse(spec: &str) -> Result<FaultPlan, ChaosParseError> {
         let mut plan = FaultPlan::new(DEFAULT_SEED);
@@ -204,7 +236,8 @@ impl FaultPlan {
             let kind = FaultKind::from_name(name).ok_or_else(|| {
                 parse_err(format!(
                     "unknown fault kind `{name}` (expected one of \
-                     newton_stall, nan_stamp, panic, slow_step)"
+                     newton_stall, nan_stamp, panic, slow_step, queue_full, \
+                     worker_stall, conn_drop, journal_torn_write)"
                 ))
             })?;
             let p_part = parts
@@ -365,7 +398,7 @@ struct RunCtx {
     plan: FaultPlan,
     run: u64,
     attempt: u64,
-    fired: [bool; 4],
+    fired: [bool; KIND_COUNT],
 }
 
 thread_local! {
@@ -407,7 +440,7 @@ pub fn begin_run(run: u64, attempt: u64) {
         plan,
         run,
         attempt,
-        fired: [false; 4],
+        fired: [false; KIND_COUNT],
     });
     CTX.with(|c| c.set(ctx));
 }
@@ -591,6 +624,40 @@ mod tests {
                 kind: FaultKind::Panic
             }]
         );
+    }
+
+    #[test]
+    fn service_fault_kinds_parse_and_decorrelate() {
+        let p = plan(
+            "queue_full:p=0.3,worker_stall:p=0.1,conn_drop:p=0.05:transient,\
+             journal_torn_write:p=0.02,seed=77",
+        );
+        assert_eq!(p.spec(FaultKind::QueueFull).unwrap().p, 0.3);
+        assert_eq!(p.spec(FaultKind::WorkerStall).unwrap().p, 0.1);
+        assert!(p.spec(FaultKind::ConnDrop).unwrap().transient);
+        assert_eq!(p.spec(FaultKind::JournalTornWrite).unwrap().p, 0.02);
+        // Canonical form round-trips through the parser.
+        assert_eq!(p, plan(&p.canonical()));
+        // Different service kinds at the same (run, attempt) draw
+        // independent decisions: over many runs the two schedules differ.
+        let p2 = plan("queue_full:p=0.3,worker_stall:p=0.3,seed=77");
+        let stalls: Vec<u64> = (0..2000)
+            .filter(|&r| p2.injects(r, 0, FaultKind::WorkerStall))
+            .collect();
+        let fulls: Vec<u64> = (0..2000)
+            .filter(|&r| p2.injects(r, 0, FaultKind::QueueFull))
+            .collect();
+        assert!(!stalls.is_empty() && !fulls.is_empty());
+        assert_ne!(stalls, fulls, "per-kind salts must decorrelate kinds");
+    }
+
+    #[test]
+    fn kind_tables_cover_every_variant() {
+        assert_eq!(ALL_KINDS.len(), KIND_COUNT);
+        for (i, kind) in ALL_KINDS.iter().enumerate() {
+            assert_eq!(kind.index(), i, "{kind} out of canonical order");
+            assert_eq!(FaultKind::from_name(kind.name()), Some(*kind));
+        }
     }
 
     #[test]

@@ -65,6 +65,15 @@ pub struct RunRecord {
     pub outcome: Result<Vec<f64>, String>,
 }
 
+/// Result of a torn-tail-tolerant checkpoint load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TolerantLoad {
+    /// The records recovered from the complete lines.
+    pub checkpoint: Checkpoint,
+    /// Whether an unterminated torn tail was dropped.
+    pub dropped_tail: bool,
+}
+
 /// A parsed (or in-construction) campaign checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
@@ -177,6 +186,30 @@ impl Checkpoint {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("could not read checkpoint {path}: {e}"))?;
         Checkpoint::parse(&text)
+    }
+
+    /// Parses checkpoint bytes tolerating a torn final record: an
+    /// unterminated tail (a record whose append never reached its
+    /// newline — SIGKILL mid-write, an injected `journal_torn_write`) is
+    /// dropped and reported instead of failing the load. Complete lines
+    /// still parse strictly; the split itself is the shared
+    /// [`oxterm_telemetry::jsonl`] helper the `oxterm-serve` job journal
+    /// reuses.
+    pub fn parse_tolerant(bytes: &[u8]) -> Result<TolerantLoad, String> {
+        let split = oxterm_telemetry::jsonl::split_lines(bytes);
+        let text = split.lines.join("\n");
+        let checkpoint = Checkpoint::parse(&text)?;
+        Ok(TolerantLoad {
+            checkpoint,
+            dropped_tail: split.is_torn(),
+        })
+    }
+
+    /// [`Checkpoint::parse_tolerant`] over a file.
+    pub fn load_tolerant(path: &str) -> Result<TolerantLoad, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("could not read checkpoint {path}: {e}"))?;
+        Checkpoint::parse_tolerant(&bytes)
     }
 
     /// Writes the checkpoint atomically: temp file in the same directory,

@@ -1,0 +1,110 @@
+//! Job-level retry backoff: exponential growth with decorrelated jitter.
+//!
+//! This sits *above* the per-run retry ladder inside a supervised
+//! campaign: the ladder retries one Monte Carlo run with relaxed solver
+//! options, this policy re-queues a whole failed *job* after a delay.
+//! Delays are deterministic in `(seed, attempt)` — the jitter stream is a
+//! splitmix64 hash, not wall-clock entropy — so a replayed journal
+//! schedules retries identically and tests never flake on timing.
+
+/// splitmix64, the same mixer the Monte Carlo engine and the chaos plan
+/// use for decorrelated deterministic streams.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff shape with decorrelated jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First retry's nominal delay (and the jitter floor), milliseconds.
+    pub base_ms: u64,
+    /// Hard ceiling on any delay, milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ms: 25,
+            cap_ms: 2_000,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay before retry number `attempt` (1-based: the first retry
+    /// passes 1) of the job identified by `seed`.
+    ///
+    /// Decorrelated jitter: the delay is drawn uniformly from
+    /// `[base, min(cap, base * 2^attempt)]`, so concurrent failures
+    /// spread out instead of thundering back in lockstep. Degenerate
+    /// policies (`cap < base`, zero base) clamp sanely.
+    pub fn delay_ms(&self, seed: u64, attempt: u64) -> u64 {
+        let base = self.base_ms.max(1);
+        let cap = self.cap_ms.max(base);
+        let exp = attempt.clamp(1, 20) as u32;
+        let ceiling = base.saturating_mul(1u64 << exp).min(cap);
+        let span = ceiling - base + 1;
+        let draw = splitmix64(seed ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F));
+        base + draw % span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let p = BackoffPolicy::default();
+        for attempt in 1..10 {
+            for seed in 0..50u64 {
+                let d = p.delay_ms(seed, attempt);
+                assert_eq!(d, p.delay_ms(seed, attempt), "deterministic");
+                assert!(d >= p.base_ms, "floor: {d}");
+                assert!(d <= p.cap_ms, "cap: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_decorrelates_jobs_and_attempts() {
+        let p = BackoffPolicy {
+            base_ms: 10,
+            cap_ms: 100_000,
+        };
+        // Different jobs retrying the same attempt must not collide en
+        // masse (thundering herd); a handful of collisions is fine.
+        let delays: Vec<u64> = (0..100).map(|s| p.delay_ms(s, 3)).collect();
+        let mut unique = delays.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(unique.len() > 50, "only {} distinct delays", unique.len());
+        // Later attempts draw from a wider window on average.
+        let early: u64 = (0..100).map(|s| p.delay_ms(s, 1)).sum();
+        let late: u64 = (0..100).map(|s| p.delay_ms(s, 6)).sum();
+        assert!(late > early, "attempt 6 total {late} <= attempt 1 {early}");
+    }
+
+    #[test]
+    fn degenerate_policies_never_panic() {
+        let zero = BackoffPolicy {
+            base_ms: 0,
+            cap_ms: 0,
+        };
+        assert!(zero.delay_ms(1, 1) >= 1);
+        let inverted = BackoffPolicy {
+            base_ms: 500,
+            cap_ms: 10,
+        };
+        assert_eq!(inverted.delay_ms(7, 9), 500);
+        let huge = BackoffPolicy {
+            base_ms: u64::MAX / 2,
+            cap_ms: u64::MAX,
+        };
+        let _ = huge.delay_ms(3, 20);
+    }
+}

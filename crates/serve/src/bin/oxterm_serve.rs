@@ -1,0 +1,297 @@
+//! `oxterm-serve` — the campaign job service and its client CLI.
+//!
+//! ```text
+//! oxterm-serve serve  [--addr=H:P] [--workers=N] [--queue-cap=N] [--journal=PATH]
+//!                     [--breaker-k=N] [--cooldown-ms=N] [--drain-grace-ms=N]
+//!                     [--chaos=PLAN]
+//! oxterm-serve submit --addr=H:P --kind=K [--runs= --code= --seed= --millis=
+//!                     --fail-attempts= --points= --deadline-ms= --max-retries=
+//!                     --token=T] [--wait]
+//! oxterm-serve status|wait|cancel --addr=H:P --job=N [--timeout-ms=N]
+//! oxterm-serve ping|stats|drain --addr=H:P
+//! ```
+//!
+//! `serve` runs until SIGTERM/SIGINT or a client `drain` op, then drains
+//! gracefully (finish queued + in-flight, seal the journal) and exits 0 —
+//! the contract the CI smoke job asserts. Exit codes: 0 ok, 1 failure,
+//! 2 usage.
+
+use oxterm_serve::{BackoffPolicy, Client, JobKind, JobSpec, Server, ServerConfig};
+use oxterm_telemetry::Telemetry;
+use std::time::Duration;
+
+/// SIGTERM/SIGINT latch. The handler only flips an atomic; the serve loop
+/// polls it. Hand-declared `signal(2)` keeps the binary libc-only — no
+/// crates, and the library crate itself stays `forbid(unsafe_code)`.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+
+    pub fn termed() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn termed() -> bool {
+        false
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_job(&args[1..], Mode::Status),
+        Some("wait") => cmd_job(&args[1..], Mode::Wait),
+        Some("cancel") => cmd_job(&args[1..], Mode::Cancel),
+        Some("ping") => cmd_simple(&args[1..], Mode::Ping),
+        Some("stats") => cmd_simple(&args[1..], Mode::Stats),
+        Some("drain") => cmd_simple(&args[1..], Mode::Drain),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("{}", USAGE);
+            2
+        }
+        Some(other) => {
+            eprintln!("oxterm-serve: unknown command {other:?}\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "usage: oxterm-serve <serve|submit|status|wait|cancel|ping|stats|drain> [--flags]\n       (see crate docs for the full flag list)";
+
+/// `--name=value` lookup.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    let prefix = format!("--{name}=");
+    args.iter()
+        .rev()
+        .find_map(|a| a.strip_prefix(prefix.as_str()))
+}
+
+fn flag_u64(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name} wants an integer, got {v:?}")),
+    }
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    let exact = format!("--{name}");
+    args.iter().any(|a| a == &exact)
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    match serve_inner(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("oxterm-serve: {e}");
+            if e.starts_with("--") {
+                2
+            } else {
+                1
+            }
+        }
+    }
+}
+
+fn serve_inner(args: &[String]) -> Result<(), String> {
+    if let Some(plan) = flag(args, "chaos") {
+        let parsed = oxterm_chaos::FaultPlan::parse(plan).map_err(|e| format!("--chaos: {e}"))?;
+        oxterm_chaos::arm(parsed);
+        eprintln!("oxterm-serve: chaos armed: {plan}");
+    }
+    let cfg = ServerConfig {
+        addr: flag(args, "addr").unwrap_or("127.0.0.1:7077").to_string(),
+        workers: flag_u64(args, "workers", 2)? as usize,
+        queue_cap: flag_u64(args, "queue-cap", 64)? as usize,
+        breaker_k: flag_u64(args, "breaker-k", 3)? as u32,
+        breaker_cooldown_ms: flag_u64(args, "cooldown-ms", 250)?,
+        backoff: BackoffPolicy {
+            base_ms: flag_u64(args, "backoff-base-ms", 25)?,
+            cap_ms: flag_u64(args, "backoff-cap-ms", 2_000)?,
+        },
+        journal_path: flag(args, "journal").map(str::to_string),
+        drain_grace_ms: flag_u64(args, "drain-grace-ms", 30_000)?,
+    };
+    sig::install();
+    let server =
+        Server::start(cfg, Telemetry::global().clone()).map_err(|e| format!("start: {e}"))?;
+    // The CI smoke script greps this exact line for the bound address.
+    println!("oxterm-serve: listening on {}", server.local_addr());
+    while !sig::termed() && !server.drain_requested() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    eprintln!("oxterm-serve: draining");
+    let finished = server.drain_and_join();
+    eprintln!("oxterm-serve: drained ({finished} job(s) finished during drain)");
+    Ok(())
+}
+
+enum Mode {
+    Status,
+    Wait,
+    Cancel,
+    Ping,
+    Stats,
+    Drain,
+}
+
+fn client_for(args: &[String]) -> Result<Client, String> {
+    let addr = flag(args, "addr").ok_or("--addr=HOST:PORT is required")?;
+    Ok(Client::new(addr))
+}
+
+fn cmd_submit(args: &[String]) -> i32 {
+    match submit_inner(args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("oxterm-serve: {e}");
+            if e.starts_with("--") {
+                2
+            } else {
+                1
+            }
+        }
+    }
+}
+
+fn submit_inner(args: &[String]) -> Result<(), String> {
+    let client = client_for(args)?;
+    let kind_name =
+        flag(args, "kind").ok_or("--kind=<echo|program_level|mc_sweep|characterize>")?;
+    let kind = JobKind::from_name(kind_name).ok_or(format!("unknown --kind={kind_name}"))?;
+    let defaults = JobSpec::default();
+    let spec = JobSpec {
+        kind,
+        runs: flag_u64(args, "runs", defaults.runs)?,
+        code: u16::try_from(flag_u64(args, "code", u64::from(defaults.code))?)
+            .map_err(|_| "--code out of range".to_string())?,
+        seed: flag_u64(args, "seed", defaults.seed)?,
+        millis: flag_u64(args, "millis", defaults.millis)?,
+        fail_attempts: flag_u64(args, "fail-attempts", defaults.fail_attempts)?,
+        points: flag_u64(args, "points", defaults.points)?,
+        deadline_ms: flag_u64(args, "deadline-ms", defaults.deadline_ms)?,
+        max_retries: flag_u64(args, "max-retries", defaults.max_retries)?,
+        token: flag(args, "token").unwrap_or_default().to_string(),
+    };
+    let submitted = client.submit(&spec)?;
+    println!(
+        "job {} submitted{}{}",
+        submitted.job,
+        if submitted.deduped { " (deduped)" } else { "" },
+        if submitted.rejections > 0 {
+            format!(" after {} queue_full rejection(s)", submitted.rejections)
+        } else {
+            String::new()
+        }
+    );
+    if has_flag(args, "wait") {
+        let timeout = Duration::from_millis(flag_u64(args, "timeout-ms", 600_000)?);
+        let status = client.wait(submitted.job, timeout)?;
+        println!("job {} {}: {}", status.job, status.state, status.summary);
+        if status.state != "done" {
+            return Err(format!("job finished {}", status.state));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_job(args: &[String], mode: Mode) -> i32 {
+    let run = || -> Result<(), String> {
+        let client = client_for(args)?;
+        let job = flag_u64(args, "job", 0)?;
+        if job == 0 {
+            return Err("--job=N is required".to_string());
+        }
+        match mode {
+            Mode::Status => {
+                let status = client.status(job)?;
+                println!(
+                    "job {} {} (attempts {}): {}",
+                    status.job, status.state, status.attempts, status.summary
+                );
+            }
+            Mode::Wait => {
+                let timeout = Duration::from_millis(flag_u64(args, "timeout-ms", 600_000)?);
+                let status = client.wait(job, timeout)?;
+                println!("job {} {}: {}", status.job, status.state, status.summary);
+                if status.state != "done" {
+                    return Err(format!("job finished {}", status.state));
+                }
+            }
+            Mode::Cancel => {
+                client.cancel(job)?;
+                println!("job {job} cancel requested");
+            }
+            _ => unreachable!("cmd_job only handles job-scoped modes"),
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("oxterm-serve: {e}");
+            if e.starts_with("--") {
+                2
+            } else {
+                1
+            }
+        }
+    }
+}
+
+fn cmd_simple(args: &[String], mode: Mode) -> i32 {
+    let run = || -> Result<(), String> {
+        let client = client_for(args)?;
+        match mode {
+            Mode::Ping => {
+                client.ping()?;
+                println!("pong");
+            }
+            Mode::Stats => println!("{}", client.stats()?),
+            Mode::Drain => {
+                client.drain()?;
+                println!("drain requested");
+            }
+            _ => unreachable!("cmd_simple only handles service-scoped modes"),
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("oxterm-serve: {e}");
+            if e.starts_with("--") {
+                2
+            } else {
+                1
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-worker circuit breaker.
+//!
+//! A worker that keeps hitting *hard* failures — caught panics, deadline
+//! timeouts — stops pulling from the queue for a cooldown instead of
+//! poisoning every job behind it. The state machine is the classic
+//! three-state breaker:
+//!
+//! ```text
+//!   Closed --K consecutive hard failures--> Open
+//!   Open   --cooldown elapsed------------>  HalfOpen (one probe job)
+//!   HalfOpen --probe succeeds-----------> Closed
+//!   HalfOpen --probe fails--------------> Open (fresh cooldown)
+//! ```
+//!
+//! The clock is injected (`now_ns`) so the transitions are unit-testable
+//! without sleeping; the server feeds it
+//! [`oxterm_telemetry::profiler::monotonic_ns`].
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: jobs flow.
+    Closed,
+    /// Tripped: the worker refuses work until the cooldown elapses.
+    Open,
+    /// Cooling down finished: exactly one probe job is allowed through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name (journal, metrics, progress line).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// One worker's breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    /// Consecutive hard failures that trip the breaker.
+    k: u32,
+    /// How long an open breaker refuses work, nanoseconds.
+    cooldown_ns: u64,
+    state: BreakerState,
+    consecutive: u32,
+    opened_at_ns: u64,
+    /// Whether the half-open probe slot is taken.
+    probing: bool,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `k` consecutive hard failures and
+    /// cooling down for `cooldown_ms`.
+    pub fn new(k: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            k: k.max(1),
+            cooldown_ns: cooldown_ms.saturating_mul(1_000_000),
+            state: BreakerState::Closed,
+            consecutive: 0,
+            opened_at_ns: 0,
+            probing: false,
+            trips: 0,
+        }
+    }
+
+    /// Current state, advancing Open → HalfOpen if the cooldown elapsed.
+    pub fn state(&mut self, now_ns: u64) -> BreakerState {
+        if self.state == BreakerState::Open
+            && now_ns.saturating_sub(self.opened_at_ns) >= self.cooldown_ns
+        {
+            self.state = BreakerState::HalfOpen;
+            self.probing = false;
+        }
+        self.state
+    }
+
+    /// Whether the worker may take a job now. In half-open state this
+    /// hands out exactly one probe slot per cooldown.
+    pub fn can_take(&mut self, now_ns: u64) -> bool {
+        match self.state(now_ns) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probing {
+                    false
+                } else {
+                    self.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a completed job that did not fail hard (success, clean
+    /// failure, cancellation). Closes a half-open breaker.
+    pub fn note_success(&mut self) {
+        self.consecutive = 0;
+        self.probing = false;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a hard failure (panic, timeout). Trips the breaker after
+    /// `k` in a row, or instantly re-opens a half-open probe.
+    pub fn note_hard_failure(&mut self, now_ns: u64) {
+        self.consecutive = self.consecutive.saturating_add(1);
+        let reopen = self.state == BreakerState::HalfOpen;
+        if reopen || self.consecutive >= self.k {
+            self.state = BreakerState::Open;
+            self.opened_at_ns = now_ns;
+            self.probing = false;
+            self.consecutive = 0;
+            self.trips += 1;
+        }
+    }
+
+    /// How many times this breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_k_consecutive_hard_failures() {
+        let mut b = CircuitBreaker::new(3, 100);
+        assert!(b.can_take(0));
+        b.note_hard_failure(0);
+        b.note_hard_failure(0);
+        assert_eq!(b.state(0), BreakerState::Closed);
+        assert!(b.can_take(0), "two failures below K keep it closed");
+        b.note_hard_failure(0);
+        assert_eq!(b.state(0), BreakerState::Open);
+        assert!(!b.can_take(1), "open breaker refuses work");
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = CircuitBreaker::new(2, 100);
+        b.note_hard_failure(0);
+        b.note_success();
+        b.note_hard_failure(0);
+        assert_eq!(b.state(0), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn half_open_allows_one_probe_then_closes_on_success() {
+        let cooldown_ms = 10;
+        let mut b = CircuitBreaker::new(1, cooldown_ms);
+        b.note_hard_failure(0);
+        assert_eq!(b.state(0), BreakerState::Open);
+        let after = cooldown_ms * 1_000_000;
+        assert_eq!(b.state(after), BreakerState::HalfOpen);
+        assert!(b.can_take(after), "first probe slot");
+        assert!(!b.can_take(after), "only one probe at a time");
+        b.note_success();
+        assert_eq!(b.state(after), BreakerState::Closed);
+        assert!(b.can_take(after));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_a_fresh_cooldown() {
+        let mut b = CircuitBreaker::new(1, 10);
+        b.note_hard_failure(0);
+        let t1 = 10 * 1_000_000;
+        assert!(b.can_take(t1), "probe after first cooldown");
+        b.note_hard_failure(t1);
+        assert_eq!(b.state(t1), BreakerState::Open);
+        assert!(!b.can_take(t1 + 1), "cooldown restarted");
+        assert_eq!(b.state(t1 + 10 * 1_000_000), BreakerState::HalfOpen);
+        assert_eq!(b.trips(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Blocking line-protocol client with the retry discipline the service's
+//! fault model assumes.
+//!
+//! Every request opens a fresh connection (the server may chaos-drop any
+//! of them), so the client's only state is the server address. Submits
+//! carry an idempotency token and retry through `queue_full` rejections
+//! (honoring `retry_after_ms`) and dropped connections — the token makes
+//! the re-submit safe: the server answers with the original job id and
+//! `"deduped":true` instead of admitting a duplicate.
+
+use crate::fields::{field_bool, field_str, field_u64};
+use crate::jobs::JobSpec;
+use oxterm_telemetry::JsonWriter;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How many times a submit retries through backpressure/drops before
+/// giving up.
+pub const SUBMIT_ATTEMPTS: u32 = 20;
+
+/// A submitted (or deduplicated) job handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Submitted {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Whether the server matched an earlier submit by token.
+    pub deduped: bool,
+    /// `queue_full` rejections absorbed before admission.
+    pub rejections: u32,
+}
+
+/// A job's reported state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Job id.
+    pub job: u64,
+    /// State name (`queued`, `running`, ..., `done`).
+    pub state: String,
+    /// Attempts started so far.
+    pub attempts: u64,
+    /// Whether the state is terminal.
+    pub terminal: bool,
+    /// Result or failure summary.
+    pub summary: String,
+}
+
+/// The blocking client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    /// Per-request I/O timeout.
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the service at `addr` (`host:port`).
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// One request line → one reply line, fresh connection.
+    ///
+    /// # Errors
+    ///
+    /// Connect/read/write failure, or the server dropping the connection
+    /// before replying (the `conn_drop` fault surfaces here).
+    pub fn request(&self, line: &str) -> Result<String, String> {
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        writeln!(writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        BufReader::new(stream)
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        let reply = reply.trim().to_string();
+        if reply.is_empty() {
+            return Err("connection dropped before reply".to_string());
+        }
+        Ok(reply)
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a non-pong reply.
+    pub fn ping(&self) -> Result<(), String> {
+        let reply = self.request(r#"{"op":"ping"}"#)?;
+        if field_bool(&reply, "pong") == Some(true) {
+            Ok(())
+        } else {
+            Err(format!("unexpected ping reply: {reply}"))
+        }
+    }
+
+    /// Submits `spec`, retrying through `queue_full` backpressure and
+    /// dropped connections under the spec's idempotency token. Specs
+    /// without a token get no dedup protection — give every real job one.
+    ///
+    /// # Errors
+    ///
+    /// Persistent rejection after [`SUBMIT_ATTEMPTS`] tries, a `draining`
+    /// refusal, or a malformed reply.
+    pub fn submit(&self, spec: &JobSpec) -> Result<Submitted, String> {
+        let line = render_submit(spec);
+        let mut rejections = 0;
+        let mut last = String::new();
+        for _ in 0..SUBMIT_ATTEMPTS {
+            match self.request(&line) {
+                Ok(reply) => {
+                    if field_bool(&reply, "ok") == Some(true) {
+                        let job = field_u64(&reply, "job")
+                            .ok_or(format!("submit reply without job id: {reply}"))?;
+                        return Ok(Submitted {
+                            job,
+                            deduped: field_bool(&reply, "deduped").unwrap_or(false),
+                            rejections,
+                        });
+                    }
+                    match field_str(&reply, "code").as_deref() {
+                        Some("queue_full") => {
+                            rejections += 1;
+                            let wait = field_u64(&reply, "retry_after_ms").unwrap_or(50);
+                            std::thread::sleep(Duration::from_millis(wait));
+                        }
+                        _ => return Err(format!("submit rejected: {reply}")),
+                    }
+                    last = reply;
+                }
+                Err(e) => {
+                    // Dropped connection: the job may or may not have been
+                    // admitted — the token makes the retry safe.
+                    last = e;
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+        Err(format!(
+            "submit gave up after {SUBMIT_ATTEMPTS} attempts ({rejections} queue_full): {last}"
+        ))
+    }
+
+    /// One job's status.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, unknown job, malformed reply.
+    pub fn status(&self, job: u64) -> Result<JobStatus, String> {
+        let reply = self.request(&format!("{{\"op\":\"status\",\"job\":{job}}}"))?;
+        parse_status(&reply)
+    }
+
+    /// Polls until `job` reaches a terminal state or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Timeout (with the last observed state) or transport failure on
+    /// every consecutive poll.
+    pub fn wait(&self, job: u64, timeout: Duration) -> Result<JobStatus, String> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut last_err;
+        loop {
+            match self.status(job) {
+                Ok(status) if status.terminal => return Ok(status),
+                Ok(status) => last_err = format!("job {job} still {}", status.state),
+                Err(e) => last_err = e,
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(format!("wait timed out: {last_err}"));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Cancels a job.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or unknown job.
+    pub fn cancel(&self, job: u64) -> Result<(), String> {
+        let reply = self.request(&format!("{{\"op\":\"cancel\",\"job\":{job}}}"))?;
+        if field_bool(&reply, "ok") == Some(true) {
+            Ok(())
+        } else {
+            Err(format!("cancel rejected: {reply}"))
+        }
+    }
+
+    /// Raw `stats` reply (flat JSON line).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure.
+    pub fn stats(&self) -> Result<String, String> {
+        self.request(r#"{"op":"stats"}"#)
+    }
+
+    /// Requests a graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure.
+    pub fn drain(&self) -> Result<(), String> {
+        let reply = self.request(r#"{"op":"drain"}"#)?;
+        if field_bool(&reply, "draining") == Some(true) {
+            Ok(())
+        } else {
+            Err(format!("drain rejected: {reply}"))
+        }
+    }
+}
+
+/// Renders a submit line for `spec`.
+pub fn render_submit(spec: &JobSpec) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.string("op", "submit");
+    w.string("kind", spec.kind.name());
+    w.u64("runs", spec.runs);
+    w.u64("code", u64::from(spec.code));
+    w.u64("seed", spec.seed);
+    w.u64("millis", spec.millis);
+    w.u64("fail_attempts", spec.fail_attempts);
+    w.u64("points", spec.points);
+    w.u64("deadline_ms", spec.deadline_ms);
+    w.u64("max_retries", spec.max_retries);
+    w.string("token", &spec.token);
+    w.end_object();
+    w.finish()
+}
+
+fn parse_status(reply: &str) -> Result<JobStatus, String> {
+    if field_bool(reply, "ok") != Some(true) {
+        return Err(format!("status rejected: {reply}"));
+    }
+    Ok(JobStatus {
+        job: field_u64(reply, "job").ok_or(format!("status without job: {reply}"))?,
+        state: field_str(reply, "state").ok_or(format!("status without state: {reply}"))?,
+        attempts: field_u64(reply, "attempts").unwrap_or(0),
+        terminal: field_bool(reply, "terminal").unwrap_or(false),
+        summary: field_str(reply, "summary").unwrap_or_default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobKind;
+    use crate::protocol::parse_request;
+
+    #[test]
+    fn rendered_submit_round_trips_through_the_parser() {
+        let spec = JobSpec {
+            kind: JobKind::McSweep,
+            runs: 9,
+            seed: 1234,
+            deadline_ms: 750,
+            token: "abc-1".into(),
+            ..JobSpec::default()
+        };
+        let line = render_submit(&spec);
+        let req = parse_request(&line).expect("parses");
+        let crate::protocol::Request::Submit(parsed) = req else {
+            panic!("wrong request");
+        };
+        assert_eq!(*parsed, spec);
+    }
+
+    #[test]
+    fn status_parser_reads_the_server_shape() {
+        let reply = r#"{"ok":true,"job":4,"kind":"echo","state":"done","attempts":2,"terminal":true,"summary":"echo: slept 1 ms"}"#;
+        let status = parse_status(reply).expect("parses");
+        assert_eq!(status.job, 4);
+        assert_eq!(status.state, "done");
+        assert!(status.terminal);
+        assert_eq!(status.attempts, 2);
+        assert!(parse_status(r#"{"ok":false,"code":"unknown_job","error":"no job 9"}"#).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Minimal flat-JSON field extraction for the line protocol and journal.
+//!
+//! Same contract as the `mc::checkpoint` reader: we only parse output of
+//! [`oxterm_telemetry::JsonWriter`] (or clients speaking the documented
+//! flat grammar), so fields are `"key":value` with JsonWriter's escaping
+//! and no nested objects.
+
+pub(crate) fn field_pos(line: &str, key: &str) -> Option<usize> {
+    let pat = format!("\"{key}\":");
+    line.find(&pat).map(|i| i + pat.len())
+}
+
+pub(crate) fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = &line[field_pos(line, key)?..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+pub(crate) fn field_bool(line: &str, key: &str) -> Option<bool> {
+    let rest = &line[field_pos(line, key)?..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Reads the JSON string starting at `rest` (which must begin with `"`),
+/// returning the unescaped value.
+fn read_string(rest: &str) -> Option<String> {
+    let bytes = rest.as_bytes();
+    if bytes.first() != Some(&b'"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut chars = rest.char_indices().skip(1);
+    while let Some((_, c)) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'b' => out.push('\u{0008}'),
+                'f' => out.push('\u{000C}'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+pub(crate) fn field_str(line: &str, key: &str) -> Option<String> {
+    read_string(&line[field_pos(line, key)?..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_typed_fields_from_flat_json() {
+        let line = r#"{"op":"submit","runs":12,"ok":true,"msg":"a\"b\\c\nd"}"#;
+        assert_eq!(field_str(line, "op").as_deref(), Some("submit"));
+        assert_eq!(field_u64(line, "runs"), Some(12));
+        assert_eq!(field_bool(line, "ok"), Some(true));
+        assert_eq!(field_str(line, "msg").as_deref(), Some("a\"b\\c\nd"));
+        assert_eq!(field_u64(line, "missing"), None);
+        assert_eq!(field_str(line, "runs"), None);
+    }
+}

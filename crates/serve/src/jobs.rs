@@ -1,0 +1,358 @@
+//! The job model: specs, lifecycle states and the in-memory job table.
+//!
+//! The table is the single source of truth the journal replays into; its
+//! [`JobTable::digest`] is the bit-identity witness the crash-recovery
+//! tests compare across a SIGKILL + restart.
+//!
+//! Lifecycle:
+//!
+//! ```text
+//!   queued --worker picks up--> running
+//!   running --ok-------------> done
+//!   running --error, retries left--> backoff --delay elapsed--> queued
+//!   running --error, ladder spent--> failed
+//!   running --deadline watchdog----> timeout
+//!   queued|running --cancel op-----> cancelled
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+
+/// What kind of campaign a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Program one MLC level `runs` times (Monte Carlo).
+    ProgramLevel,
+    /// The full supervised QLC sweep: 16 levels × `runs` programs.
+    McSweep,
+    /// Deterministic R–I_ref characterization sweep (`points` biases).
+    Characterize,
+    /// Test/soak job: sleep `millis`, optionally failing its first
+    /// `fail_attempts` attempts. Exercises every service mechanism
+    /// without solver cost.
+    Echo,
+}
+
+impl JobKind {
+    /// Stable wire/journal name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::ProgramLevel => "program_level",
+            JobKind::McSweep => "mc_sweep",
+            JobKind::Characterize => "characterize",
+            JobKind::Echo => "echo",
+        }
+    }
+
+    /// Inverse of [`JobKind::name`].
+    pub fn from_name(name: &str) -> Option<JobKind> {
+        match name {
+            "program_level" => Some(JobKind::ProgramLevel),
+            "mc_sweep" => Some(JobKind::McSweep),
+            "characterize" => Some(JobKind::Characterize),
+            "echo" => Some(JobKind::Echo),
+            _ => None,
+        }
+    }
+}
+
+/// Everything needed to run (and re-run, and journal) one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Campaign kind.
+    pub kind: JobKind,
+    /// Monte Carlo runs (per level for `mc_sweep`).
+    pub runs: u64,
+    /// Level code for `program_level`.
+    pub code: u16,
+    /// Campaign seed.
+    pub seed: u64,
+    /// `echo`: busy duration in milliseconds.
+    pub millis: u64,
+    /// `echo`: fail this many leading attempts (service-level retries).
+    pub fail_attempts: u64,
+    /// `characterize`: number of sweep points.
+    pub points: u64,
+    /// Wall-clock deadline from job start, milliseconds (0 = none).
+    pub deadline_ms: u64,
+    /// Service-level retries after the first attempt (the per-run solver
+    /// ladder inside the campaign is separate and always on).
+    pub max_retries: u64,
+    /// Client idempotency token: re-submitting the same token returns the
+    /// existing job instead of enqueueing a duplicate.
+    pub token: String,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            kind: JobKind::Echo,
+            runs: 2,
+            code: 0,
+            seed: 1,
+            millis: 1,
+            fail_attempts: 0,
+            points: 8,
+            deadline_ms: 0,
+            max_retries: 2,
+            token: String::new(),
+        }
+    }
+}
+
+/// Lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the bounded queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Failed an attempt; waiting out its backoff delay before requeue.
+    Backoff,
+    /// Finished successfully (terminal).
+    Done,
+    /// Exhausted its retries (terminal).
+    Failed,
+    /// Cancelled by an operator (terminal).
+    Cancelled,
+    /// Killed by its deadline (terminal).
+    TimedOut,
+}
+
+impl JobState {
+    /// Stable wire/journal name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Backoff => "backoff",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timeout",
+        }
+    }
+
+    /// Inverse of [`JobState::name`].
+    pub fn from_name(name: &str) -> Option<JobState> {
+        match name {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "backoff" => Some(JobState::Backoff),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            "timeout" => Some(JobState::TimedOut),
+            _ => None,
+        }
+    }
+
+    /// Whether the job will never run again.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled | JobState::TimedOut
+        )
+    }
+}
+
+/// One job's full record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Server-assigned id (dense, monotonically increasing).
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Service-level attempts started so far.
+    pub attempts: u64,
+    /// Result summary (done) or last error (failed/timeout/cancelled).
+    pub summary: String,
+}
+
+/// The in-memory job table: id-ordered records plus the idempotency-token
+/// index.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    records: BTreeMap<u64, JobRecord>,
+    by_token: HashMap<String, u64>,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> JobTable {
+        JobTable::default()
+    }
+
+    /// Inserts a freshly submitted job.
+    pub fn insert(&mut self, record: JobRecord) {
+        if !record.spec.token.is_empty() {
+            self.by_token.insert(record.spec.token.clone(), record.id);
+        }
+        self.records.insert(record.id, record);
+    }
+
+    /// Removes a job (submit rollback when the queue rejects it).
+    pub fn remove(&mut self, id: u64) {
+        if let Some(rec) = self.records.remove(&id) {
+            if !rec.spec.token.is_empty() {
+                self.by_token.remove(&rec.spec.token);
+            }
+        }
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: u64) -> Option<&JobRecord> {
+        self.records.get(&id)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut JobRecord> {
+        self.records.get_mut(&id)
+    }
+
+    /// Resolves an idempotency token to its job.
+    pub fn by_token(&self, token: &str) -> Option<u64> {
+        if token.is_empty() {
+            return None;
+        }
+        self.by_token.get(token).copied()
+    }
+
+    /// All records in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records.values()
+    }
+
+    /// Total number of jobs ever tabled.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Jobs currently in `state`.
+    pub fn count(&self, state: JobState) -> usize {
+        self.records.values().filter(|r| r.state == state).count()
+    }
+
+    /// FNV-1a digest over the canonical rendering of every record, in id
+    /// order. Two tables with the same digest went through the same
+    /// observable history — the bit-identity witness for journal replay.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01B3);
+            }
+        };
+        for rec in self.records.values() {
+            eat(&rec.id.to_le_bytes());
+            eat(rec.spec.kind.name().as_bytes());
+            eat(&rec.spec.runs.to_le_bytes());
+            eat(&rec.spec.code.to_le_bytes());
+            eat(&rec.spec.seed.to_le_bytes());
+            eat(&rec.spec.millis.to_le_bytes());
+            eat(&rec.spec.fail_attempts.to_le_bytes());
+            eat(&rec.spec.points.to_le_bytes());
+            eat(&rec.spec.deadline_ms.to_le_bytes());
+            eat(&rec.spec.max_retries.to_le_bytes());
+            eat(rec.spec.token.as_bytes());
+            eat(rec.state.name().as_bytes());
+            eat(&rec.attempts.to_le_bytes());
+            eat(rec.summary.as_bytes());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, token: &str, state: JobState) -> JobRecord {
+        JobRecord {
+            id,
+            spec: JobSpec {
+                token: token.to_string(),
+                ..JobSpec::default()
+            },
+            state,
+            attempts: 0,
+            summary: String::new(),
+        }
+    }
+
+    #[test]
+    fn kind_and_state_names_round_trip() {
+        for kind in [
+            JobKind::ProgramLevel,
+            JobKind::McSweep,
+            JobKind::Characterize,
+            JobKind::Echo,
+        ] {
+            assert_eq!(JobKind::from_name(kind.name()), Some(kind));
+        }
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Backoff,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::TimedOut,
+        ] {
+            assert_eq!(JobState::from_name(state.name()), Some(state));
+            assert_eq!(
+                state.is_terminal(),
+                !matches!(
+                    state,
+                    JobState::Queued | JobState::Running | JobState::Backoff
+                )
+            );
+        }
+        assert_eq!(JobKind::from_name("nope"), None);
+        assert_eq!(JobState::from_name("nope"), None);
+    }
+
+    #[test]
+    fn token_index_tracks_insert_and_remove() {
+        let mut t = JobTable::new();
+        t.insert(record(1, "tok-a", JobState::Queued));
+        t.insert(record(2, "", JobState::Queued));
+        assert_eq!(t.by_token("tok-a"), Some(1));
+        assert_eq!(t.by_token(""), None, "empty tokens never dedupe");
+        t.remove(1);
+        assert_eq!(t.by_token("tok-a"), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn digest_is_order_independent_of_insertion_but_state_sensitive() {
+        let mut a = JobTable::new();
+        a.insert(record(1, "x", JobState::Done));
+        a.insert(record(2, "y", JobState::Queued));
+        let mut b = JobTable::new();
+        b.insert(record(2, "y", JobState::Queued));
+        b.insert(record(1, "x", JobState::Done));
+        assert_eq!(a.digest(), b.digest(), "BTreeMap canonicalizes order");
+        b.get_mut(2).unwrap().state = JobState::Failed;
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(JobTable::new().digest(), 0);
+    }
+
+    #[test]
+    fn counts_group_by_state() {
+        let mut t = JobTable::new();
+        t.insert(record(1, "", JobState::Queued));
+        t.insert(record(2, "", JobState::Queued));
+        t.insert(record(3, "", JobState::Done));
+        assert_eq!(t.count(JobState::Queued), 2);
+        assert_eq!(t.count(JobState::Done), 1);
+        assert_eq!(t.count(JobState::Failed), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! `oxterm-serve`: a fault-tolerant campaign job service.
+//!
+//! The figure binaries run campaigns in-process; this crate runs them as
+//! *jobs* behind a TCP line protocol, in the style of the blocking
+//! [`oxterm_telemetry::MetricsServer`] — std-only threads, no async
+//! runtime, no external dependencies. A client submits a job
+//! (program-level, MC-sweep, characterize, or a fast `echo` used by the
+//! chaos soak), polls its status, and fetches the result; the service
+//! keeps the campaign machinery honest under load and under injected
+//! faults:
+//!
+//! * **Backpressure.** The job queue is bounded ([`queue`]); a full queue
+//!   rejects the submit with a `queue_full` code and a `retry_after_ms`
+//!   hint instead of buffering unboundedly (the 429 idiom).
+//! * **Deadlines.** Each job may carry a wall-clock deadline; a watchdog
+//!   cancels the underlying supervised campaign through its
+//!   [`CancelToken`](oxterm_mc::CancelToken) and the job lands in
+//!   `timeout`.
+//! * **Retry with decorrelated jitter.** A failed job re-queues with an
+//!   exponential, jittered delay ([`backoff`]) — *above* the per-run
+//!   retry ladder the campaign supervisor already runs inside the job.
+//! * **Circuit breakers.** Each worker trips open after K consecutive
+//!   hard failures (panics, timeouts) and recovers through a half-open
+//!   probe ([`breaker`]), so a poisoned worker stops eating the queue.
+//! * **Crash-safe journaling.** Every job transition appends one JSON
+//!   line to `jobs.jsonl` ([`journal`]); a SIGKILLed server replays the
+//!   journal on restart to the exact pre-crash job table, tolerating a
+//!   torn final line the same way `mc::checkpoint` does (the shared
+//!   [`oxterm_telemetry::jsonl`] splitter).
+//! * **Graceful drain.** SIGTERM (or the `drain` op) stops intake,
+//!   finishes or cancels in-flight work, seals the journal and exits 0.
+//!
+//! Chaos faults `queue_full`, `worker_stall`, `conn_drop` and
+//! `journal_torn_write` ([`oxterm_chaos::FaultKind`]) target exactly
+//! these mechanisms, and the service exports `oxterm_serve_*` metrics
+//! plus `/healthz`–`/readyz` probes over the same TCP port.
+
+#![forbid(unsafe_code)]
+
+pub mod backoff;
+pub mod breaker;
+pub mod client;
+pub(crate) mod fields;
+pub mod jobs;
+pub mod journal;
+pub mod protocol;
+pub mod queue;
+pub mod runner;
+pub mod server;
+
+pub use backoff::BackoffPolicy;
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use client::Client;
+pub use jobs::{JobKind, JobRecord, JobSpec, JobState, JobTable};
+pub use journal::{Journal, JournalReplay};
+pub use queue::BoundedQueue;
+pub use server::{Server, ServerConfig};

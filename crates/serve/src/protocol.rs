@@ -1,0 +1,221 @@
+//! The line protocol: one flat-JSON request per line, one flat-JSON
+//! response per line.
+//!
+//! Ops: `ping`, `submit`, `status`, `result`, `cancel`, `jobs`, `stats`,
+//! `drain`. Every response carries `"ok"`; failures add `"code"` (a
+//! stable machine string — `queue_full`, `draining`, `unknown_job`,
+//! `bad_request`, `not_finished`) and human `"error"` text. A
+//! `queue_full` rejection additionally carries `"retry_after_ms"`, the
+//! 429 idiom clients are expected to honor.
+//!
+//! The same TCP port also answers plain HTTP `GET` for `/healthz`,
+//! `/readyz` and `/metrics` (the server sniffs the first bytes), so one
+//! listener serves both the job protocol and the probes.
+
+use crate::fields::{field_str, field_u64};
+use crate::jobs::{JobKind, JobRecord, JobSpec};
+use oxterm_telemetry::JsonWriter;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Admit a job.
+    Submit(Box<JobSpec>),
+    /// One job's state.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// One job's terminal result.
+    Result {
+        /// Job id.
+        job: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Per-state job counts.
+    Jobs,
+    /// Service counters and the table digest.
+    Stats,
+    /// Graceful drain: stop intake, finish in-flight, exit.
+    Drain,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Human-readable description of what is malformed; the server wraps it
+/// in a `bad_request` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let op = field_str(line, "op").ok_or("missing \"op\" field")?;
+    let job = || field_u64(line, "job").ok_or(format!("op {op} needs a \"job\" id"));
+    match op.as_str() {
+        "ping" => Ok(Request::Ping),
+        "submit" => {
+            let kind_name = field_str(line, "kind").ok_or("submit needs a \"kind\"")?;
+            let kind = JobKind::from_name(&kind_name)
+                .ok_or(format!("unknown job kind {kind_name:?} (try \"mc_sweep\")"))?;
+            let defaults = JobSpec::default();
+            let spec = JobSpec {
+                kind,
+                runs: field_u64(line, "runs").unwrap_or(defaults.runs),
+                code: field_u64(line, "code")
+                    .map(u16::try_from)
+                    .transpose()
+                    .map_err(|_| "\"code\" out of range")?
+                    .unwrap_or(defaults.code),
+                seed: field_u64(line, "seed").unwrap_or(defaults.seed),
+                millis: field_u64(line, "millis").unwrap_or(defaults.millis),
+                fail_attempts: field_u64(line, "fail_attempts").unwrap_or(defaults.fail_attempts),
+                points: field_u64(line, "points").unwrap_or(defaults.points),
+                deadline_ms: field_u64(line, "deadline_ms").unwrap_or(defaults.deadline_ms),
+                max_retries: field_u64(line, "max_retries").unwrap_or(defaults.max_retries),
+                token: field_str(line, "token").unwrap_or_default(),
+            };
+            if spec.code > 15 {
+                return Err("\"code\" must be a QLC level 0..=15".into());
+            }
+            Ok(Request::Submit(Box::new(spec)))
+        }
+        "status" => Ok(Request::Status { job: job()? }),
+        "result" => Ok(Request::Result { job: job()? }),
+        "cancel" => Ok(Request::Cancel { job: job()? }),
+        "jobs" => Ok(Request::Jobs),
+        "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// `{"ok":false,...}` with a stable machine code.
+pub fn error_response(code: &str, error: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.bool("ok", false);
+    w.string("code", code);
+    w.string("error", error);
+    w.end_object();
+    w.finish()
+}
+
+/// The backpressure rejection, with its retry hint.
+pub fn queue_full_response(retry_after_ms: u64) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.bool("ok", false);
+    w.string("code", "queue_full");
+    w.u64("retry_after_ms", retry_after_ms);
+    w.string("error", "job queue at capacity; retry after the hint");
+    w.end_object();
+    w.finish()
+}
+
+/// Successful submit (or idempotent re-submit).
+pub fn submit_response(job: u64, deduped: bool) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.bool("ok", true);
+    w.u64("job", job);
+    w.bool("deduped", deduped);
+    w.end_object();
+    w.finish()
+}
+
+/// Status (and result) body for one job record.
+pub fn status_response(rec: &JobRecord) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.bool("ok", true);
+    w.u64("job", rec.id);
+    w.string("kind", rec.spec.kind.name());
+    w.string("state", rec.state.name());
+    w.u64("attempts", rec.attempts);
+    w.bool("terminal", rec.state.is_terminal());
+    w.string("summary", &rec.summary);
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobState;
+
+    #[test]
+    fn submit_parses_with_defaults_and_overrides() {
+        let req = parse_request(
+            r#"{"op":"submit","kind":"mc_sweep","runs":7,"seed":42,"deadline_ms":500,"token":"t-1"}"#,
+        )
+        .expect("parses");
+        let Request::Submit(spec) = req else {
+            panic!("wrong request: {req:?}");
+        };
+        assert_eq!(spec.kind, JobKind::McSweep);
+        assert_eq!(spec.runs, 7);
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.deadline_ms, 500);
+        assert_eq!(spec.token, "t-1");
+        assert_eq!(spec.max_retries, JobSpec::default().max_retries);
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        assert!(parse_request("not json").unwrap_err().contains("op"));
+        assert!(parse_request(r#"{"op":"submit"}"#)
+            .unwrap_err()
+            .contains("kind"));
+        assert!(parse_request(r#"{"op":"submit","kind":"warp"}"#)
+            .unwrap_err()
+            .contains("warp"));
+        assert!(parse_request(r#"{"op":"status"}"#)
+            .unwrap_err()
+            .contains("job"));
+        assert!(
+            parse_request(r#"{"op":"submit","kind":"program_level","code":99}"#)
+                .unwrap_err()
+                .contains("0..=15")
+        );
+    }
+
+    #[test]
+    fn simple_ops_parse() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(
+            parse_request(r#"{"op":"cancel","job":9}"#),
+            Ok(Request::Cancel { job: 9 })
+        );
+        assert_eq!(parse_request(r#"{"op":"drain"}"#), Ok(Request::Drain));
+        assert_eq!(parse_request(r#"{"op":"stats"}"#), Ok(Request::Stats));
+    }
+
+    #[test]
+    fn responses_are_flat_json_lines() {
+        let rec = JobRecord {
+            id: 3,
+            spec: JobSpec::default(),
+            state: JobState::Done,
+            attempts: 2,
+            summary: "echo: slept 1 ms".into(),
+        };
+        let s = status_response(&rec);
+        assert!(s.contains("\"state\":\"done\""), "{s}");
+        assert!(s.contains("\"terminal\":true"), "{s}");
+        assert!(!s.contains('\n'));
+        let e = error_response("unknown_job", "no job 77");
+        assert!(
+            e.contains("\"ok\":false") && e.contains("unknown_job"),
+            "{e}"
+        );
+        let q = queue_full_response(40);
+        assert!(q.contains("\"retry_after_ms\":40"), "{q}");
+        let sub = submit_response(12, true);
+        assert!(sub.contains("\"deduped\":true"), "{sub}");
+    }
+}

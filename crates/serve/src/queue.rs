@@ -1,0 +1,183 @@
+//! Bounded job queue with explicit backpressure and delayed re-entry.
+//!
+//! The queue holds job *ids* only (the table owns the records), is capped
+//! at construction, and rejects — never blocks, never grows — when full:
+//! the submit path turns the rejection into a `queue_full` response with
+//! a `retry_after_ms` hint. Retried jobs re-enter with a `not_before`
+//! timestamp; workers only pop eligible entries and otherwise wait out
+//! the earliest deadline, so backoff delays don't busy-spin.
+//!
+//! std `Mutex`/`Condvar` (the vendored `parking_lot` has no condvar);
+//! poisoning is absorbed with `into_inner` — a worker panic must not
+//! wedge the queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// One queued entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedJob {
+    /// Job id (table key).
+    pub id: u64,
+    /// Earliest eligible dequeue time, `monotonic_ns` domain (0 = now).
+    pub not_before_ns: u64,
+}
+
+/// Submit rejection: the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// How long the client should wait before retrying, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// The bounded queue.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl BoundedQueue {
+    /// A queue holding at most `cap` jobs (minimum 1).
+    pub fn new(cap: usize) -> BoundedQueue {
+        BoundedQueue {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Jobs currently queued (eligible or waiting out a backoff).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `id`, eligible no earlier than `not_before_ns`. Rejects
+    /// with a retry hint when at capacity or closed; `retry_after_ms`
+    /// scales with how much delayed work is parked in front.
+    pub fn push(&self, id: u64, not_before_ns: u64) -> Result<(), QueueFull> {
+        let mut st = self.lock();
+        if st.closed || st.items.len() >= self.cap {
+            // Hint: nominal drain time of a full queue, floor 25 ms.
+            let hint = 25 + (st.items.len() as u64) * 5;
+            return Err(QueueFull {
+                retry_after_ms: hint,
+            });
+        }
+        st.items.push_back(QueuedJob { id, not_before_ns });
+        drop(st);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Re-enqueues a retried job, bypassing the capacity check: a job
+    /// already admitted must be able to wait out its backoff even if new
+    /// submits are being rejected (retries never deadlock on intake).
+    pub fn push_retry(&self, id: u64, not_before_ns: u64) {
+        let mut st = self.lock();
+        if st.closed {
+            return;
+        }
+        st.items.push_back(QueuedJob { id, not_before_ns });
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    /// Pops the first *eligible* job (`not_before_ns <= now_ns`), waiting
+    /// up to `wait` for one to arrive or ripen. Returns `None` on timeout
+    /// or when the queue is closed and drained.
+    pub fn pop(&self, now_ns: impl Fn() -> u64, wait: Duration) -> Option<u64> {
+        let deadline = std::time::Instant::now() + wait;
+        let mut st = self.lock();
+        loop {
+            let now = now_ns();
+            if let Some(pos) = st.items.iter().position(|j| j.not_before_ns <= now) {
+                let job = st.items.remove(pos)?;
+                return Some(job.id);
+            }
+            if st.closed && st.items.is_empty() {
+                return None;
+            }
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            // Bounded nap: also wakes to re-check ripening backoff entries.
+            let nap = remaining.min(Duration::from_millis(10));
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(st, nap)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Closes the queue: pending pushes fail, pops drain what remains.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_at_capacity_with_a_retry_hint() {
+        let q = BoundedQueue::new(2);
+        q.push(1, 0).expect("first fits");
+        q.push(2, 0).expect("second fits");
+        let full = q.push(3, 0).expect_err("third must be rejected");
+        assert!(full.retry_after_ms >= 25);
+        assert_eq!(q.depth(), 2);
+        // Retries bypass the cap: an admitted job can always come back.
+        q.push_retry(3, 0);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn pop_respects_not_before() {
+        let q = BoundedQueue::new(4);
+        q.push(7, 1_000).expect("fits");
+        q.push(8, 0).expect("fits");
+        // Clock at 0: only job 8 is eligible.
+        assert_eq!(q.pop(|| 0, Duration::from_millis(20)), Some(8));
+        assert_eq!(q.pop(|| 0, Duration::from_millis(20)), None, "7 not ripe");
+        assert_eq!(q.pop(|| 2_000, Duration::from_millis(20)), Some(7));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = BoundedQueue::new(4);
+        q.push(1, 0).expect("fits");
+        q.close();
+        assert!(q.push(2, 0).is_err(), "closed queue rejects");
+        assert_eq!(q.pop(|| 0, Duration::from_millis(5)), Some(1));
+        assert_eq!(q.pop(|| 0, Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn cross_thread_handoff_wakes_a_waiting_popper() {
+        let q = std::sync::Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || q2.pop(|| 0, Duration::from_secs(2)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(42, 0).expect("fits");
+        assert_eq!(popper.join().expect("popper joins"), Some(42));
+    }
+}

@@ -1,0 +1,255 @@
+//! Executes one job attempt: the bridge from a [`JobSpec`] to the
+//! campaign machinery.
+//!
+//! Every campaign kind runs under [`run_supervised`] with the job's
+//! [`CancelToken`] threaded through, so a deadline or a cancel op stops
+//! the Monte Carlo mid-flight (per-run solver ladder and all) instead of
+//! waiting it out. The summaries returned here are what `result` serves
+//! to clients and what the journal records — keep them short and
+//! deterministic.
+
+use crate::jobs::{JobKind, JobSpec};
+use oxterm_mc::engine::MonteCarlo;
+use oxterm_mc::supervisor::{run_supervised, CancelToken, SupervisorOptions, CANCELLED_PREFIX};
+use oxterm_mlc::levels::{LevelAllocation, LevelSpec};
+use oxterm_mlc::program::{program_cell_mc, McVariability, ProgramConditions, ProgramOutcome};
+use oxterm_rram::calib::{simulate_reset_termination, ResetConditions};
+use oxterm_rram::params::{InstanceVariation, OxramParams};
+use oxterm_telemetry::profiler::monotonic_ns;
+
+/// A finished attempt's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Human/journal summary line.
+    pub summary: String,
+}
+
+/// Whether an attempt error means the job was cancelled (the error string
+/// contract of the campaign supervisor, extended to the echo kind).
+pub fn is_cancelled_error(error: &str) -> bool {
+    error.contains(CANCELLED_PREFIX)
+}
+
+/// Runs one attempt of `spec` (0-based `attempt` for failure-injection
+/// bookkeeping in the echo kind).
+///
+/// # Errors
+///
+/// A string rendering of whatever stopped the attempt: campaign quorum
+/// breach, solver error, cancellation ([`CANCELLED_PREFIX`]).
+pub fn execute(spec: &JobSpec, attempt: u64, cancel: &CancelToken) -> Result<JobOutcome, String> {
+    match spec.kind {
+        JobKind::Echo => execute_echo(spec, attempt, cancel),
+        JobKind::ProgramLevel => execute_program_level(spec, cancel),
+        JobKind::McSweep => execute_mc_sweep(spec, cancel),
+        JobKind::Characterize => execute_characterize(spec, cancel),
+    }
+}
+
+/// The soak workhorse: burns `millis` of wall clock in cancellable 1 ms
+/// slices and fails its first `fail_attempts` attempts, exercising the
+/// queue, retry, deadline and breaker paths without solver cost.
+fn execute_echo(spec: &JobSpec, attempt: u64, cancel: &CancelToken) -> Result<JobOutcome, String> {
+    let start = monotonic_ns();
+    let budget = spec.millis.saturating_mul(1_000_000);
+    while monotonic_ns().saturating_sub(start) < budget {
+        if cancel.is_cancelled() {
+            return Err(format!("{CANCELLED_PREFIX} mid-echo"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    if attempt < spec.fail_attempts {
+        return Err(format!(
+            "echo: scripted failure on attempt {} of {}",
+            attempt + 1,
+            spec.fail_attempts
+        ));
+    }
+    Ok(JobOutcome {
+        summary: format!("echo: slept {} ms", spec.millis),
+    })
+}
+
+fn supervisor_options(cancel: &CancelToken) -> SupervisorOptions {
+    SupervisorOptions {
+        cancel: Some(cancel.clone()),
+        ..SupervisorOptions::default()
+    }
+}
+
+/// Folds a campaign outcome into a job result: cancellation dominates,
+/// then quorum, then a stats summary.
+fn summarize_resistances(
+    kind: &str,
+    outcome: &oxterm_mc::supervisor::CampaignOutcome<ProgramOutcome>,
+) -> Result<JobOutcome, String> {
+    if outcome.was_cancelled() {
+        return Err(format!("{CANCELLED_PREFIX}: {}", outcome.summary_line()));
+    }
+    if outcome.quorum_breached() {
+        return Err(format!("quorum breached: {}", outcome.summary_line()));
+    }
+    let mut rs: Vec<f64> = outcome.ok_results().map(|o| o.r_read_ohms).collect();
+    rs.sort_by(f64::total_cmp);
+    let p50 = rs.get(rs.len() / 2).copied().unwrap_or(f64::NAN);
+    Ok(JobOutcome {
+        summary: format!(
+            "{kind}: {} runs ok, median R {:.1} kOhm ({})",
+            rs.len(),
+            p50 / 1e3,
+            outcome.summary_line()
+        ),
+    })
+}
+
+/// Monte Carlo programs of one level code, `runs` times.
+fn execute_program_level(spec: &JobSpec, cancel: &CancelToken) -> Result<JobOutcome, String> {
+    let params = OxramParams::calibrated();
+    let alloc = LevelAllocation::paper_qlc();
+    let cond = ProgramConditions::paper();
+    let var = McVariability::default();
+    let code = spec.code;
+    let runs = usize::try_from(spec.runs.max(1)).map_err(|_| "runs out of range".to_string())?;
+    let outcome = run_supervised(
+        MonteCarlo::new(runs, spec.seed),
+        &supervisor_options(cancel),
+        |_, rng| {
+            program_cell_mc(&params, &alloc, code, &cond, &var, rng).map_err(|e| e.to_string())
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    summarize_resistances(&format!("program_level {code:04b}"), &outcome)
+}
+
+/// The paper's QLC sweep as a flat supervised campaign: 16 levels ×
+/// `runs` programs, run `i` programming level `i / runs` (mirrors the
+/// figure binaries' supervised campaign shape).
+fn execute_mc_sweep(spec: &JobSpec, cancel: &CancelToken) -> Result<JobOutcome, String> {
+    let params = OxramParams::calibrated();
+    let alloc = LevelAllocation::paper_qlc();
+    let cond = ProgramConditions::paper();
+    let var = McVariability::default();
+    let levels: Vec<LevelSpec> = alloc.levels().to_vec();
+    let runs = usize::try_from(spec.runs.max(1)).map_err(|_| "runs out of range".to_string())?;
+    let total = levels.len() * runs;
+    let outcome = run_supervised(
+        MonteCarlo::new(total, spec.seed),
+        &supervisor_options(cancel),
+        |attempt, rng| {
+            let spec_level = &levels[attempt.run_index as usize / runs];
+            program_cell_mc(&params, &alloc, spec_level.code, &cond, &var, rng)
+                .map_err(|e| e.to_string())
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    summarize_resistances(&format!("mc_sweep {}x{runs}", levels.len()), &outcome)
+}
+
+/// Deterministic R–I_ref characterization: `points` biases across the
+/// paper's 6–36 µA window on the nominal instance.
+fn execute_characterize(spec: &JobSpec, cancel: &CancelToken) -> Result<JobOutcome, String> {
+    let params = OxramParams::calibrated();
+    let inst = InstanceVariation::nominal();
+    let points = spec.points.clamp(2, 512);
+    let (lo, hi) = (6e-6, 36e-6);
+    let mut r_lo = f64::NAN;
+    let mut r_hi = f64::NAN;
+    for k in 0..points {
+        if cancel.is_cancelled() {
+            return Err(format!("{CANCELLED_PREFIX} at point {k}/{points}"));
+        }
+        let i_ref = lo + (hi - lo) * k as f64 / (points - 1) as f64;
+        let out =
+            simulate_reset_termination(&params, &inst, &ResetConditions::paper_defaults(i_ref))
+                .map_err(|e| format!("characterize point {k} (I_ref {i_ref:.2e} A): {e}"))?;
+        if k == 0 {
+            r_lo = out.r_read_ohms;
+        }
+        r_hi = out.r_read_ohms;
+    }
+    Ok(JobOutcome {
+        summary: format!(
+            "characterize: {points} points, R {:.1}..{:.1} kOhm over 6-36 uA",
+            r_lo / 1e3,
+            r_hi / 1e3
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_fails_scripted_attempts_then_succeeds() {
+        let spec = JobSpec {
+            kind: JobKind::Echo,
+            millis: 0,
+            fail_attempts: 2,
+            ..JobSpec::default()
+        };
+        let cancel = CancelToken::new();
+        assert!(execute(&spec, 0, &cancel).is_err());
+        assert!(execute(&spec, 1, &cancel).is_err());
+        let out = execute(&spec, 2, &cancel).expect("third attempt succeeds");
+        assert!(out.summary.contains("echo"), "{}", out.summary);
+    }
+
+    #[test]
+    fn echo_observes_cancellation_mid_sleep() {
+        let spec = JobSpec {
+            kind: JobKind::Echo,
+            millis: 10_000,
+            ..JobSpec::default()
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let start = monotonic_ns();
+        let err = execute(&spec, 0, &cancel).expect_err("cancelled");
+        assert!(is_cancelled_error(&err), "{err}");
+        assert!(
+            monotonic_ns() - start < 2_000_000_000,
+            "must not sleep the full 10 s"
+        );
+    }
+
+    #[test]
+    fn program_level_job_summarizes_median_resistance() {
+        let spec = JobSpec {
+            kind: JobKind::ProgramLevel,
+            code: 5,
+            runs: 3,
+            seed: 0xBEEF,
+            ..JobSpec::default()
+        };
+        let out = execute(&spec, 0, &CancelToken::new()).expect("programmable window");
+        assert!(out.summary.contains("median R"), "{}", out.summary);
+        let again = execute(&spec, 0, &CancelToken::new()).expect("deterministic");
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn characterize_job_sweeps_the_window() {
+        let spec = JobSpec {
+            kind: JobKind::Characterize,
+            points: 4,
+            ..JobSpec::default()
+        };
+        let out = execute(&spec, 0, &CancelToken::new()).expect("window is programmable");
+        assert!(out.summary.contains("4 points"), "{}", out.summary);
+    }
+
+    #[test]
+    fn cancelled_campaign_job_reports_cancellation() {
+        let spec = JobSpec {
+            kind: JobKind::McSweep,
+            runs: 2,
+            seed: 1,
+            ..JobSpec::default()
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = execute(&spec, 0, &cancel).expect_err("pre-cancelled");
+        assert!(is_cancelled_error(&err), "{err}");
+    }
+}

@@ -1,0 +1,1049 @@
+//! The job service itself: listener, worker pool, deadline watchdog,
+//! drain choreography.
+//!
+//! One accept thread (the [`oxterm_telemetry::MetricsServer`] pattern:
+//! blocking listener, one short-lived thread per connection, per-connection
+//! read timeout and size cap), `workers` job threads pulling from the
+//! bounded queue, and a watchdog thread enforcing per-job deadlines by
+//! firing the job's [`CancelToken`]. All state shared through one `Arc`.
+
+use crate::backoff::BackoffPolicy;
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::jobs::{JobRecord, JobSpec, JobState, JobTable};
+use crate::journal::{JobEvent, Journal};
+use crate::protocol::{
+    error_response, parse_request, queue_full_response, status_response, submit_response, Request,
+};
+use crate::queue::BoundedQueue;
+use crate::runner::{execute, is_cancelled_error};
+use oxterm_mc::progress::{clear_service_status, set_service_status, ServiceStatus};
+use oxterm_mc::supervisor::CancelToken;
+use oxterm_telemetry::metrics::{to_prometheus, MAX_REQUEST_BYTES, READ_TIMEOUT_MS};
+use oxterm_telemetry::profiler::monotonic_ns;
+use oxterm_telemetry::{JsonWriter, Telemetry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the injected `worker_stall` fault freezes a worker before it
+/// runs the job it popped — long enough to trip short deadlines, short
+/// enough for fast tests.
+pub const WORKER_STALL_MS: u64 = 120;
+
+/// Service configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral test port).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure threshold).
+    pub queue_cap: usize,
+    /// Consecutive hard failures that trip a worker's breaker.
+    pub breaker_k: u32,
+    /// Open-breaker cooldown, milliseconds.
+    pub breaker_cooldown_ms: u64,
+    /// Job-level retry backoff shape.
+    pub backoff: BackoffPolicy,
+    /// Job journal path (`None` = volatile service).
+    pub journal_path: Option<String>,
+    /// Drain grace before in-flight jobs are cancelled, milliseconds.
+    pub drain_grace_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            breaker_k: 3,
+            breaker_cooldown_ms: 250,
+            backoff: BackoffPolicy::default(),
+            journal_path: None,
+            drain_grace_ms: 30_000,
+        }
+    }
+}
+
+/// A job currently executing on a worker.
+#[derive(Debug)]
+struct RunningJob {
+    cancel: CancelToken,
+    /// Absolute deadline (`monotonic_ns` domain), `u64::MAX` if none.
+    deadline_ns: u64,
+    /// Set by the watchdog when the deadline fired (so the worker
+    /// classifies the resulting cancellation as a timeout).
+    timed_out: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServerConfig,
+    tel: Telemetry,
+    table: Mutex<JobTable>,
+    journal: Mutex<Option<Journal>>,
+    queue: BoundedQueue,
+    running: Mutex<HashMap<u64, RunningJob>>,
+    breakers: Mutex<Vec<CircuitBreaker>>,
+    next_job_id: AtomicU64,
+    inflight: AtomicUsize,
+    req_seq: AtomicU64,
+    draining: AtomicBool,
+    drain_requested: AtomicBool,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn journal_append(&self, event: &JobEvent) {
+        let mut guard = self.journal.lock();
+        if let Some(journal) = guard.as_mut() {
+            if let Err(e) = journal.append(event) {
+                // Availability over durability: a failing disk degrades
+                // crash-recovery fidelity, it does not take the service
+                // down. The failure is loudly counted.
+                self.tel.incr("serve.journal.append_errors");
+                eprintln!("oxterm-serve: journal append failed: {e}");
+            }
+        }
+    }
+
+    fn breakers_open(&self) -> usize {
+        let now = monotonic_ns();
+        let mut breakers = self.breakers.lock();
+        breakers
+            .iter_mut()
+            .map(|b| b.state(now))
+            .filter(|s| *s == BreakerState::Open)
+            .count()
+    }
+
+    fn breaker_trips(&self) -> u64 {
+        self.breakers.lock().iter().map(CircuitBreaker::trips).sum()
+    }
+
+    /// Pushes the current queue/worker picture to the campaign progress
+    /// line (satellite view inside `mc::progress`).
+    fn publish_status(&self) {
+        set_service_status(ServiceStatus {
+            queue_depth: self.queue.depth(),
+            in_flight: self.inflight.load(Ordering::Relaxed),
+            workers: self.cfg.workers,
+            breakers_open: self.breakers_open(),
+        });
+    }
+
+    fn accepting(&self) -> bool {
+        !self.draining.load(Ordering::Relaxed) && !self.stop.load(Ordering::Relaxed)
+    }
+
+    // --- protocol op handlers -------------------------------------------
+
+    fn op_submit(&self, spec: JobSpec) -> String {
+        if !self.accepting() {
+            return error_response("draining", "service is draining; not accepting jobs");
+        }
+        // Chaos backpressure: pretend the queue is full with the same
+        // response shape clients must already handle.
+        let seq = self.req_seq.fetch_add(1, Ordering::Relaxed);
+        oxterm_chaos::begin_run(seq, 0);
+        let fake_full = oxterm_chaos::should_inject(oxterm_chaos::FaultKind::QueueFull);
+        oxterm_chaos::end_run();
+        if fake_full {
+            self.tel.incr("chaos.injected.queue_full");
+            self.tel.incr("serve.jobs.rejected_queue_full");
+            return queue_full_response(self.cfg.backoff.base_ms.max(25));
+        }
+
+        let mut table = self.table.lock();
+        if let Some(existing) = table.by_token(&spec.token) {
+            self.tel.incr("serve.jobs.deduped");
+            return submit_response(existing, true);
+        }
+        let id = self.next_job_id.fetch_add(1, Ordering::Relaxed);
+        table.insert(JobRecord {
+            id,
+            spec: spec.clone(),
+            state: JobState::Queued,
+            attempts: 0,
+            summary: String::new(),
+        });
+        if let Err(full) = self.queue.push(id, 0) {
+            table.remove(id);
+            self.tel.incr("serve.jobs.rejected_queue_full");
+            return queue_full_response(full.retry_after_ms);
+        }
+        drop(table);
+        self.journal_append(&JobEvent::Submit { job: id, spec });
+        self.tel.incr("serve.jobs.submitted");
+        self.publish_status();
+        submit_response(id, false)
+    }
+
+    fn op_status(&self, job: u64) -> String {
+        match self.table.lock().get(job) {
+            Some(rec) => status_response(rec),
+            None => error_response("unknown_job", &format!("no job {job}")),
+        }
+    }
+
+    fn op_result(&self, job: u64) -> String {
+        match self.table.lock().get(job) {
+            Some(rec) if rec.state.is_terminal() => status_response(rec),
+            Some(rec) => error_response(
+                "not_finished",
+                &format!("job {job} is {}", rec.state.name()),
+            ),
+            None => error_response("unknown_job", &format!("no job {job}")),
+        }
+    }
+
+    fn op_cancel(&self, job: u64) -> String {
+        let mut table = self.table.lock();
+        let Some(rec) = table.get_mut(job) else {
+            return error_response("unknown_job", &format!("no job {job}"));
+        };
+        match rec.state {
+            JobState::Queued | JobState::Backoff => {
+                // The queue entry stays; workers skip terminal jobs.
+                rec.state = JobState::Cancelled;
+                let response = status_response(rec);
+                drop(table);
+                self.journal_append(&JobEvent::Cancelled { job });
+                self.tel.incr("serve.jobs.cancelled");
+                response
+            }
+            JobState::Running => {
+                let response = status_response(rec);
+                drop(table);
+                if let Some(run) = self.running.lock().get(&job) {
+                    run.cancel.cancel();
+                }
+                response
+            }
+            _ => status_response(rec),
+        }
+    }
+
+    fn op_jobs(&self) -> String {
+        let table = self.table.lock();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.bool("ok", true);
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Backoff,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::TimedOut,
+        ] {
+            w.u64(state.name(), table.count(state) as u64);
+        }
+        w.u64("total", table.len() as u64);
+        w.end_object();
+        w.finish()
+    }
+
+    fn op_stats(&self) -> String {
+        let digest = self.table.lock().digest();
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.bool("ok", true);
+        w.u64("queue_depth", self.queue.depth() as u64);
+        w.u64("queue_cap", self.queue.capacity() as u64);
+        w.u64("inflight", self.inflight.load(Ordering::Relaxed) as u64);
+        w.u64("workers", self.cfg.workers as u64);
+        w.u64("breakers_open", self.breakers_open() as u64);
+        w.u64("breaker_trips", self.breaker_trips());
+        w.bool("draining", self.draining.load(Ordering::Relaxed));
+        w.string("digest", &format!("{:#018x}", digest));
+        w.end_object();
+        w.finish()
+    }
+
+    fn op_drain(&self) -> String {
+        self.drain_requested.store(true, Ordering::Release);
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.bool("ok", true);
+        w.bool("draining", true);
+        w.end_object();
+        w.finish()
+    }
+
+    /// Extra live gauges appended to the counter/histogram render.
+    fn render_metrics(&self) -> String {
+        let mut out = to_prometheus(&self.tel.report());
+        let gauges = [
+            ("oxterm_serve_queue_depth", self.queue.depth() as u64),
+            (
+                "oxterm_serve_inflight",
+                self.inflight.load(Ordering::Relaxed) as u64,
+            ),
+            ("oxterm_serve_breakers_open", self.breakers_open() as u64),
+            (
+                "oxterm_serve_draining",
+                u64::from(self.draining.load(Ordering::Relaxed)),
+            ),
+            ("oxterm_serve_jobs_tabled", self.table.lock().len() as u64),
+        ];
+        for (name, value) in gauges {
+            let _ = writeln!(out, "# HELP {name} oxterm-serve live gauge");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+}
+
+/// The running service; dropping it hard-stops everything.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, replays the journal (if configured and present), and starts
+    /// the accept loop, worker pool and deadline watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Bind/journal I/O errors.
+    pub fn start(cfg: ServerConfig, tel: Telemetry) -> std::io::Result<Server> {
+        let (journal, mut preload) = match &cfg.journal_path {
+            Some(path) => {
+                let (journal, replay) = Journal::open_append(path)?;
+                (Some(journal), Some(replay))
+            }
+            None => (None, None),
+        };
+        let queue = BoundedQueue::new(cfg.queue_cap);
+        let mut table = JobTable::new();
+        let mut next_job_id = 1;
+        let mut requeue: Vec<u64> = Vec::new();
+        if let Some(replay) = preload.take() {
+            next_job_id = replay.next_job_id;
+            table = replay.table;
+            if replay.skipped_lines > 0 || replay.torn_tail {
+                tel.add("serve.journal.skipped_lines", replay.skipped_lines);
+                eprintln!(
+                    "oxterm-serve: journal replay skipped {} torn line(s)",
+                    replay.skipped_lines + u64::from(replay.torn_tail)
+                );
+            }
+            // Interrupted jobs resume: anything non-terminal goes back to
+            // the queue (running jobs died with the old process).
+            for rec in table.iter() {
+                if !rec.state.is_terminal() {
+                    requeue.push(rec.id);
+                }
+            }
+            for &id in &requeue {
+                if let Some(rec) = table.get_mut(id) {
+                    rec.state = JobState::Queued;
+                }
+            }
+            tel.add("serve.jobs.replayed", table.len() as u64);
+        }
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            breakers: Mutex::new(vec![
+                CircuitBreaker::new(
+                    cfg.breaker_k,
+                    cfg.breaker_cooldown_ms
+                );
+                workers
+            ]),
+            cfg: ServerConfig { workers, ..cfg },
+            tel,
+            table: Mutex::new(table),
+            journal: Mutex::new(journal),
+            queue,
+            running: Mutex::new(HashMap::new()),
+            next_job_id: AtomicU64::new(next_job_id),
+            inflight: AtomicUsize::new(0),
+            req_seq: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        for id in requeue {
+            shared.queue.push_retry(id, 0);
+        }
+
+        let listener = TcpListener::bind(&shared.cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("oxterm-serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shared.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        let conn_shared = Arc::clone(&accept_shared);
+                        let spawned = std::thread::Builder::new()
+                            .name("oxterm-serve-conn".to_string())
+                            .spawn(move || handle_connection(stream, &conn_shared));
+                        if spawned.is_err() {
+                            continue;
+                        }
+                    }
+                }
+            })?;
+
+        let mut worker_handles = Vec::new();
+        for w in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("oxterm-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&worker_shared, w))?,
+            );
+        }
+
+        let watchdog_shared = Arc::clone(&shared);
+        let watchdog = std::thread::Builder::new()
+            .name("oxterm-serve-watchdog".to_string())
+            .spawn(move || watchdog_loop(&watchdog_shared))?;
+
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            watchdog: Some(watchdog),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a drain was requested (by the `drain` op or SIGTERM).
+    pub fn drain_requested(&self) -> bool {
+        self.shared.drain_requested.load(Ordering::Acquire)
+    }
+
+    /// Requests a graceful drain (what the SIGTERM handler calls).
+    pub fn request_drain(&self) {
+        self.shared.drain_requested.store(true, Ordering::Release);
+    }
+
+    /// Graceful drain: stop intake, let queued + in-flight jobs finish
+    /// (cancelling stragglers after the configured grace), seal the
+    /// journal with a `drain` event and join every thread. Returns the
+    /// number of jobs finished during the drain.
+    pub fn drain_and_join(mut self) -> u64 {
+        let shared = Arc::clone(&self.shared);
+        shared.draining.store(true, Ordering::Release);
+        shared.tel.incr("serve.drains");
+        let before = {
+            let table = shared.table.lock();
+            (table.count(JobState::Done)
+                + table.count(JobState::Failed)
+                + table.count(JobState::Cancelled)
+                + table.count(JobState::TimedOut)) as u64
+        };
+        let grace_ns = shared.cfg.drain_grace_ms.saturating_mul(1_000_000);
+        let start = monotonic_ns();
+        loop {
+            let idle = shared.queue.depth() == 0 && shared.inflight.load(Ordering::Relaxed) == 0;
+            if idle {
+                break;
+            }
+            if monotonic_ns().saturating_sub(start) > grace_ns {
+                // Grace spent: cancel whatever is still running and let
+                // the workers classify it. Queued jobs keep draining —
+                // the queue close below hands the rest back as Queued in
+                // the journal for the next start.
+                for run in shared.running.lock().values() {
+                    run.cancel.cancel();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        shared.journal_append(&JobEvent::Drain);
+        self.stop_threads();
+        clear_service_status();
+        let after = {
+            let table = shared.table.lock();
+            (table.count(JobState::Done)
+                + table.count(JobState::Failed)
+                + table.count(JobState::Cancelled)
+                + table.count(JobState::TimedOut)) as u64
+        };
+        after - before
+    }
+
+    /// Hard stop for tests: abandons queued jobs (the journal keeps
+    /// them), cancels running ones, joins threads.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for run in self.shared.running.lock().values() {
+            run.cancel.cancel();
+        }
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.stop_threads();
+        clear_service_status();
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.queue.close();
+        if let Some(handle) = self.accept.take() {
+            // Wake the blocking accept with one last connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.watchdog.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for run in self.shared.running.lock().values() {
+            run.cancel.cancel();
+        }
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.stop_threads();
+    }
+}
+
+/// Deadline enforcement: fires each overdue running job's cancel token
+/// exactly once and marks it timed out.
+fn watchdog_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        let now = monotonic_ns();
+        {
+            let mut running = shared.running.lock();
+            for run in running.values_mut() {
+                if !run.timed_out && now > run.deadline_ns {
+                    run.timed_out = true;
+                    run.cancel.cancel();
+                    shared.tel.incr("serve.watchdog.deadline_fires");
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // Breaker gate: an open breaker naps instead of pulling.
+        let can_take = shared.breakers.lock()[worker].can_take(monotonic_ns());
+        if !can_take {
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        let Some(id) = shared.queue.pop(monotonic_ns, Duration::from_millis(50)) else {
+            // Timed out or closed+drained; give the probe slot back so a
+            // half-open breaker doesn't leak it on an empty queue.
+            shared.breakers.lock()[worker].note_success();
+            if shared.draining.load(Ordering::Relaxed) && shared.queue.depth() == 0 {
+                return;
+            }
+            continue;
+        };
+        run_one(shared, worker, id);
+    }
+}
+
+fn run_one(shared: &Shared, worker: usize, id: u64) {
+    // Claim the job; skip entries cancelled while queued.
+    let (spec, attempt) = {
+        let mut table = shared.table.lock();
+        let Some(rec) = table.get_mut(id) else {
+            return;
+        };
+        if rec.state.is_terminal() {
+            return;
+        }
+        rec.state = JobState::Running;
+        rec.attempts += 1;
+        (rec.spec.clone(), rec.attempts)
+    };
+
+    // Chaos: a stalled worker sits on the claimed job long enough to trip
+    // tight deadlines (the watchdog keeps ticking).
+    oxterm_chaos::begin_run(id, attempt - 1);
+    let stall = oxterm_chaos::should_inject(oxterm_chaos::FaultKind::WorkerStall);
+    oxterm_chaos::end_run();
+
+    let cancel = CancelToken::new();
+    let deadline_ns = if spec.deadline_ms == 0 {
+        u64::MAX
+    } else {
+        monotonic_ns().saturating_add(spec.deadline_ms.saturating_mul(1_000_000))
+    };
+    shared.running.lock().insert(
+        id,
+        RunningJob {
+            cancel: cancel.clone(),
+            deadline_ns,
+            timed_out: false,
+        },
+    );
+    shared.inflight.fetch_add(1, Ordering::Relaxed);
+    shared.journal_append(&JobEvent::Start { job: id, attempt });
+    shared.publish_status();
+
+    if stall {
+        shared.tel.incr("chaos.injected.worker_stall");
+        std::thread::sleep(Duration::from_millis(WORKER_STALL_MS));
+    }
+
+    let result = execute(&spec, attempt - 1, &cancel);
+
+    let timed_out = shared
+        .running
+        .lock()
+        .remove(&id)
+        .map(|r| r.timed_out)
+        .unwrap_or(false);
+    shared.inflight.fetch_sub(1, Ordering::Relaxed);
+
+    match result {
+        Ok(outcome) => {
+            let mut table = shared.table.lock();
+            if let Some(rec) = table.get_mut(id) {
+                rec.state = JobState::Done;
+                rec.summary = outcome.summary.clone();
+            }
+            drop(table);
+            shared.journal_append(&JobEvent::Done {
+                job: id,
+                summary: outcome.summary,
+            });
+            shared.tel.incr("serve.jobs.done");
+            shared.breakers.lock()[worker].note_success();
+        }
+        Err(error) if timed_out => {
+            let error = format!("deadline {} ms exceeded: {error}", spec.deadline_ms);
+            let mut table = shared.table.lock();
+            if let Some(rec) = table.get_mut(id) {
+                rec.state = JobState::TimedOut;
+                rec.summary = error.clone();
+            }
+            drop(table);
+            shared.journal_append(&JobEvent::Timeout { job: id, error });
+            shared.tel.incr("serve.jobs.timeout");
+            shared.breakers.lock()[worker].note_hard_failure(monotonic_ns());
+        }
+        Err(error) if is_cancelled_error(&error) => {
+            let mut table = shared.table.lock();
+            if let Some(rec) = table.get_mut(id) {
+                rec.state = JobState::Cancelled;
+                rec.summary = error;
+            }
+            drop(table);
+            shared.journal_append(&JobEvent::Cancelled { job: id });
+            shared.tel.incr("serve.jobs.cancelled");
+            // Operator cancellation says nothing about worker health.
+            shared.breakers.lock()[worker].note_success();
+        }
+        Err(error) => {
+            let hard = error.contains("panic");
+            if hard {
+                shared.breakers.lock()[worker].note_hard_failure(monotonic_ns());
+            } else {
+                shared.breakers.lock()[worker].note_success();
+            }
+            // attempt counts starts; retries allowed = max_retries.
+            if attempt <= spec.max_retries && !shared.stop.load(Ordering::Relaxed) {
+                let delay_ms = shared.cfg.backoff.delay_ms(spec.seed ^ id, attempt);
+                let not_before = monotonic_ns().saturating_add(delay_ms.saturating_mul(1_000_000));
+                let mut table = shared.table.lock();
+                if let Some(rec) = table.get_mut(id) {
+                    rec.state = JobState::Backoff;
+                    rec.summary = error.clone();
+                }
+                drop(table);
+                shared.journal_append(&JobEvent::Retry {
+                    job: id,
+                    attempt,
+                    delay_ms,
+                    error,
+                });
+                shared.tel.incr("serve.jobs.retries");
+                shared.queue.push_retry(id, not_before);
+            } else {
+                let mut table = shared.table.lock();
+                if let Some(rec) = table.get_mut(id) {
+                    rec.state = JobState::Failed;
+                    rec.summary = error.clone();
+                }
+                drop(table);
+                shared.journal_append(&JobEvent::Failed { job: id, error });
+                shared.tel.incr("serve.jobs.failed");
+            }
+        }
+    }
+    shared.publish_status();
+}
+
+/// One connection: sniff HTTP probes, otherwise speak the line protocol
+/// until EOF/timeout. Mirrors the hardened `MetricsServer` limits.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(READ_TIMEOUT_MS)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bounded line read: a client streaming an endless line is cut
+        // off at the request-size cap with a bad_request.
+        let mut overflow = false;
+        loop {
+            let mut byte = [0u8; 1];
+            use std::io::Read as _;
+            match reader.read(&mut byte) {
+                Ok(0) => {
+                    if line.is_empty() {
+                        return;
+                    }
+                    break;
+                }
+                Ok(_) => {
+                    if byte[0] == b'\n' {
+                        break;
+                    }
+                    if line.len() >= MAX_REQUEST_BYTES {
+                        overflow = true;
+                        break;
+                    }
+                    line.push(byte[0] as char);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    shared.tel.incr("serve.conn.timeouts");
+                    let _ = writeln!(
+                        stream,
+                        "{}",
+                        error_response("bad_request", "request read timed out")
+                    );
+                    return;
+                }
+                Err(_) => return,
+            }
+        }
+        if overflow {
+            shared.tel.incr("serve.conn.bad_requests");
+            let _ = writeln!(
+                stream,
+                "{}",
+                error_response("bad_request", "request too large")
+            );
+            return;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with("GET ") {
+            answer_http(&mut stream, shared, trimmed);
+            return;
+        }
+        shared.tel.incr("serve.conn.requests");
+        let response = match parse_request(trimmed) {
+            Ok(req) => dispatch(shared, req),
+            Err(e) => {
+                shared.tel.incr("serve.conn.bad_requests");
+                error_response("bad_request", &e)
+            }
+        };
+        // Chaos: the connection dies before the reply leaves — clients
+        // must retry idempotently.
+        let seq = shared.req_seq.fetch_add(1, Ordering::Relaxed);
+        oxterm_chaos::begin_run(seq, 0);
+        let drop_conn = oxterm_chaos::should_inject(oxterm_chaos::FaultKind::ConnDrop);
+        oxterm_chaos::end_run();
+        if drop_conn {
+            shared.tel.incr("chaos.injected.conn_drop");
+            shared.tel.incr("serve.conn.dropped");
+            return;
+        }
+        if writeln!(stream, "{response}").is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(shared: &Shared, req: Request) -> String {
+    match req {
+        Request::Ping => {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.bool("ok", true);
+            w.bool("pong", true);
+            w.end_object();
+            w.finish()
+        }
+        Request::Submit(spec) => shared.op_submit(*spec),
+        Request::Status { job } => shared.op_status(job),
+        Request::Result { job } => shared.op_result(job),
+        Request::Cancel { job } => shared.op_cancel(job),
+        Request::Jobs => shared.op_jobs(),
+        Request::Stats => shared.op_stats(),
+        Request::Drain => shared.op_drain(),
+    }
+}
+
+/// `/healthz`, `/readyz`, `/metrics` on the job port.
+fn answer_http(stream: &mut TcpStream, shared: &Shared, request_line: &str) {
+    let (status, body) = if request_line.starts_with("GET /healthz") {
+        ("200 OK", "ok\n".to_string())
+    } else if request_line.starts_with("GET /readyz") {
+        if shared.accepting() {
+            ("200 OK", "ready\n".to_string())
+        } else {
+            ("503 Service Unavailable", "draining\n".to_string())
+        }
+    } else if request_line.starts_with("GET /metrics") {
+        ("200 OK", shared.render_metrics())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead as _, Read as _};
+
+    fn send_line(addr: SocketAddr, line: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{line}").expect("send");
+        let mut reader = BufReader::new(stream);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        reply.trim().to_string()
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    fn wait_terminal(addr: SocketAddr, job: u64) -> String {
+        for _ in 0..500 {
+            let reply = send_line(addr, &format!("{{\"op\":\"status\",\"job\":{job}}}"));
+            if reply.contains("\"terminal\":true") {
+                return reply;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("job {job} never finished");
+    }
+
+    fn test_server(cfg: ServerConfig) -> Server {
+        Server::start(cfg, Telemetry::enabled()).expect("bind")
+    }
+
+    #[test]
+    fn echo_job_round_trip() {
+        let server = test_server(ServerConfig::default());
+        let addr = server.local_addr();
+        assert!(send_line(addr, r#"{"op":"ping"}"#).contains("pong"));
+        let reply = send_line(
+            addr,
+            r#"{"op":"submit","kind":"echo","millis":1,"token":"rt"}"#,
+        );
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let status = wait_terminal(addr, 1);
+        assert!(status.contains("\"state\":\"done\""), "{status}");
+        let result = send_line(addr, r#"{"op":"result","job":1}"#);
+        assert!(result.contains("slept 1 ms"), "{result}");
+        // Idempotent re-submit dedupes on the token.
+        let again = send_line(
+            addr,
+            r#"{"op":"submit","kind":"echo","millis":1,"token":"rt"}"#,
+        );
+        assert!(again.contains("\"deduped\":true"), "{again}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_retry_hint() {
+        let server = test_server(ServerConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        // One slow job occupies the worker; then fill the 1-slot queue.
+        let mut accepted = 0;
+        let mut rejected = None;
+        for i in 0..8 {
+            let reply = send_line(
+                addr,
+                &format!(r#"{{"op":"submit","kind":"echo","millis":300,"token":"q{i}"}}"#),
+            );
+            if reply.contains("\"ok\":true") {
+                accepted += 1;
+            } else {
+                assert!(reply.contains("queue_full"), "{reply}");
+                assert!(reply.contains("retry_after_ms"), "{reply}");
+                rejected = Some(reply);
+                break;
+            }
+        }
+        assert!(accepted >= 1);
+        assert!(rejected.is_some(), "queue never filled");
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_times_a_job_out() {
+        let server = test_server(ServerConfig::default());
+        let addr = server.local_addr();
+        let reply = send_line(
+            addr,
+            r#"{"op":"submit","kind":"echo","millis":10000,"deadline_ms":30,"max_retries":0,"token":"dl"}"#,
+        );
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let status = wait_terminal(addr, 1);
+        assert!(status.contains("\"state\":\"timeout\""), "{status}");
+        assert!(status.contains("deadline"), "{status}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn scripted_failures_retry_with_backoff_then_succeed() {
+        let server = test_server(ServerConfig {
+            backoff: BackoffPolicy {
+                base_ms: 1,
+                cap_ms: 5,
+            },
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        let reply = send_line(
+            addr,
+            r#"{"op":"submit","kind":"echo","millis":1,"fail_attempts":2,"max_retries":3,"token":"rb"}"#,
+        );
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let status = wait_terminal(addr, 1);
+        assert!(status.contains("\"state\":\"done\""), "{status}");
+        assert!(status.contains("\"attempts\":3"), "{status}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_takes_a_queued_job_out() {
+        let server = test_server(ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        // Occupy the single worker, then cancel a queued job.
+        send_line(
+            addr,
+            r#"{"op":"submit","kind":"echo","millis":400,"token":"c1"}"#,
+        );
+        let second = send_line(
+            addr,
+            r#"{"op":"submit","kind":"echo","millis":400,"token":"c2"}"#,
+        );
+        assert!(second.contains("\"job\":2"), "{second}");
+        let cancel = send_line(addr, r#"{"op":"cancel","job":2}"#);
+        assert!(cancel.contains("cancelled"), "{cancel}");
+        let status = wait_terminal(addr, 2);
+        assert!(status.contains("\"state\":\"cancelled\""), "{status}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_probes_and_metrics_respond() {
+        let server = test_server(ServerConfig::default());
+        let addr = server.local_addr();
+        assert!(http_get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+        assert!(http_get(addr, "/readyz").starts_with("HTTP/1.1 200"));
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.contains("oxterm_serve_queue_depth"), "{metrics}");
+        let body = metrics.split("\r\n\r\n").nth(1).expect("body");
+        oxterm_telemetry::metrics::validate_prometheus(body).expect("valid exposition");
+        assert!(http_get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_stable_codes() {
+        let server = test_server(ServerConfig::default());
+        let addr = server.local_addr();
+        assert!(send_line(addr, "garbage").contains("bad_request"));
+        assert!(send_line(addr, r#"{"op":"status","job":99}"#).contains("unknown_job"));
+        let unfinished = send_line(addr, r#"{"op":"result","job":99}"#);
+        assert!(unfinished.contains("unknown_job"), "{unfinished}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_finishes_queued_jobs_and_refuses_new_ones() {
+        let cfg = ServerConfig {
+            drain_grace_ms: 5_000,
+            ..ServerConfig::default()
+        };
+        let server = test_server(cfg);
+        let addr = server.local_addr();
+        for i in 0..4 {
+            let reply = send_line(
+                addr,
+                &format!(r#"{{"op":"submit","kind":"echo","millis":20,"token":"d{i}"}}"#),
+            );
+            assert!(reply.contains("\"ok\":true"), "{reply}");
+        }
+        let drain = send_line(addr, r#"{"op":"drain"}"#);
+        assert!(drain.contains("\"draining\":true"), "{drain}");
+        assert!(server.drain_requested());
+        let finished = server.drain_and_join();
+        assert_eq!(finished, 4, "all queued jobs finished during the drain");
+    }
+}

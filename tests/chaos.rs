@@ -15,8 +15,8 @@
 
 use oxterm_chaos::{FaultKind, FaultPlan};
 use oxterm_mc::checkpoint::Checkpoint;
-use oxterm_mc::supervisor::{Attempt, Relax, RelaxLimits, RetryPolicy};
-use oxterm_mc::{run_supervised, MonteCarlo, SupervisorOptions};
+use oxterm_mc::supervisor::{Attempt, Relax, RelaxLimits, RetryPolicy, CANCELLED_PREFIX};
+use oxterm_mc::{run_supervised, CancelToken, MonteCarlo, SupervisorOptions};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use std::sync::{Mutex, MutexGuard};
@@ -305,6 +305,191 @@ fn disarmed_hooks_never_fire() {
     }
     oxterm_chaos::end_run();
     assert_eq!(oxterm_chaos::injected_count(), before);
+}
+
+/// Satellite of the job-service work: the checkpoint's crash-tolerance
+/// contract, byte by byte. A SIGKILL can land mid-append, so for EVERY
+/// truncation point inside the final record the tolerant loader must
+/// recover exactly the complete records before it — never a misparsed
+/// partial, never an error — while the strict loader refuses mid-JSON
+/// cuts. A resume from a representative torn file then replays
+/// bit-identically.
+#[test]
+fn torn_checkpoint_tail_tolerates_truncation_at_every_byte() {
+    // Hold the chaos lock (disarmed): the checkpoint header hashes the
+    // armed plan, so a concurrently arming test would split the header.
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    oxterm_chaos::disarm();
+
+    let dir = std::env::temp_dir().join(format!("oxterm_torn_tail_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let full_path = dir.join("cp.jsonl").to_string_lossy().to_string();
+    let torn_path = dir.join("torn.jsonl").to_string_lossy().to_string();
+
+    let campaign = MonteCarlo::new(12, 0xABCD).with_threads(1);
+    let body = |att: &Attempt, rng: &mut StdRng| -> Result<f64, String> {
+        use rand::Rng;
+        Ok(rng.random::<f64>().mul_add(3.0, att.run_index as f64))
+    };
+    let uninterrupted = run_supervised(
+        campaign,
+        &SupervisorOptions {
+            checkpoint_path: Some(full_path.clone()),
+            ..SupervisorOptions::default()
+        },
+        body,
+    )
+    .expect("checkpointed campaign runs");
+
+    let full = std::fs::read(&full_path).expect("checkpoint bytes");
+    let full_checkpoint = Checkpoint::load(&full_path).expect("full checkpoint parses");
+    let n = full_checkpoint.records.len();
+    assert_eq!(n, 12);
+    assert_eq!(full.last(), Some(&b'\n'), "records are newline-terminated");
+    let last_start = full[..full.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .expect("more than one line")
+        + 1;
+
+    for cut in last_start..full.len() {
+        std::fs::write(&torn_path, &full[..cut]).expect("write torn file");
+        let loaded = Checkpoint::load_tolerant(&torn_path)
+            .unwrap_or_else(|e| panic!("tolerant load must absorb a cut at byte {cut}: {e}"));
+        assert_eq!(
+            loaded.checkpoint.records.len(),
+            n - 1,
+            "cut at byte {cut}: exactly the complete records survive"
+        );
+        assert_eq!(
+            loaded.dropped_tail,
+            cut > last_start,
+            "cut at byte {cut}: dropped_tail flags a torn (unterminated) tail"
+        );
+        // The strict loader is a flat field extractor, so some cuts (all
+        // fields intact, trailing syntax gone) still parse. What it must
+        // NEVER do is misparse: an accepted cut yields either exactly
+        // the complete prefix or a record bit-identical to the uncut one.
+        match Checkpoint::load(&torn_path) {
+            Err(_) => {}
+            Ok(strict) => {
+                let d = strict.digest();
+                assert!(
+                    d == full_checkpoint.digest() || d == loaded.checkpoint.digest(),
+                    "cut at byte {cut}: strict load accepted a corrupted record"
+                );
+            }
+        }
+    }
+
+    // Resume from a mid-record cut: the completed 11 runs replay from the
+    // file, the torn 12th re-executes, and the aggregate is bit-identical.
+    std::fs::write(&torn_path, &full[..(last_start + full.len()) / 2]).expect("write torn file");
+    let resumed = run_supervised(
+        campaign,
+        &SupervisorOptions {
+            resume_from: Some(torn_path),
+            ..SupervisorOptions::default()
+        },
+        body,
+    )
+    .expect("resume from torn checkpoint");
+    assert_eq!(resumed.resumed, (n - 1) as u64);
+    for (i, (a, b)) in uninterrupted
+        .results
+        .iter()
+        .zip(resumed.results.iter())
+        .enumerate()
+    {
+        let (x, y) = (
+            a.as_ref().expect("clean campaign"),
+            b.as_ref().expect("clean resume"),
+        );
+        assert_eq!(x.to_bits(), y.to_bits(), "run {i} diverged after resume");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite of the job-service work: the supervisor's cancellation
+/// contract under deterministic chaos. A certain-fire stall plan pushes
+/// run 0 through the whole ladder (one bundle, one checkpoint record);
+/// the body then cancels mid-ladder on run 1. Cancelled runs must leave
+/// NO post-mortem bundle and NO checkpoint record — and the checkpoint
+/// must stay strictly parseable with every line newline-terminated (no
+/// half-written tail).
+#[test]
+fn cancel_mid_ladder_leaks_no_bundle_and_no_checkpoint_record() {
+    let plan = FaultPlan::parse("newton_stall:p=1.0,seed=3").expect("spec parses");
+    let session = ChaosSession::arm(plan);
+
+    let dir = std::env::temp_dir().join(format!("oxterm_cancel_leak_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    oxterm_telemetry::postmortem::set_artifacts_dir(dir.to_string_lossy().to_string());
+    let cp_path = dir.join("cp.jsonl").to_string_lossy().to_string();
+
+    let cancel = CancelToken::new();
+    let in_body = cancel.clone();
+    let opts = SupervisorOptions {
+        quorum: 1.0,
+        checkpoint_path: Some(cp_path.clone()),
+        cancel: Some(cancel),
+        ..SupervisorOptions::default()
+    };
+    let runs = 6usize;
+    let outcome = run_supervised(
+        MonteCarlo::new(runs, 0x11).with_threads(1),
+        &opts,
+        move |att: &Attempt, _rng: &mut StdRng| -> Result<f64, String> {
+            if att.run_index == 1 && att.attempt == 1 {
+                in_body.cancel();
+            }
+            if oxterm_chaos::should_inject(FaultKind::NewtonStall) {
+                return Err("injected stall".to_string());
+            }
+            Ok(att.run_index as f64)
+        },
+    )
+    .expect("cancelled campaign still reports");
+
+    // Run 0 exhausted the ladder before the cancel; everything after is
+    // cancelled (run 1 mid-ladder, runs 2.. before starting).
+    let run0 = outcome.results[0].as_ref().expect_err("run 0 exhausts");
+    assert_eq!(run0.attempts, opts.retry.max_attempts);
+    let run1 = outcome.results[1].as_ref().expect_err("run 1 cancelled");
+    assert!(
+        run1.error.starts_with(CANCELLED_PREFIX) && run1.error.contains("2 attempt(s)"),
+        "run 1 must stop mid-ladder: {}",
+        run1.error
+    );
+    for r in 2..runs {
+        let f = outcome.results[r].as_ref().expect_err("cancelled");
+        assert!(f.error.contains("before start"), "run {r}: {}", f.error);
+        assert_eq!(f.attempts, 0, "run {r} must not execute");
+    }
+    assert_eq!(outcome.cancelled, (runs - 1) as u64);
+
+    // Exactly one bundle — run 0's. Cancelled runs leak nothing.
+    let bundles = std::fs::read_dir(&dir)
+        .expect("artifacts dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().starts_with("postmortem_"))
+        .count();
+    assert_eq!(bundles, 1, "only the exhausted run may leave a bundle");
+
+    // The checkpoint holds exactly run 0 and is strictly parseable with a
+    // newline-terminated final record — no half-written line.
+    let bytes = std::fs::read(&cp_path).expect("checkpoint bytes");
+    assert_eq!(bytes.last(), Some(&b'\n'), "no torn tail");
+    let cp = Checkpoint::load(&cp_path).expect("strict parse");
+    assert_eq!(cp.records.len(), 1);
+    assert_eq!(cp.records[0].run, 0);
+
+    oxterm_telemetry::postmortem::set_capture(false);
+    let _ = std::fs::remove_dir_all(&dir);
+    drop(session);
 }
 
 proptest! {

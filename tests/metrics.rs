@@ -98,6 +98,71 @@ fn metrics_server_round_trip_over_tcp() {
     server.shutdown();
 }
 
+/// Slowloris regression: a client that connects and then stalls without
+/// completing its request must (a) not block other scrapes — each
+/// connection gets its own thread — and (b) be cut off with a 400 once
+/// the per-connection read timeout expires, not held open forever.
+#[test]
+fn stalling_client_gets_a_400_and_never_blocks_scrapes() {
+    let tel = populated_telemetry();
+    let server = MetricsServer::serve("127.0.0.1:0", tel).expect("bind port 0");
+    let addr = server.local_addr();
+
+    // The staller: a partial request line, no terminator, then silence.
+    let mut staller = TcpStream::connect(addr).expect("staller connects");
+    write!(staller, "GET /metr").expect("partial request");
+
+    // While the staller is parked, a well-behaved scrape must succeed
+    // promptly (well inside the 2 s read timeout).
+    let start = std::time::Instant::now();
+    let (head, body) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("oxterm_mlc_program_fast_ops"), "{body}");
+    assert!(
+        start.elapsed() < std::time::Duration::from_millis(1_500),
+        "scrape blocked behind the stalling client: {:?}",
+        start.elapsed()
+    );
+
+    // The staller itself is eventually answered with 400 and closed.
+    let mut response = String::new();
+    staller
+        .read_to_string(&mut response)
+        .expect("staller read to close");
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    server.shutdown();
+}
+
+/// A client streaming an unbounded request is cut off at the size cap
+/// with a 400 — the request buffer must not grow without limit.
+#[test]
+fn oversized_request_is_rejected_with_400() {
+    let tel = populated_telemetry();
+    let server = MetricsServer::serve("127.0.0.1:0", tel.clone()).expect("bind port 0");
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let blob = "A".repeat(8 * 1024);
+    // The server may close mid-write once the cap trips; ignore the error.
+    let _ = stream.write_all(blob.as_bytes());
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+
+    // The rejection is counted, and the server still serves.
+    assert!(
+        tel.report()
+            .counter("telemetry.metrics.bad_requests")
+            .unwrap_or(0)
+            >= 1
+    );
+    let (head, _) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+    server.shutdown();
+}
+
 #[test]
 fn validator_is_strict_about_the_claimed_format() {
     validate_prometheus("oxterm_x_total 3\n").unwrap();

@@ -1,0 +1,305 @@
+//! Cross-crate integration tests of the `oxterm-serve` job service: the
+//! line protocol and HTTP probes over real sockets, campaign jobs running
+//! the actual MLC solver, client-side backpressure absorption, deadline
+//! enforcement, drain semantics, and journal replay across a restart.
+//!
+//! No chaos here — this binary asserts the clean-path contracts. The
+//! fault soak lives in `serve_soak.rs` (its own process, because chaos is
+//! process-global).
+
+use oxterm_serve::{BackoffPolicy, Client, JobKind, JobSpec, Server, ServerConfig};
+use oxterm_telemetry::metrics::validate_prometheus;
+use oxterm_telemetry::Telemetry;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start(cfg: ServerConfig) -> (Server, Client) {
+    let server = Server::start(cfg, Telemetry::enabled()).expect("bind port 0");
+    let client = Client::new(&server.local_addr().to_string());
+    (server, client)
+}
+
+fn temp_path(stem: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("oxterm_serve_{stem}_{}", std::process::id()))
+        .to_string_lossy()
+        .to_string()
+}
+
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    (head.to_string(), body.to_string())
+}
+
+/// A campaign job runs the real MLC programming path end to end and the
+/// result is deterministic for a fixed seed.
+#[test]
+fn campaign_job_round_trips_through_the_service() {
+    let (server, client) = start(ServerConfig::default());
+    let spec = JobSpec {
+        kind: JobKind::ProgramLevel,
+        code: 5,
+        runs: 3,
+        seed: 0xBEEF,
+        token: "it-program-5".to_string(),
+        ..JobSpec::default()
+    };
+    let first = client.submit(&spec).expect("submit");
+    assert!(!first.deduped);
+    let status = client
+        .wait(first.job, Duration::from_secs(120))
+        .expect("finishes");
+    assert_eq!(status.state, "done", "{status:?}");
+    assert!(status.summary.contains("median R"), "{}", status.summary);
+
+    // Idempotent re-submit: same token, same job, no second execution.
+    let again = client.submit(&spec).expect("re-submit");
+    assert!(again.deduped);
+    assert_eq!(again.job, first.job);
+
+    // A deterministic second job (different token) reproduces the summary.
+    let twin = client
+        .submit(&JobSpec {
+            token: "it-program-5-twin".to_string(),
+            ..spec
+        })
+        .expect("twin submit");
+    assert_ne!(twin.job, first.job);
+    let twin_status = client
+        .wait(twin.job, Duration::from_secs(120))
+        .expect("twin finishes");
+    assert_eq!(
+        twin_status.summary, status.summary,
+        "MC job not deterministic"
+    );
+    server.shutdown();
+}
+
+/// A tiny queue forces `queue_full` rejections; the client's retry loop
+/// absorbs them and every job still completes exactly once.
+#[test]
+fn client_absorbs_backpressure_until_all_jobs_finish() {
+    let (server, client) = start(ServerConfig {
+        workers: 1,
+        queue_cap: 2,
+        ..ServerConfig::default()
+    });
+    let mut handles = Vec::new();
+    let mut rejections = 0;
+    for i in 0..10 {
+        let submitted = client
+            .submit(&JobSpec {
+                kind: JobKind::Echo,
+                millis: 30,
+                token: format!("bp-{i}"),
+                ..JobSpec::default()
+            })
+            .expect("submit with retries");
+        rejections += submitted.rejections;
+        handles.push(submitted.job);
+    }
+    assert!(
+        rejections > 0,
+        "a 2-slot queue fed 10 jobs must reject at least once"
+    );
+    for job in handles {
+        let status = client.wait(job, Duration::from_secs(30)).expect("finishes");
+        assert_eq!(status.state, "done", "{status:?}");
+    }
+    server.shutdown();
+}
+
+/// The watchdog cancels a job past its deadline and the state says so.
+#[test]
+fn deadline_enforcement_times_out_and_failures_retry_with_backoff() {
+    let (server, client) = start(ServerConfig {
+        backoff: BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 10,
+        },
+        ..ServerConfig::default()
+    });
+    let timed = client
+        .submit(&JobSpec {
+            kind: JobKind::Echo,
+            millis: 10_000,
+            deadline_ms: 40,
+            max_retries: 0,
+            token: "dl-1".to_string(),
+            ..JobSpec::default()
+        })
+        .expect("submit");
+    let status = client
+        .wait(timed.job, Duration::from_secs(20))
+        .expect("terminal");
+    assert_eq!(status.state, "timeout", "{status:?}");
+    assert!(status.summary.contains("deadline"), "{}", status.summary);
+
+    // Scripted transient failures walk the retry ladder and then succeed.
+    let flaky = client
+        .submit(&JobSpec {
+            kind: JobKind::Echo,
+            millis: 1,
+            fail_attempts: 2,
+            max_retries: 3,
+            token: "retry-1".to_string(),
+            ..JobSpec::default()
+        })
+        .expect("submit");
+    let status = client
+        .wait(flaky.job, Duration::from_secs(20))
+        .expect("terminal");
+    assert_eq!(status.state, "done", "{status:?}");
+    assert_eq!(status.attempts, 3, "2 scripted failures + 1 success");
+    server.shutdown();
+}
+
+/// `/healthz` always answers, `/readyz` flips to 503 while draining, and
+/// `/metrics` serves a valid Prometheus exposition with the service
+/// gauges appended.
+#[test]
+fn http_probes_and_metrics_reflect_service_state() {
+    let (server, client) = start(ServerConfig {
+        drain_grace_ms: 10_000,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    let (head, _) = http_get(&addr, "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let (head, _) = http_get(&addr, "/readyz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let (head, body) = http_get(&addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    validate_prometheus(&body).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{body}"));
+    for gauge in [
+        "oxterm_serve_queue_depth",
+        "oxterm_serve_inflight",
+        "oxterm_serve_breakers_open",
+        "oxterm_serve_draining",
+    ] {
+        assert!(body.contains(gauge), "missing {gauge}:\n{body}");
+    }
+
+    // Park one job, then drain on a side thread: while it finishes,
+    // /readyz must report 503 and new submits must be refused.
+    client
+        .submit(&JobSpec {
+            kind: JobKind::Echo,
+            millis: 400,
+            token: "drain-inflight".to_string(),
+            ..JobSpec::default()
+        })
+        .expect("submit");
+    let drainer = std::thread::spawn(move || server.drain_and_join());
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let (head, _) = http_get(&addr, "/readyz");
+        if head.starts_with("HTTP/1.1 503") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "/readyz never flipped to 503 during drain"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let refused = client.submit(&JobSpec {
+        kind: JobKind::Echo,
+        token: "too-late".to_string(),
+        ..JobSpec::default()
+    });
+    assert!(refused.is_err(), "draining service must refuse new jobs");
+    let finished = drainer.join().expect("drain thread");
+    assert!(finished >= 1, "the in-flight job finishes during the drain");
+}
+
+/// Restarting on the same journal replays the job table: terminal jobs
+/// keep their results, interrupted jobs re-queue and finish, and the
+/// idempotency tokens still dedupe to the original ids.
+#[test]
+fn journal_replay_restores_the_table_and_requeues_interrupted_jobs() {
+    let journal = temp_path("replay");
+    let _ = std::fs::remove_file(&journal);
+
+    let (server, client) = start(ServerConfig {
+        workers: 1,
+        journal_path: Some(journal.clone()),
+        ..ServerConfig::default()
+    });
+    let done = client
+        .submit(&JobSpec {
+            kind: JobKind::Echo,
+            millis: 1,
+            token: "rp-done".to_string(),
+            ..JobSpec::default()
+        })
+        .expect("submit");
+    client
+        .wait(done.job, Duration::from_secs(10))
+        .expect("first job finishes");
+    // Park a slow job on the single worker and queue two more behind it,
+    // then hard-stop: the queued pair must survive as journal state only.
+    let slow = client
+        .submit(&JobSpec {
+            kind: JobKind::Echo,
+            millis: 400,
+            token: "rp-slow".to_string(),
+            ..JobSpec::default()
+        })
+        .expect("submit");
+    let queued: Vec<u64> = (0..2)
+        .map(|i| {
+            client
+                .submit(&JobSpec {
+                    kind: JobKind::Echo,
+                    millis: 5,
+                    token: format!("rp-queued-{i}"),
+                    ..JobSpec::default()
+                })
+                .expect("submit")
+                .job
+        })
+        .collect();
+    server.shutdown();
+
+    let (server2, client2) = start(ServerConfig {
+        workers: 1,
+        journal_path: Some(journal.clone()),
+        ..ServerConfig::default()
+    });
+    // The finished job's result survived the restart verbatim.
+    let replayed = client2.status(done.job).expect("known job");
+    assert_eq!(replayed.state, "done");
+    assert!(
+        replayed.summary.contains("slept 1 ms"),
+        "{}",
+        replayed.summary
+    );
+    // The interrupted jobs kept their ids and run to completion now.
+    for job in queued {
+        let status = client2
+            .wait(job, Duration::from_secs(10))
+            .expect("replayed job finishes");
+        assert_eq!(status.state, "done", "{status:?}");
+    }
+    // Token dedup works against replayed state: no duplicate admission.
+    let dedup = client2
+        .submit(&JobSpec {
+            kind: JobKind::Echo,
+            millis: 400,
+            token: "rp-slow".to_string(),
+            ..JobSpec::default()
+        })
+        .expect("re-submit");
+    assert!(dedup.deduped);
+    assert_eq!(dedup.job, slow.job);
+
+    server2.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}

@@ -1,0 +1,317 @@
+//! The chaos soak the service was built to survive: 200 jobs through a
+//! small bounded queue while `queue_full`, `worker_stall`, `conn_drop`
+//! and `journal_torn_write` faults fire, then a breaker trip/recovery
+//! cycle, then a crash-emulating restart whose replayed job table must be
+//! bit-identical (by [`oxterm_serve::JobTable::digest`]) to the pre-crash
+//! table even with a torn final journal line.
+//!
+//! Everything lives in one `#[test]` because the chaos plan is
+//! process-global: the phases run sequentially, with chaos armed only
+//! where the phase wants it.
+
+use oxterm_chaos::{FaultKind, FaultPlan};
+use oxterm_serve::{BackoffPolicy, Client, JobKind, JobSpec, Server, ServerConfig};
+use oxterm_telemetry::Telemetry;
+use std::time::Duration;
+
+const JOBS: u64 = 200;
+
+fn temp_journal(stem: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("oxterm_soak_{stem}_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .to_string()
+}
+
+/// Pulls `"key":value` u64s and `"key":"value"` strings out of the flat
+/// stats line without depending on the crate-private field reader.
+fn stat_u64(stats: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = &stats[stats
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{key} in {stats}"))
+        + pat.len()..];
+    rest[..rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len())]
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} not a number in {stats}"))
+}
+
+fn stat_str(stats: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":\"");
+    let rest = &stats[stats
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{key} in {stats}"))
+        + pat.len()..];
+    rest[..rest.find('"').unwrap_or(rest.len())].to_string()
+}
+
+#[test]
+fn chaos_soak_breaker_cycle_and_crash_replay() {
+    soak_under_chaos();
+    breaker_trips_and_recovers();
+    crash_restart_replays_bit_identically();
+}
+
+/// Phase 1: 200 echo jobs (every 8th walking a scripted retry ladder)
+/// through a 8-slot queue with all four service faults armed. Zero lost,
+/// zero duplicated, queue never grows past its bound, and every fault
+/// kind actually fired.
+fn soak_under_chaos() {
+    let journal = temp_journal("chaos");
+    let _ = std::fs::remove_file(&journal);
+    let tel = Telemetry::enabled();
+    let server = Server::start(
+        ServerConfig {
+            workers: 4,
+            queue_cap: 8,
+            backoff: BackoffPolicy {
+                base_ms: 1,
+                cap_ms: 10,
+            },
+            journal_path: Some(journal.clone()),
+            ..ServerConfig::default()
+        },
+        tel.clone(),
+    )
+    .expect("bind port 0");
+    let client = Client::new(&server.local_addr().to_string());
+
+    oxterm_chaos::arm(
+        FaultPlan::parse(
+            "queue_full:p=0.10,worker_stall:p=0.08,conn_drop:p=0.08,\
+             journal_torn_write:p=0.05,seed=42",
+        )
+        .expect("soak plan parses"),
+    );
+    let _ = oxterm_chaos::drain_injections();
+
+    let mut jobs = Vec::new();
+    for i in 0..JOBS {
+        let flaky = i % 8 == 0;
+        let submitted = client
+            .submit(&JobSpec {
+                kind: JobKind::Echo,
+                millis: 1 + i % 2,
+                fail_attempts: u64::from(flaky),
+                max_retries: if flaky { 3 } else { 1 },
+                token: format!("soak-{i}"),
+                ..JobSpec::default()
+            })
+            .unwrap_or_else(|e| panic!("submit soak-{i}: {e}"));
+        // NB: `deduped` may legitimately be true here — a chaos-dropped
+        // reply makes the client re-submit the same token. That is the
+        // dedup path doing its job; uniqueness is asserted on ids below.
+        jobs.push(submitted.job);
+    }
+    // Zero duplicated: 200 distinct tokens → 200 distinct job ids.
+    let mut unique = jobs.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), jobs.len(), "duplicate job ids admitted");
+
+    // Zero lost: every admitted job reaches `done` despite the faults.
+    for (i, &job) in jobs.iter().enumerate() {
+        let status = client
+            .wait(job, Duration::from_secs(120))
+            .unwrap_or_else(|e| panic!("soak-{i} (job {job}): {e}"));
+        assert_eq!(status.state, "done", "soak-{i}: {status:?}");
+        if i % 8 == 0 {
+            assert!(status.attempts >= 2, "soak-{i} skipped its retry ladder");
+        }
+    }
+
+    oxterm_chaos::disarm();
+    let injected = oxterm_chaos::drain_injections();
+    for kind in [
+        FaultKind::QueueFull,
+        FaultKind::WorkerStall,
+        FaultKind::ConnDrop,
+        FaultKind::JournalTornWrite,
+    ] {
+        let n = injected.iter().filter(|i| i.kind == kind).count();
+        assert!(n > 0, "{} never fired across the soak", kind.name());
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat_u64(&stats, "queue_depth"), 0, "{stats}");
+    assert_eq!(stat_u64(&stats, "inflight"), 0, "{stats}");
+    assert!(
+        stat_u64(&stats, "queue_cap") == 8,
+        "bound must survive the soak: {stats}"
+    );
+    let report = tel.report();
+    assert_eq!(
+        report.counter("serve.jobs.submitted"),
+        Some(JOBS),
+        "admissions must match submissions exactly"
+    );
+    assert!(
+        report
+            .counter("serve.jobs.rejected_queue_full")
+            .unwrap_or(0)
+            > 0,
+        "the bounded queue never pushed back"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// Phase 2 (chaos disarmed): two consecutive deadline kills on a single
+/// worker trip its breaker; after the cooldown a half-open probe job
+/// closes it again.
+fn breaker_trips_and_recovers() {
+    let server = Server::start(
+        ServerConfig {
+            workers: 1,
+            breaker_k: 2,
+            breaker_cooldown_ms: 100,
+            backoff: BackoffPolicy {
+                base_ms: 1,
+                cap_ms: 10,
+            },
+            ..ServerConfig::default()
+        },
+        Telemetry::enabled(),
+    )
+    .expect("bind port 0");
+    let client = Client::new(&server.local_addr().to_string());
+
+    for i in 0..2 {
+        let doomed = client
+            .submit(&JobSpec {
+                kind: JobKind::Echo,
+                millis: 10_000,
+                deadline_ms: 25,
+                max_retries: 0,
+                token: format!("trip-{i}"),
+                ..JobSpec::default()
+            })
+            .expect("submit");
+        let status = client
+            .wait(doomed.job, Duration::from_secs(20))
+            .expect("terminal");
+        assert_eq!(status.state, "timeout", "{status:?}");
+    }
+    let stats = client.stats().expect("stats");
+    assert!(
+        stat_u64(&stats, "breaker_trips") >= 1,
+        "two consecutive hard failures must trip the breaker: {stats}"
+    );
+
+    // Recovery: the next job rides the half-open probe once the cooldown
+    // elapses, succeeds, and closes the breaker.
+    let probe = client
+        .submit(&JobSpec {
+            kind: JobKind::Echo,
+            millis: 1,
+            token: "probe".to_string(),
+            ..JobSpec::default()
+        })
+        .expect("submit");
+    let status = client
+        .wait(probe.job, Duration::from_secs(20))
+        .expect("probe runs after cooldown");
+    assert_eq!(status.state, "done", "{status:?}");
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stat_u64(&stats, "breakers_open"),
+        0,
+        "breaker must close after the probe: {stats}"
+    );
+    server.shutdown();
+}
+
+/// Phase 3 (chaos disarmed): run a mixed campaign to completion, hard-kill
+/// the server (no drain epilogue — the crash path), tear the journal tail
+/// mid-append, restart, and demand the replayed table's digest match the
+/// pre-crash digest bit for bit.
+fn crash_restart_replays_bit_identically() {
+    let journal = temp_journal("replay");
+    let _ = std::fs::remove_file(&journal);
+
+    let server = Server::start(
+        ServerConfig {
+            workers: 2,
+            backoff: BackoffPolicy {
+                base_ms: 1,
+                cap_ms: 10,
+            },
+            journal_path: Some(journal.clone()),
+            ..ServerConfig::default()
+        },
+        Telemetry::enabled(),
+    )
+    .expect("bind port 0");
+    let client = Client::new(&server.local_addr().to_string());
+
+    let mut jobs = Vec::new();
+    for i in 0..30u64 {
+        jobs.push(
+            client
+                .submit(&JobSpec {
+                    kind: JobKind::Echo,
+                    millis: 1,
+                    fail_attempts: u64::from(i % 10 == 0),
+                    max_retries: 2,
+                    token: format!("cr-{i}"),
+                    ..JobSpec::default()
+                })
+                .expect("submit")
+                .job,
+        );
+    }
+    for &job in &jobs {
+        let status = client.wait(job, Duration::from_secs(60)).expect("terminal");
+        assert_eq!(status.state, "done", "{status:?}");
+    }
+    let digest_before = stat_str(&client.stats().expect("stats"), "digest");
+    server.shutdown();
+
+    // Emulate SIGKILL mid-append: a torn, newline-less fragment at EOF.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("journal exists");
+        write!(f, "{{\"seq\":9999,\"event\":\"done\",\"job\":1,\"summ").expect("tear the tail");
+    }
+
+    let tel2 = Telemetry::enabled();
+    let server2 = Server::start(
+        ServerConfig {
+            workers: 2,
+            journal_path: Some(journal.clone()),
+            ..ServerConfig::default()
+        },
+        tel2.clone(),
+    )
+    .expect("restart on the torn journal");
+    let client2 = Client::new(&server2.local_addr().to_string());
+
+    let digest_after = stat_str(&client2.stats().expect("stats"), "digest");
+    assert_eq!(
+        digest_after, digest_before,
+        "replayed job table must be bit-identical to the pre-crash table"
+    );
+    let report = tel2.report();
+    assert_eq!(
+        report.counter("serve.jobs.replayed"),
+        Some(30),
+        "every journaled job must come back"
+    );
+    // Replay is cheap paranoia-friendly: verify a record's content, not
+    // just the digest.
+    let replayed = client2.status(jobs[0]).expect("known job");
+    assert_eq!(replayed.state, "done");
+    assert!(
+        replayed.summary.contains("slept 1 ms"),
+        "{}",
+        replayed.summary
+    );
+
+    server2.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
